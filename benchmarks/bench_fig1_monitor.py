@@ -1,0 +1,71 @@
+"""FIG1 — Figure 1 / Example 1: the basic RBAC reference monitor.
+
+Regenerates Example 1's access-decision table and measures the
+monitor's check_access / session throughput on the hospital policy.
+"""
+
+from conftest import print_table
+
+from repro.core.monitor import ReferenceMonitor
+from repro.papercases import figures
+
+
+def build_monitor():
+    monitor = ReferenceMonitor(figures.figure1())
+    nurse_session = monitor.create_session(figures.DIANA)
+    monitor.add_active_role(nurse_session, figures.NURSE)
+    staff_session = monitor.create_session(figures.DIANA)
+    monitor.add_active_role(staff_session, figures.STAFF)
+    return monitor, nurse_session, staff_session
+
+
+def test_report_example1_access_table():
+    monitor, nurse, staff = build_monitor()
+    checks = [
+        ("read", "t1"), ("read", "t2"), ("write", "t3"),
+        ("print", "black"), ("print", "color"),
+    ]
+    rows = []
+    for action, obj in checks:
+        rows.append((
+            f"{action} {obj}",
+            "ALLOW" if monitor.check_access(nurse, action, obj) else "deny",
+            "ALLOW" if monitor.check_access(staff, action, obj) else "deny",
+        ))
+    print_table(
+        "Example 1: Diana's accesses (paper: nurse reads t1,t2; "
+        "staff also writes t3)",
+        ["access", "as nurse", "as staff"],
+        rows,
+    )
+    assert rows[0][1] == "ALLOW" and rows[2][1] == "deny" and rows[2][2] == "ALLOW"
+
+
+def test_bench_check_access(benchmark):
+    monitor, nurse, _staff = build_monitor()
+
+    def run():
+        allowed = monitor.check_access(nurse, "read", "t1")
+        denied = monitor.check_access(nurse, "write", "t3")
+        return allowed, denied
+
+    allowed, denied = benchmark(run)
+    assert allowed and not denied
+
+
+def test_bench_session_lifecycle(benchmark):
+    monitor, _, _ = build_monitor()
+
+    def run():
+        session = monitor.create_session(figures.DIANA)
+        monitor.add_active_role(session, figures.STAFF)
+        monitor.check_access(session, "write", "t3")
+        monitor.delete_session(session)
+
+    benchmark(run)
+
+
+def test_bench_session_privileges(benchmark):
+    monitor, _nurse, staff = build_monitor()
+    privileges = benchmark(lambda: monitor.session_privileges(staff))
+    assert len(privileges) == 5

@@ -1,0 +1,72 @@
+"""FIG2 — Figure 2 / Example 2: delegated administration.
+
+Regenerates Example 2's command outcomes and measures Definition-5
+transition throughput (strict mode) on the administrative policy.
+"""
+
+from conftest import print_table
+
+from repro.core.commands import Mode, grant_cmd, revoke_cmd, run_queue, step
+from repro.core.ordering import OrderingOracle
+from repro.papercases import figures
+
+
+QUEUE = [
+    ("jane appoints bob to staff", grant_cmd(figures.JANE, figures.BOB, figures.STAFF), True),
+    ("jane appoints joe to nurse", grant_cmd(figures.JANE, figures.JOE, figures.NURSE), True),
+    ("jane revokes joe from nurse", revoke_cmd(figures.JANE, figures.JOE, figures.NURSE), True),
+    ("jane appoints bob to nurse", grant_cmd(figures.JANE, figures.BOB, figures.NURSE), False),
+    ("diana appoints bob to staff", grant_cmd(figures.DIANA, figures.BOB, figures.STAFF), False),
+]
+
+
+def test_report_example2_command_outcomes():
+    policy = figures.figure2()
+    _final, records = run_queue(policy, [cmd for _, cmd, _ in QUEUE])
+    rows = [
+        (label, "executed" if record.executed else "no-op (denied)",
+         "yes" if record.executed == expected else "MISMATCH")
+        for (label, _, expected), record in zip(QUEUE, records)
+    ]
+    print_table(
+        "Example 2: HR administration under Definition 5 (strict)",
+        ["command", "outcome", "matches paper"],
+        rows,
+    )
+    assert all(row[2] == "yes" for row in rows)
+
+
+def test_bench_single_transition(benchmark):
+    base = figures.figure2()
+
+    def run():
+        policy = base.copy()
+        return step(policy, grant_cmd(figures.JANE, figures.BOB, figures.STAFF))
+
+    record = benchmark(run)
+    assert record.executed
+
+
+def test_bench_queue_execution(benchmark):
+    base = figures.figure2()
+    commands = [cmd for _, cmd, _ in QUEUE]
+
+    def run():
+        _final, records = run_queue(base, commands, Mode.STRICT)
+        return records
+
+    records = benchmark(run)
+    assert sum(r.executed for r in records) == 3
+
+
+def test_bench_denied_command(benchmark):
+    """Denials are the hot path of a monitor under attack."""
+    base = figures.figure2()
+    oracle = OrderingOracle(base)
+
+    def run():
+        return step(base, grant_cmd(figures.DIANA, figures.BOB, figures.STAFF),
+                    Mode.STRICT, oracle)
+
+    record = benchmark(run)
+    assert not record.executed

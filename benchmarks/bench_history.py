@@ -1,0 +1,105 @@
+"""HISTORY — versioned administration under load.
+
+Quantifies the bookkeeping the history layer adds over the bare
+Definition-5 transition, and the cost of replay/rollback as the log
+grows (the snapshot-interval trade-off).
+"""
+
+import pytest
+from conftest import print_table
+
+from repro.core.commands import Mode, grant_cmd, revoke_cmd, step
+from repro.core.history import PolicyHistory
+from repro.core.ordering import OrderingOracle
+from repro.papercases import figures
+
+
+def alternating_queue(length: int):
+    commands = []
+    for index in range(length):
+        if index % 2 == 0:
+            commands.append(
+                grant_cmd(figures.JANE, figures.JOE, figures.NURSE)
+            )
+        else:
+            commands.append(
+                revoke_cmd(figures.JANE, figures.JOE, figures.NURSE)
+            )
+    return commands
+
+
+def test_report_replay_cost_vs_snapshot_interval():
+    import time
+
+    rows = []
+    for interval in [1, 4, 16, 64]:
+        history = PolicyHistory(
+            figures.figure2(), mode=Mode.STRICT, snapshot_interval=interval
+        )
+        for command in alternating_queue(64):
+            history.submit(command)
+        start = time.perf_counter()
+        repeats = 30
+        for _ in range(repeats):
+            history.state_at(33)
+        per_replay = (time.perf_counter() - start) / repeats
+        rows.append((interval, history.version, f"{per_replay * 1e6:.0f}"))
+    print_table(
+        "Replay cost of state_at(33) after 64 commands, by snapshot "
+        "interval (smaller interval = more snapshots = cheaper replay)",
+        ["snapshot interval", "log length", "us/replay"],
+        rows,
+    )
+
+
+def test_bench_submit_with_history(benchmark):
+    def run():
+        history = PolicyHistory(figures.figure2(), mode=Mode.STRICT)
+        for command in alternating_queue(8):
+            history.submit(command)
+        return history.version
+
+    version = benchmark(run)
+    assert version == 8
+
+
+def test_bench_submit_without_history(benchmark):
+    """Baseline: the same queue through the bare transition."""
+
+    def run():
+        policy = figures.figure2()
+        oracle = OrderingOracle(policy)
+        executed = 0
+        for command in alternating_queue(8):
+            executed += step(policy, command, Mode.STRICT, oracle).executed
+        return executed
+
+    executed = benchmark(run)
+    assert executed == 8
+
+
+def test_bench_rollback(benchmark):
+    history = PolicyHistory(
+        figures.figure2(), mode=Mode.STRICT, snapshot_interval=8
+    )
+    for command in alternating_queue(32):
+        history.submit(command)
+
+    def run():
+        history.rollback(16)
+        # Re-extend so the next rollback has something to rewind.
+        for command in alternating_queue(16):
+            history.submit(command)
+        return history.version
+
+    version = benchmark(run)
+    assert version == 32
+
+
+def test_bench_audit_diff(benchmark):
+    history = PolicyHistory(figures.figure2(), mode=Mode.STRICT)
+    for command in alternating_queue(16):
+        history.submit(command)
+
+    diff = benchmark(lambda: history.audit_diff(0, 16))
+    assert diff.direction == "equivalent"

@@ -1,0 +1,72 @@
+"""EX3 — Example 3: non-administrative refinement checking (Def. 6).
+
+Regenerates the three Example-3 verdicts and measures the Definition-6
+checker's scaling over growing hospital policies.
+"""
+
+from conftest import print_table
+
+from repro.core.refinement import (
+    is_refinement,
+    refinement_counterexample,
+    with_replaced_edge,
+    without_edge,
+)
+from repro.papercases import figures
+from repro.workloads.hospital import HospitalShape, hospital_policy
+
+
+def test_report_example3_verdicts():
+    phi = figures.figure1()
+    cases = [
+        ("remove diana -> staff",
+         without_edge(phi, figures.DIANA, figures.STAFF), True),
+        ("move diana: staff -> nurse",
+         with_replaced_edge(phi, (figures.DIANA, figures.STAFF),
+                            (figures.DIANA, figures.NURSE)), True),
+        ("move nurse: dbusr1 -> dbusr2",
+         with_replaced_edge(phi, (figures.NURSE, figures.DBUSR1),
+                            (figures.NURSE, figures.DBUSR2)), False),
+    ]
+    rows = []
+    for label, psi, expected in cases:
+        verdict = is_refinement(phi, psi)
+        rows.append((
+            label,
+            "refines" if verdict else "does NOT refine",
+            "yes" if verdict == expected else "MISMATCH",
+        ))
+    print_table(
+        "Example 3: edge surgery on Figure 1 "
+        "(paper: remove/move-down refine, move-sideways does not)",
+        ["surgery", "verdict", "matches paper"],
+        rows,
+    )
+    assert all(row[2] == "yes" for row in rows)
+
+
+def test_bench_refinement_figure1(benchmark):
+    phi = figures.figure1()
+    psi = without_edge(phi, figures.DIANA, figures.STAFF)
+    assert benchmark(lambda: is_refinement(phi, psi))
+
+
+def test_bench_counterexample_search(benchmark):
+    phi = figures.figure1()
+    psi = with_replaced_edge(
+        phi, (figures.NURSE, figures.DBUSR1), (figures.NURSE, figures.DBUSR2)
+    )
+    witness = benchmark(lambda: refinement_counterexample(phi, psi))
+    assert witness is not None
+
+
+def test_bench_refinement_scaling_small(benchmark):
+    phi = hospital_policy(HospitalShape(wards=2, nurses_per_ward=4))
+    psi = phi.copy()
+    assert benchmark(lambda: is_refinement(phi, psi))
+
+
+def test_bench_refinement_scaling_large(benchmark):
+    phi = hospital_policy(HospitalShape(wards=8, nurses_per_ward=10))
+    psi = phi.copy()
+    assert benchmark(lambda: is_refinement(phi, psi))

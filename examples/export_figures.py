@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's figures as artifacts: Graphviz DOT, the
+policy document format, and JSON — into ./artifacts/.
+
+Run:  python examples/export_figures.py [output_dir]
+"""
+
+import sys
+from pathlib import Path
+
+from repro.core.grammar import format_policy_source
+from repro.core.serialization import policy_to_json
+from repro.graph import policy_to_dot
+from repro.papercases import figures
+
+
+def main() -> None:
+    output = Path(sys.argv[1] if len(sys.argv) > 1 else "artifacts")
+    output.mkdir(parents=True, exist_ok=True)
+
+    artifacts = {
+        "figure1": figures.figure1(),
+        "figure2": figures.figure2(),
+        "figure3_strict": figures.figure3_after_strict_assignment(),
+        "figure3_refined": figures.figure3_after_refined_assignment(),
+    }
+    for name, policy in artifacts.items():
+        (output / f"{name}.dot").write_text(policy_to_dot(policy, name=name))
+        (output / f"{name}.policy").write_text(format_policy_source(policy))
+        (output / f"{name}.json").write_text(policy_to_json(policy) + "\n")
+        print(f"wrote {output / name}.{{dot,policy,json}}  ({policy})")
+
+    print("\nrender with e.g.:  dot -Tpdf artifacts/figure2.dot -o figure2.pdf")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Safety auditing: refinement checks, bounded Definition-7 model
+checking, admin-reachability, and the HRU comparison of footnote 5.
+
+Run:  python examples/safety_audit.py
+"""
+
+from repro import (
+    Grant,
+    Mode,
+    check_admin_refinement,
+    grant,
+    is_refinement,
+    perm,
+    weaken_assignment,
+)
+from repro.analysis.hru import check_safety, encode_rbac_grants
+from repro.analysis.reachability import newly_obtainable_pairs
+from repro.analysis.safety import can_obtain
+from repro.core.admin_refinement import check_mode_safety
+from repro.core.entities import Role, User
+from repro.core.policy import Policy
+from repro.papercases import figures
+
+
+def main() -> None:
+    phi = figures.figure2()
+
+    # ------------------------------------------------------------------
+    # 1. What can administration make obtainable?
+    # ------------------------------------------------------------------
+    surface = newly_obtainable_pairs(phi, depth=2)
+    print(f"administrative surface of Figure 2 (2 steps): "
+          f"{len(surface)} new (subject, privilege) pairs")
+    bob_pairs = sorted(str(p) for s, p in surface if s == figures.BOB)
+    print(f"  obtainable by bob: {bob_pairs}")
+
+    # ------------------------------------------------------------------
+    # 2. A pointed safety question, with a witness.
+    # ------------------------------------------------------------------
+    verdict = can_obtain(phi, figures.BOB, perm("print", "black"), depth=2)
+    print(f"\ncan bob ever print prescriptions? {verdict.reachable}")
+    if verdict.witness:
+        for command in verdict.witness:
+            print(f"  witness: {command}")
+
+    # ------------------------------------------------------------------
+    # 3. Theorem 1 verified on this policy.
+    # ------------------------------------------------------------------
+    psi = weaken_assignment(
+        phi, figures.HR,
+        Grant(figures.BOB, figures.STAFF),
+        Grant(figures.BOB, figures.DBUSR2),
+    )
+    result = check_admin_refinement(phi, psi, depth=2)
+    print(f"\nTheorem 1 weakening checked to depth {result.depth}: "
+          f"holds={result.holds} "
+          f"({result.obligations_checked} obligations)")
+
+    # A strengthening is caught:
+    low_admin = Policy(
+        ua=[(User("j"), Role("HR2"))],
+        rh=[(Role("big"), Role("small"))],
+        pa=[(Role("small"), perm("read", "x")),
+            (Role("big"), perm("write", "y")),
+            (Role("HR2"), grant(User("b"), Role("small")))],
+    )
+    strengthened = low_admin.copy()
+    strengthened.remove_edge(Role("HR2"), grant(User("b"), Role("small")))
+    strengthened.assign_privilege(Role("HR2"), grant(User("b"), Role("big")))
+    refuted = check_admin_refinement(low_admin, strengthened, depth=1)
+    print(f"strengthening refuted: holds={refuted.holds}, counterexample:")
+    for command in refuted.counterexample or ():
+        print(f"  {command}")
+
+    # ------------------------------------------------------------------
+    # 4. Refined mode is safe relative to strict mode.
+    # ------------------------------------------------------------------
+    mode_safety = check_mode_safety(phi, depth=1)
+    print(f"\nrefined-monitor safety (depth {mode_safety.depth}): "
+          f"holds={mode_safety.holds}")
+
+    # ------------------------------------------------------------------
+    # 5. Footnote 5: HRU cannot tell low-role from high-role authority.
+    # ------------------------------------------------------------------
+    print("\nfootnote 5: HRU vs Definition 7")
+    P = perm("read", "secret")
+    low_user, high_user = User("lowuser"), User("highuser")
+    low_role, high_role, guarded = Role("lowrole"), Role("highrole"), Role("g")
+
+    def build(holder):
+        policy = Policy(
+            ua=[(low_user, low_role), (high_user, high_role)],
+            rh=[(high_role, low_role)],
+            pa=[(holder, grant(guarded, P))],
+        )
+        policy.add_role(guarded)
+        return policy
+
+    for name, holder in [("low-role", low_role), ("high-role", high_role)]:
+        matrix, commands = encode_rbac_grants(build(holder))
+        leak = check_safety(matrix, commands, "m", "g", str(P), max_steps=2)
+        print(f"  HRU leak verdict ({name} policy): {leak.leaks}")
+    fwd = check_admin_refinement(build(low_role), build(high_role), depth=1)
+    rev = check_admin_refinement(build(high_role), build(low_role), depth=1)
+    print(f"  Definition 7: high-role refines low-role: {fwd.holds}; "
+          f"converse: {rev.holds}")
+    print("  -> HRU sees no difference; refinement does.")
+
+
+if __name__ == "__main__":
+    main()

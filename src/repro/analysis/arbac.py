@@ -1,0 +1,179 @@
+"""ARBAC97-style baseline (Sandhu, Bhamidipati & Munawer [9]).
+
+The paper positions its model against ARBAC97, where administrative
+privileges are expressed as ``can_assign``/``can_revoke`` rules over
+*role ranges* instead of being first-class privileges in the policy
+graph.  This module implements the URA97 component (user-role
+administration, the part the paper's examples exercise):
+
+* a **role range** ``[lower, upper]`` denotes the roles between two
+  endpoints of the hierarchy (inclusive or exclusive at either end);
+* a **prerequisite condition** is a conjunction of positive/negative
+  role-membership literals over the target user;
+* ``can_assign(admin_role, condition, range)`` permits members of
+  ``admin_role`` to assign users satisfying ``condition`` to roles in
+  ``range``; ``can_revoke(admin_role, range)`` permits revocation.
+
+The baseline is deliberately faithful to its source rather than to the
+paper's model: ranges are *static role intervals*, there is no nesting
+(no privileges about privileges), and no ordering between rules —
+which is exactly the comparison §5 draws.  The
+:mod:`repro.analysis.compare` harness translates the paper's hospital
+policy into ARBAC rules and counts permitted operations under both
+models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from ..core.entities import Role, User
+from ..core.policy import Policy
+
+
+@dataclass(frozen=True)
+class RoleRange:
+    """A range ``[lower, upper]`` in the role hierarchy.
+
+    ``upper`` must be senior to (reach) ``lower``; a role ``r`` is in
+    the range iff ``upper →φ r`` and ``r →φ lower``, with the usual
+    open/closed endpoint variants written ``(lower, upper)`` etc. in
+    ARBAC97 notation.
+    """
+
+    lower: Role
+    upper: Role
+    lower_inclusive: bool = True
+    upper_inclusive: bool = True
+
+    def contains(self, role: Role, policy: Policy) -> bool:
+        if not (policy.reaches(self.upper, role) and policy.reaches(role, self.lower)):
+            return False
+        if role == self.lower and not self.lower_inclusive:
+            return False
+        if role == self.upper and not self.upper_inclusive:
+            return False
+        return True
+
+    def roles(self, policy: Policy) -> frozenset[Role]:
+        return frozenset(
+            role for role in policy.roles() if self.contains(role, policy)
+        )
+
+    def __str__(self) -> str:
+        left = "[" if self.lower_inclusive else "("
+        right = "]" if self.upper_inclusive else ")"
+        return f"{left}{self.lower}, {self.upper}{right}"
+
+
+@dataclass(frozen=True)
+class Literal:
+    """One conjunct of a prerequisite condition: ``role`` or ``¬role``."""
+
+    role: Role
+    positive: bool = True
+
+    def satisfied_by(self, user: User, policy: Policy) -> bool:
+        member = policy.reaches(user, self.role)
+        return member if self.positive else not member
+
+    def __str__(self) -> str:
+        return str(self.role) if self.positive else f"not {self.role}"
+
+
+@dataclass(frozen=True)
+class Condition:
+    """A conjunction of literals; the empty conjunction is ``true``."""
+
+    literals: tuple[Literal, ...] = ()
+
+    @classmethod
+    def true(cls) -> "Condition":
+        return cls(())
+
+    @classmethod
+    def member_of(cls, *roles: Role) -> "Condition":
+        return cls(tuple(Literal(role) for role in roles))
+
+    def satisfied_by(self, user: User, policy: Policy) -> bool:
+        return all(lit.satisfied_by(user, policy) for lit in self.literals)
+
+    def __str__(self) -> str:
+        if not self.literals:
+            return "true"
+        return " and ".join(str(lit) for lit in self.literals)
+
+
+@dataclass(frozen=True)
+class CanAssign:
+    """``can_assign(admin_role, condition, range)`` of URA97."""
+
+    admin_role: Role
+    condition: Condition
+    role_range: RoleRange
+
+
+@dataclass(frozen=True)
+class CanRevoke:
+    """``can_revoke(admin_role, range)`` of URA97."""
+
+    admin_role: Role
+    role_range: RoleRange
+
+
+@dataclass
+class ArbacSystem:
+    """A URA97 administration layer over an RBAC policy.
+
+    The policy supplies the role hierarchy and user memberships; the
+    rules supply the administrative authority.  Mutations go through
+    :meth:`assign` / :meth:`revoke`, which enforce the rules.
+    """
+
+    policy: Policy
+    can_assign_rules: list[CanAssign] = field(default_factory=list)
+    can_revoke_rules: list[CanRevoke] = field(default_factory=list)
+
+    def may_assign(self, admin: User, target: User, role: Role) -> bool:
+        return any(
+            self.policy.reaches(admin, rule.admin_role)
+            and rule.condition.satisfied_by(target, self.policy)
+            and rule.role_range.contains(role, self.policy)
+            for rule in self.can_assign_rules
+        )
+
+    def may_revoke(self, admin: User, target: User, role: Role) -> bool:
+        return any(
+            self.policy.reaches(admin, rule.admin_role)
+            and rule.role_range.contains(role, self.policy)
+            for rule in self.can_revoke_rules
+        )
+
+    def assign(self, admin: User, target: User, role: Role) -> bool:
+        """Perform the assignment if permitted; returns success."""
+        if not self.may_assign(admin, target, role):
+            return False
+        self.policy.assign_user(target, role)
+        return True
+
+    def revoke(self, admin: User, target: User, role: Role) -> bool:
+        if not self.may_revoke(admin, target, role):
+            return False
+        self.policy.remove_edge(target, role)
+        return True
+
+    def permitted_assignments(
+        self, admins: Iterable[User] | None = None
+    ) -> Iterator[tuple[User, User, Role]]:
+        """Every (admin, target, role) assignment currently permitted —
+        the flexibility metric used by the baseline comparison."""
+        if admins is None:
+            admins = sorted(self.policy.users(), key=str)
+        targets = sorted(self.policy.users(), key=str)
+        roles = sorted(self.policy.roles(), key=str)
+        for admin in admins:
+            for target in targets:
+                for role in roles:
+                    if self.may_assign(admin, target, role):
+                        yield (admin, target, role)

@@ -1,0 +1,161 @@
+"""Separation-of-duty constraints — an *extension* beyond the paper.
+
+The paper deliberately stays within General Hierarchical RBAC ("we do
+not assume any features that go beyond [it], such as constraints") but
+argues its results "are also applicable to a range of more advanced
+RBAC models" (§1).  This module puts that claim to work for the ANSI
+standard's constrained-RBAC features:
+
+* **SSD** (static separation of duty): of a given role set, no user
+  may be *authorized* for ``cardinality`` or more roles;
+* **DSD** (dynamic separation of duty): no *session* may have
+  ``cardinality`` or more of the set active simultaneously.
+
+Two integration points:
+
+* :class:`ConstrainedMonitor` — a reference monitor that additionally
+  rejects role activations violating DSD and administrative commands
+  whose result would violate SSD (the ANSI enforcement points);
+* :func:`weakening_preserves_ssd` — an empirical check of the
+  extension claim: executing a Ã-weaker command never introduces an
+  SSD violation that the stronger command would not also have
+  introduced (the weaker grant authorizes a subset of the roles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..core.commands import Command, ExecutionRecord, Mode, run_queue, step
+from ..core.entities import Role, User
+from ..core.monitor import ReferenceMonitor
+from ..core.ordering import OrderingOracle
+from ..core.policy import Policy
+from ..core.privileges import Grant
+from ..core.sessions import Session
+from ..errors import AccessDenied, AnalysisError
+
+
+@dataclass(frozen=True)
+class SsdConstraint:
+    """No user may be authorized for ``cardinality``+ of ``roles``."""
+
+    name: str
+    roles: frozenset[Role]
+    cardinality: int = 2
+
+    def __post_init__(self):
+        if self.cardinality < 2:
+            raise AnalysisError("SSD cardinality must be at least 2")
+        if len(self.roles) < self.cardinality:
+            raise AnalysisError(
+                f"SSD role set smaller than its cardinality: {self.name}"
+            )
+
+    def violations(self, policy: Policy) -> list[tuple[User, frozenset[Role]]]:
+        found = []
+        for user in sorted(policy.users(), key=str):
+            authorized = policy.authorized_roles(user) & self.roles
+            if len(authorized) >= self.cardinality:
+                found.append((user, frozenset(authorized)))
+        return found
+
+    def satisfied(self, policy: Policy) -> bool:
+        return not self.violations(policy)
+
+
+@dataclass(frozen=True)
+class DsdConstraint:
+    """No session may have ``cardinality``+ of ``roles`` active."""
+
+    name: str
+    roles: frozenset[Role]
+    cardinality: int = 2
+
+    def __post_init__(self):
+        if self.cardinality < 2:
+            raise AnalysisError("DSD cardinality must be at least 2")
+
+    def allows_activation(self, session: Session, role: Role) -> bool:
+        if role not in self.roles:
+            return True
+        active = (session.active_roles | {role}) & self.roles
+        return len(active) < self.cardinality
+
+
+class ConstrainedMonitor(ReferenceMonitor):
+    """A reference monitor enforcing SSD on administration and DSD on
+    role activation (ANSI constrained RBAC, grafted onto the paper's
+    administrative model)."""
+
+    def __init__(
+        self,
+        policy: Policy,
+        mode: Mode = Mode.STRICT,
+        ssd: Iterable[SsdConstraint] = (),
+        dsd: Iterable[DsdConstraint] = (),
+    ):
+        super().__init__(policy, mode)
+        self.ssd = tuple(ssd)
+        self.dsd = tuple(dsd)
+        for constraint in self.ssd:
+            if not constraint.satisfied(policy):
+                raise AnalysisError(
+                    f"initial policy violates SSD constraint {constraint.name}"
+                )
+
+    def add_active_role(self, session: Session, role: Role) -> None:
+        for constraint in self.dsd:
+            if not constraint.allows_activation(session, role):
+                self._audit(
+                    "session", session.user,
+                    f"activate {role} (DSD {constraint.name})", False,
+                )
+                raise AccessDenied(
+                    session.user.name,
+                    f"activating {role.name} violates DSD {constraint.name}",
+                )
+        super().add_active_role(session, role)
+
+    def submit(self, command: Command) -> ExecutionRecord:
+        """Execute unless the *result* would violate an SSD constraint
+        (checked on a scratch copy first)."""
+        probe = self.policy.copy()
+        record = step(probe, command, self.mode, OrderingOracle(probe))
+        if record.executed:
+            for constraint in self.ssd:
+                if not constraint.satisfied(probe):
+                    self._audit(
+                        "admin", command.user,
+                        f"{command} (would violate SSD {constraint.name})",
+                        False,
+                    )
+                    return ExecutionRecord(command, False)
+        return super().submit(command)
+
+
+def weakening_preserves_ssd(
+    policy: Policy,
+    stronger: Grant,
+    weaker: Grant,
+    constraints: Iterable[SsdConstraint],
+    actor: User,
+) -> bool:
+    """The extension claim, instantiated: if executing the *stronger*
+    grant leaves every constraint satisfied, so does executing the
+    weaker one.  Returns True when the implication holds."""
+    from ..core.commands import grant_cmd
+
+    constraints = tuple(constraints)
+    after_strong, strong_records = run_queue(
+        policy, [grant_cmd(actor, *stronger.edge)], Mode.STRICT
+    )
+    after_weak, weak_records = run_queue(
+        policy, [grant_cmd(actor, *weaker.edge)], Mode.REFINED
+    )
+    if not (strong_records[0].executed and weak_records[0].executed):
+        return True  # vacuous: one side could not act
+    strong_ok = all(c.satisfied(after_strong) for c in constraints)
+    weak_ok = all(c.satisfied(after_weak) for c in constraints)
+    return weak_ok or not strong_ok

@@ -1,0 +1,81 @@
+"""Administrative domains (Wang & Osborn [12]), simplified.
+
+The third baseline of §5: the role graph is partitioned into disjoint
+*administrative domains*, each with a single administrator role;
+changes to a role are permitted only to (members of) the administrator
+of its domain.
+
+The original model is defined over role graphs with additional
+structure; this reproduction keeps the part the comparison needs — the
+partition, its validation, and the resulting assignment-permission
+predicate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import AnalysisError
+from ..core.entities import Role, User
+from ..core.policy import Policy
+
+
+@dataclass(frozen=True)
+class Domain:
+    """One administrative domain: a set of roles and its administrator."""
+
+    name: str
+    roles: frozenset[Role]
+    administrator: Role
+
+    def __post_init__(self):
+        if not self.roles:
+            raise AnalysisError(f"domain {self.name!r} has no roles")
+
+
+@dataclass
+class DomainPartition:
+    """A validated partition of (a subset of) a policy's roles."""
+
+    policy: Policy
+    domains: list[Domain]
+
+    def __post_init__(self):
+        seen: set[Role] = set()
+        policy_roles = set(self.policy.roles())
+        for domain in self.domains:
+            overlap = seen & domain.roles
+            if overlap:
+                raise AnalysisError(
+                    f"domains overlap on {sorted(str(r) for r in overlap)}"
+                )
+            missing = domain.roles - policy_roles
+            if missing:
+                raise AnalysisError(
+                    f"domain {domain.name!r} references unknown roles "
+                    f"{sorted(str(r) for r in missing)}"
+                )
+            seen |= domain.roles
+
+    def domain_of(self, role: Role) -> Domain | None:
+        for domain in self.domains:
+            if role in domain.roles:
+                return domain
+        return None
+
+    def may_administer(self, admin: User, target_role: Role) -> bool:
+        """True iff ``admin`` is a member of the administrator role of
+        ``target_role``'s domain."""
+        domain = self.domain_of(target_role)
+        if domain is None:
+            return False
+        return self.policy.reaches(admin, domain.administrator)
+
+    def may_assign(self, admin: User, target_user: User, target_role: Role) -> bool:
+        """Domain-model assignment check (user argument kept for
+        signature parity with the other baselines; the model does not
+        constrain the target user)."""
+        return self.may_administer(admin, target_role)
+
+    def administrators(self) -> frozenset[Role]:
+        return frozenset(domain.administrator for domain in self.domains)

@@ -1,0 +1,156 @@
+"""Policy minimization: least-privilege hygiene tooling.
+
+Example 3 and Theorem 1 are about making policies *smaller without
+breaking anyone's work*.  This module turns that into maintenance
+tooling:
+
+* :func:`redundant_edges` — edges whose removal changes no granted
+  (subject, user-privilege) pair: dead wood (duplicate paths,
+  unreachable privilege assignments, vacuous hierarchy links);
+* :func:`canonicalize` — greedily strip redundant edges until none
+  remain; the result is mutually-refining with the input
+  (Definition-6 equivalent) and edge-minimal w.r.t. single removals;
+* :func:`lowering_opportunities` — UA edges that can be pushed *down*
+  the hierarchy without changing the user's privileges (the Example-3
+  "move Diana from staff to nurse" rearrangement, automated).  Each
+  opportunity is justified: it is exactly a refinement-preserving
+  replacement.
+
+All three preserve administrative privileges untouched unless they are
+themselves unreachable — weakening admin privileges is Theorem 1's
+job (:func:`repro.core.refinement.enumerate_weakenings`), not a
+hygiene pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.entities import Role, User
+from ..core.policy import Policy
+from ..core.refinement import granted_pairs
+
+
+def redundant_edges(policy: Policy) -> list[tuple[object, object]]:
+    """Edges whose individual removal leaves granted_pairs unchanged.
+
+    Note: redundancy is not closed under combination (two parallel
+    paths are each individually redundant but not jointly);
+    :func:`canonicalize` handles the iteration.
+    """
+    baseline = granted_pairs(policy)
+    redundant = []
+    for edge in sorted(policy.edge_set(), key=str):
+        probe = policy.copy()
+        probe.remove_edge(*edge)
+        if granted_pairs(probe) == baseline:
+            redundant.append(edge)
+    return redundant
+
+
+def canonicalize(
+    policy: Policy,
+    preserve_user_assignments: bool = False,
+) -> tuple[Policy, list[tuple[object, object]]]:
+    """Strip redundant edges until a fixpoint.
+
+    Returns the minimized policy and the list of removed edges, in
+    removal order.  The result grants exactly the same pairs as the
+    input (asserted by the tests as mutual refinement) and no single
+    further removal is redundant.
+
+    Two deliberate conservatisms:
+
+    * Administrative privilege assignments are always preserved —
+      administrative authority is not "granted pairs", so stripping it
+      would change behaviour.
+    * With ``preserve_user_assignments=True``, UA edges are kept even
+      when authority-redundant: a junior membership that duplicates a
+      senior one (e.g. Figure 1's ``diana -> nurse`` next to
+      ``diana -> staff``) grants nothing new, but it is what lets the
+      user run a least-privilege *session* with only the junior role
+      active.  The default reports such edges as removable because
+      they genuinely are, authority-wise — the caller decides.
+    """
+    from ..core.privileges import AdminPrivilege
+
+    current = policy.copy()
+    removed: list[tuple[object, object]] = []
+    baseline = granted_pairs(policy)
+    changed = True
+    while changed:
+        changed = False
+        for edge in sorted(current.edge_set(), key=str):
+            source, target = edge
+            if isinstance(target, AdminPrivilege):
+                continue  # keep administrative authority intact
+            if preserve_user_assignments and isinstance(source, User):
+                continue
+            probe = current.copy()
+            probe.remove_edge(source, target)
+            if granted_pairs(probe) != baseline:
+                continue
+            # Removing a UA/RH edge may also sever *administrative*
+            # reachability; keep the edge if any admin privilege would
+            # become unreachable from a user that reaches it now.
+            if _severs_admin_authority(current, probe):
+                continue
+            current = probe
+            removed.append(edge)
+            changed = True
+    return current, removed
+
+
+def _severs_admin_authority(before: Policy, after: Policy) -> bool:
+    for user in before.users():
+        held_before = before.reachable_admin_privileges(user)
+        if held_before and before.reachable_admin_privileges(user) != \
+                after.reachable_admin_privileges(user):
+            return True
+    return False
+
+
+@dataclass(frozen=True)
+class LoweringOpportunity:
+    """A UA edge that can move down the hierarchy without changing the
+    user's privileges."""
+
+    user: User
+    current_role: Role
+    lower_role: Role
+
+    def __str__(self) -> str:
+        return (
+            f"{self.user} can be moved from {self.current_role} down to "
+            f"{self.lower_role} without losing any privilege"
+        )
+
+
+def lowering_opportunities(policy: Policy) -> list[LoweringOpportunity]:
+    """Example-3 rearrangements, automated.
+
+    For each UA edge ``(u, r)``: find the *junior-most* roles ``r'``
+    below ``r`` such that replacing the edge with ``(u, r')`` leaves
+    u's privileges (and held admin privileges) unchanged.  Only
+    strictly lower roles are reported.
+    """
+    opportunities: list[LoweringOpportunity] = []
+    for user, role in sorted(policy.ua_edges(), key=str):
+        user_privs = policy.authorized_privileges(user)
+        user_admin = policy.reachable_admin_privileges(user)
+        best: Role | None = None
+        for candidate in sorted(policy.descendants(role), key=str):
+            if not isinstance(candidate, Role) or candidate == role:
+                continue
+            probe = policy.copy()
+            probe.remove_edge(user, role)
+            probe.assign_user(user, candidate)
+            if (
+                probe.authorized_privileges(user) == user_privs
+                and probe.reachable_admin_privileges(user) == user_admin
+            ):
+                if best is None or policy.reaches(best, candidate):
+                    best = candidate
+        if best is not None:
+            opportunities.append(LoweringOpportunity(user, role, best))
+    return opportunities

@@ -1,0 +1,103 @@
+"""Administrative reachability: what can a policy evolve into?
+
+Explores the policy-state space induced by Definition 5's transition
+function over the finite candidate command universe, up to a depth
+bound.  On top of the raw exploration two questions are answered:
+
+* :func:`reachable_policies` — every distinct policy state reachable
+  within the bound (with a shortest witness queue each);
+* :func:`obtainable_pairs` — the union, over reachable states, of the
+  (subject, user-privilege) pairs granted — i.e. everything anyone
+  could *ever* be allowed to do if administrators act within the bound.
+
+These are the primitives behind the safety checker
+(:mod:`repro.analysis.safety`), the Remark-2 conjecture tests, and the
+strict-vs-refined flexibility benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from ..core.commands import Command, Mode, candidate_commands, step
+from ..core.entities import User
+from ..core.ordering import OrderingOracle
+from ..core.policy import Policy
+from ..core.privileges import UserPrivilege
+from ..core.refinement import granted_pairs
+
+
+@dataclass(frozen=True)
+class ReachableState:
+    """One reachable policy state with a shortest witness queue."""
+
+    policy: Policy
+    witness: tuple[Command, ...]
+
+    @property
+    def depth(self) -> int:
+        return len(self.witness)
+
+
+def reachable_policies(
+    policy: Policy,
+    depth: int,
+    mode: Mode = Mode.STRICT,
+    users: list[User] | None = None,
+    max_states: int = 100_000,
+) -> list[ReachableState]:
+    """BFS over policy states via effective commands, up to ``depth``.
+
+    States are deduplicated by edge set; each is returned with a
+    shortest queue reaching it.  ``max_states`` is a hard cap guarding
+    against exponential blow-ups on large inputs.
+    """
+    universe = candidate_commands(policy, mode, users)
+    start = policy.copy()
+    seen: set[frozenset] = {start.edge_set()}
+    states: list[ReachableState] = [ReachableState(start, ())]
+    frontier: deque[ReachableState] = deque(states)
+    while frontier:
+        current = frontier.popleft()
+        if current.depth == depth:
+            continue
+        for command in universe:
+            probe = current.policy.copy()
+            record = step(probe, command, mode, OrderingOracle(probe))
+            if not record.executed:
+                continue
+            signature = probe.edge_set()
+            if signature in seen:
+                continue
+            seen.add(signature)
+            state = ReachableState(probe, current.witness + (command,))
+            states.append(state)
+            if len(states) >= max_states:
+                return states
+            frontier.append(state)
+    return states
+
+
+def obtainable_pairs(
+    policy: Policy,
+    depth: int,
+    mode: Mode = Mode.STRICT,
+    users: list[User] | None = None,
+) -> frozenset[tuple[object, UserPrivilege]]:
+    """All (subject, user-privilege) pairs granted in *some* policy
+    state reachable within ``depth`` administrative steps."""
+    pairs: set[tuple[object, UserPrivilege]] = set()
+    for state in reachable_policies(policy, depth, mode, users):
+        pairs |= granted_pairs(state.policy)
+    return frozenset(pairs)
+
+
+def newly_obtainable_pairs(
+    policy: Policy,
+    depth: int,
+    mode: Mode = Mode.STRICT,
+) -> frozenset[tuple[object, UserPrivilege]]:
+    """Pairs obtainable through administration but not granted by the
+    initial policy — the "administrative surface" of the policy."""
+    return obtainable_pairs(policy, depth, mode) - granted_pairs(policy)

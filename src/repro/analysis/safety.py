@@ -1,0 +1,100 @@
+"""Safety queries over administrative RBAC policies.
+
+The classical safety question (HRU [7], recast for RBAC): *can subject
+``v`` ever obtain user privilege ``p``, given that administrators act
+according to the policy?*  The checker explores Definition 5 runs over
+the candidate command universe and returns a concrete witness queue
+when the answer is yes.
+
+Unlike HRU's analysis, runs here are subject- and order-sensitive:
+the witness shows *who* has to act, which is exactly the distinction
+footnote 5 of the paper draws.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from ..core.commands import Command, Mode, candidate_commands, step
+from ..core.entities import User
+from ..core.ordering import OrderingOracle
+from ..core.policy import Policy
+from ..core.privileges import UserPrivilege
+
+
+@dataclass(frozen=True)
+class SafetyVerdict:
+    """Answer to a safety query."""
+
+    reachable: bool
+    witness: tuple[Command, ...] | None
+    states_explored: int
+
+    def __bool__(self) -> bool:
+        return self.reachable
+
+
+def can_obtain(
+    policy: Policy,
+    subject: object,
+    privilege: UserPrivilege,
+    depth: int = 3,
+    mode: Mode = Mode.STRICT,
+    acting_users: list[User] | None = None,
+) -> SafetyVerdict:
+    """Can ``subject`` reach ``privilege`` in some policy reachable
+    within ``depth`` administrative steps?
+
+    ``acting_users`` restricts who issues commands (the "trusted users
+    don't act" refinement of the classical safety question: pass only
+    the untrusted users to model their collusion).
+    """
+    if policy.reaches(subject, privilege):
+        return SafetyVerdict(True, (), 1)
+    universe = candidate_commands(policy, mode, acting_users)
+    seen = {policy.edge_set()}
+    frontier: deque[tuple[Policy, tuple[Command, ...]]] = deque(
+        [(policy.copy(), ())]
+    )
+    explored = 1
+    while frontier:
+        state, witness = frontier.popleft()
+        if len(witness) == depth:
+            continue
+        for command in universe:
+            probe = state.copy()
+            record = step(probe, command, mode, OrderingOracle(probe))
+            if not record.executed:
+                continue
+            signature = probe.edge_set()
+            if signature in seen:
+                continue
+            seen.add(signature)
+            explored += 1
+            if probe.reaches(subject, privilege):
+                return SafetyVerdict(True, witness + (command,), explored)
+            frontier.append((probe, witness + (command,)))
+    return SafetyVerdict(False, None, explored)
+
+
+def safety_matrix(
+    policy: Policy,
+    depth: int = 2,
+    mode: Mode = Mode.STRICT,
+) -> dict[tuple[User, UserPrivilege], SafetyVerdict]:
+    """The full user × user-privilege safety table for a policy.
+
+    Used by the SAFE benchmark to contrast strict and refined modes:
+    refined mode must not make any *unsafe* cell reachable that strict
+    mode keeps safe beyond what Theorem 1 predicts (it cannot — the
+    tests assert equality of the obtainable sets on the paper's
+    policies).
+    """
+    verdicts: dict[tuple[User, UserPrivilege], SafetyVerdict] = {}
+    for user in sorted(policy.users(), key=str):
+        for privilege in sorted(policy.user_privileges(), key=str):
+            verdicts[(user, privilege)] = can_obtain(
+                policy, user, privilege, depth, mode
+            )
+    return verdicts

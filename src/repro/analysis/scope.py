@@ -1,0 +1,82 @@
+"""Administrative scope (Crampton & Loizou [4]).
+
+The second baseline of the paper's related-work section.  A role ``r'``
+is *within the administrative scope* of ``r`` when every role senior to
+``r'`` is either senior to ``r`` or junior to ``r`` — intuitively,
+``r`` sits on every upward path out of ``r'``, so changes to ``r'``
+cannot escape ``r``'s oversight::
+
+    σ(r) = { r' ≤ r  :  ↑r' ⊆ ↓r ∪ ↑r }
+
+where ``≤`` is the role hierarchy (``a ≤ b`` iff ``b →φ a``), ``↑x`` is
+the set of roles senior to or equal to ``x`` and ``↓x`` the set junior
+to or equal to ``x``.  *Strict* scope excludes ``r`` itself.
+
+The scope model answers "which roles may ``r`` administer"; unlike the
+paper's privilege terms it cannot express user-specific or nested
+authority, which is exactly the expressiveness gap
+:mod:`repro.analysis.compare` quantifies.
+"""
+
+from __future__ import annotations
+
+from ..core.entities import Role, User
+from ..core.policy import Policy
+from ..graph import ancestors, descendants
+
+
+def seniors(policy: Policy, role: Role) -> frozenset[Role]:
+    """``↑role``: roles senior to or equal to ``role`` in RH."""
+    hierarchy = policy.rh_subgraph()
+    return frozenset(r for r in ancestors(hierarchy, role) if isinstance(r, Role))
+
+
+def juniors(policy: Policy, role: Role) -> frozenset[Role]:
+    """``↓role``: roles junior to or equal to ``role`` in RH."""
+    hierarchy = policy.rh_subgraph()
+    return frozenset(r for r in descendants(hierarchy, role) if isinstance(r, Role))
+
+
+def administrative_scope(policy: Policy, role: Role) -> frozenset[Role]:
+    """``σ(role)`` as defined above."""
+    below = juniors(policy, role)
+    oversight = below | seniors(policy, role)
+    return frozenset(
+        candidate
+        for candidate in below
+        if seniors(policy, candidate) <= oversight
+    )
+
+
+def strict_administrative_scope(policy: Policy, role: Role) -> frozenset[Role]:
+    """``σ(role) \\ {role}``."""
+    return administrative_scope(policy, role) - {role}
+
+
+def is_within_scope(policy: Policy, admin: Role, target: Role) -> bool:
+    """True iff ``target ∈ σ(admin)``."""
+    return target in administrative_scope(policy, admin)
+
+
+def scope_administrators(policy: Policy, target: Role) -> frozenset[Role]:
+    """All roles whose scope contains ``target``."""
+    return frozenset(
+        admin
+        for admin in policy.roles()
+        if is_within_scope(policy, admin, target)
+    )
+
+
+def may_assign_under_scope(
+    policy: Policy, admin: User, target_user: User, target_role: Role
+) -> bool:
+    """The scope model's assignment check: the administrator must be a
+    member of some role whose *strict* scope contains the target role.
+
+    (Crampton & Loizou refine this with admin-authority relations; the
+    plain strict-scope check is the common core used for comparison.)
+    """
+    return any(
+        target_role in strict_administrative_scope(policy, role)
+        for role in policy.authorized_roles(admin)
+    )

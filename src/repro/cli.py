@@ -1,0 +1,339 @@
+"""Command-line interface: ``repro-rbac`` / ``python -m repro``.
+
+Subcommands:
+
+* ``show-policy FILE``          — parse a policy document and summarize it.
+* ``check-order FILE P Q``     — decide ``P Ã Q`` and print the derivation.
+* ``weaker FILE P``             — enumerate weaker privileges (bounded).
+* ``check-refinement PHI PSI``  — Definition 6 check with witness.
+* ``check-admin-refinement PHI PSI`` — bounded Definition 7 check.
+* ``run-queue FILE QUEUE.json`` — execute a command queue (Definition 5).
+* ``export-dot FILE``           — Graphviz export (the paper's figures).
+* ``figures``                   — print the paper's Figures 1–3 as documents.
+
+Policy files use the document format of :mod:`repro.core.grammar`;
+privileges are written as e.g. ``grant(bob, staff)`` or
+``grant(staff, grant(bob, dbusr2))``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .core.admin_refinement import check_admin_refinement
+from .core.commands import Mode, run_queue
+from .core.grammar import (
+    Vocabulary,
+    format_policy_source,
+    format_privilege,
+    parse_policy_source,
+    parse_privilege,
+)
+from .core.ordering import explain_weaker
+from .core.policy import Policy
+from .core.refinement import refinement_counterexample
+from .core.serialization import queue_from_json
+from .core.weaker import enumerate_weaker
+from .errors import ReproError
+from .graph import policy_to_dot
+
+
+def _load_policy(path: str) -> Policy:
+    return parse_policy_source(Path(path).read_text())
+
+
+def _cmd_show_policy(args: argparse.Namespace) -> int:
+    policy = _load_policy(args.policy)
+    print(policy)
+    print(f"longest role chain: {policy.longest_role_chain()}")
+    print(f"administrative: {not policy.is_non_administrative()}")
+    if args.full:
+        print(format_policy_source(policy), end="")
+    return 0
+
+
+def _cmd_check_order(args: argparse.Namespace) -> int:
+    policy = _load_policy(args.policy)
+    vocabulary = Vocabulary.of_policy(policy)
+    stronger = parse_privilege(args.stronger, vocabulary)
+    weaker = parse_privilege(args.weaker, vocabulary)
+    derivation = explain_weaker(
+        policy, stronger, weaker, strict_rules=args.strict_rules
+    )
+    if derivation is None:
+        print(
+            f"NO: {format_privilege(weaker)} is not weaker than "
+            f"{format_privilege(stronger)} under this policy"
+        )
+        return 1
+    print(
+        f"YES: {format_privilege(weaker)} is weaker than "
+        f"{format_privilege(stronger)}; derivation:"
+    )
+    print(derivation.format())
+    return 0
+
+
+def _cmd_weaker(args: argparse.Namespace) -> int:
+    policy = _load_policy(args.policy)
+    vocabulary = Vocabulary.of_policy(policy)
+    privilege = parse_privilege(args.privilege, vocabulary)
+    count = 0
+    for term in enumerate_weaker(policy, privilege, max_depth=args.max_depth):
+        print(format_privilege(term))
+        count += 1
+        if count >= args.limit:
+            print(f"... stopped at limit {args.limit} (the set may be infinite)")
+            break
+    return 0
+
+
+def _cmd_check_refinement(args: argparse.Namespace) -> int:
+    phi = _load_policy(args.phi)
+    psi = _load_policy(args.psi)
+    witness = refinement_counterexample(phi, psi)
+    if witness is None:
+        print("YES: psi is a non-administrative refinement of phi (Def. 6)")
+        return 0
+    print(f"NO: {witness}")
+    return 1
+
+
+def _cmd_check_admin_refinement(args: argparse.Namespace) -> int:
+    phi = _load_policy(args.phi)
+    psi = _load_policy(args.psi)
+    result = check_admin_refinement(
+        phi, psi, depth=args.depth, direction=args.direction
+    )
+    if result.holds:
+        print(
+            f"HOLDS up to depth {result.depth} "
+            f"({result.obligations_checked} obligations, "
+            f"{result.obligations_matched_trivially} trivial)"
+        )
+        return 0
+    print("REFUTED; counterexample queue:")
+    for command in result.counterexample or ():
+        print(f"  {command}")
+    return 1
+
+
+def _cmd_run_queue(args: argparse.Namespace) -> int:
+    policy = _load_policy(args.policy)
+    queue = queue_from_json(Path(args.queue).read_text())
+    mode = Mode.REFINED if args.refined else Mode.STRICT
+    final, records = run_queue(policy, queue, mode)
+    for record in records:
+        verdict = "executed" if record.executed else "no-op (not authorized)"
+        extra = ""
+        if record.executed and record.implicit:
+            extra = f"  [implicit via {record.authorized_by}]"
+        print(f"{record.command}: {verdict}{extra}")
+    print("final policy:")
+    print(format_policy_source(final), end="")
+    return 0
+
+
+def _cmd_export_dot(args: argparse.Namespace) -> int:
+    policy = _load_policy(args.policy)
+    print(policy_to_dot(policy, name=args.name), end="")
+    return 0
+
+
+def _cmd_explain_access(args: argparse.Namespace) -> int:
+    from .graph.paths import explain_reachability
+
+    policy = _load_policy(args.policy)
+    vocabulary = Vocabulary.of_policy(policy)
+    subject = vocabulary.resolve(args.subject)
+    privilege = parse_privilege(args.privilege, vocabulary)
+    if policy.reaches(subject, privilege):
+        print(f"ALLOWED: {explain_reachability(policy.graph, subject, privilege)}")
+        return 0
+    print(f"DENIED: {subject} does not reach {format_privilege(privilege)}")
+    roles = ", ".join(sorted(str(r) for r in policy.authorized_roles(subject)))
+    print(f"  subject's authorized roles: {roles or '(none)'}")
+    return 1
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from .core.diff import diff_policies
+
+    old = _load_policy(args.old)
+    new = _load_policy(args.new)
+    diff = diff_policies(old, new)
+    print(diff.summary())
+    if diff.direction in ("refinement", "equivalent"):
+        return 0
+    return 1
+
+
+def _cmd_flexibility(args: argparse.Namespace) -> int:
+    from .analysis.compare import flexibility_report
+
+    policy = _load_policy(args.policy)
+    report = flexibility_report(policy)
+    for label, value in report.as_rows():
+        print(f"{label:36} {value}")
+    return 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from .workloads.fuzz import fuzz_many
+
+    reports = fuzz_many(range(args.seeds), steps=args.steps)
+    executed = sum(r.executed for r in reports)
+    implicit = sum(r.implicit for r in reports)
+    denied = sum(r.denied for r in reports)
+    violations = [v for r in reports for v in r.violations]
+    print(f"campaigns: {len(reports)}  steps/campaign: {args.steps}")
+    print(f"executed: {executed} (implicit: {implicit})  denied: {denied}")
+    if violations:
+        print(f"INVARIANT VIOLATIONS ({len(violations)}):")
+        for violation in violations[:10]:
+            print(f"  {violation}")
+        return 1
+    print("invariants: all hold")
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from .papercases import figures
+
+    for name, builder in [
+        ("Figure 1", figures.figure1),
+        ("Figure 2", figures.figure2),
+        ("Figure 3 (strict assignment)", figures.figure3_after_strict_assignment),
+        ("Figure 3 (refined assignment)", figures.figure3_after_refined_assignment),
+    ]:
+        print(f"# --- {name} ---")
+        print(format_policy_source(builder()))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-rbac",
+        description=(
+            "Administrative RBAC with privilege-ordering refinement "
+            "(Dekker & Etalle, 2007)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    show = subparsers.add_parser("show-policy", help="summarize a policy file")
+    show.add_argument("policy")
+    show.add_argument("--full", action="store_true", help="print the document")
+    show.set_defaults(func=_cmd_show_policy)
+
+    order = subparsers.add_parser(
+        "check-order", help="decide the privilege ordering P ~> Q"
+    )
+    order.add_argument("policy")
+    order.add_argument("stronger")
+    order.add_argument("weaker")
+    order.add_argument(
+        "--strict-rules", action="store_true",
+        help="use the literal Definition 8 rules (no Example-6 closure)",
+    )
+    order.set_defaults(func=_cmd_check_order)
+
+    weaker = subparsers.add_parser(
+        "weaker", help="enumerate privileges weaker than P"
+    )
+    weaker.add_argument("policy")
+    weaker.add_argument("privilege")
+    weaker.add_argument("--max-depth", type=int, default=3)
+    weaker.add_argument("--limit", type=int, default=50)
+    weaker.set_defaults(func=_cmd_weaker)
+
+    refinement = subparsers.add_parser(
+        "check-refinement", help="Definition 6 check (phi refines-to psi?)"
+    )
+    refinement.add_argument("phi")
+    refinement.add_argument("psi")
+    refinement.set_defaults(func=_cmd_check_refinement)
+
+    admin = subparsers.add_parser(
+        "check-admin-refinement", help="bounded Definition 7 check"
+    )
+    admin.add_argument("phi")
+    admin.add_argument("psi")
+    admin.add_argument("--depth", type=int, default=2)
+    admin.add_argument(
+        "--direction",
+        choices=["psi-universal", "phi-universal"],
+        default="psi-universal",
+    )
+    admin.set_defaults(func=_cmd_check_admin_refinement)
+
+    queue = subparsers.add_parser(
+        "run-queue", help="execute a JSON command queue (Definition 5)"
+    )
+    queue.add_argument("policy")
+    queue.add_argument("queue")
+    queue.add_argument(
+        "--refined", action="store_true",
+        help="authorize via the privilege ordering (refined mode)",
+    )
+    queue.set_defaults(func=_cmd_run_queue)
+
+    dot = subparsers.add_parser("export-dot", help="Graphviz DOT export")
+    dot.add_argument("policy")
+    dot.add_argument("--name", default="policy")
+    dot.set_defaults(func=_cmd_export_dot)
+
+    figures = subparsers.add_parser(
+        "figures", help="print the paper's figures as policy documents"
+    )
+    figures.set_defaults(func=_cmd_figures)
+
+    explain = subparsers.add_parser(
+        "explain-access",
+        help="why does (or doesn't) a subject reach a privilege?",
+    )
+    explain.add_argument("policy")
+    explain.add_argument("subject")
+    explain.add_argument("privilege")
+    explain.set_defaults(func=_cmd_explain_access)
+
+    diff = subparsers.add_parser(
+        "diff", help="structural + refinement-direction diff of two policies"
+    )
+    diff.add_argument("old")
+    diff.add_argument("new")
+    diff.set_defaults(func=_cmd_diff)
+
+    flexibility = subparsers.add_parser(
+        "flexibility",
+        help="permitted-operation counts: strict / refined / baselines",
+    )
+    flexibility.add_argument("policy")
+    flexibility.set_defaults(func=_cmd_flexibility)
+
+    fuzz = subparsers.add_parser(
+        "fuzz", help="run monitor-invariant fuzzing campaigns"
+    )
+    fuzz.add_argument("--seeds", type=int, default=10)
+    fuzz.add_argument("--steps", type=int, default=50)
+    fuzz.set_defaults(func=_cmd_fuzz)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

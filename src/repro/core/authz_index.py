@@ -1,0 +1,183 @@
+"""A precomputed authorization index for the refined monitor.
+
+The plain refined monitor answers "may user u execute cmd(u, ¤, v, v')"
+by iterating every privilege reachable from ``u`` and running the
+Lemma-1 decision procedure against ``¤(v, v')``.  That is fine for a
+handful of privileges, but a production reference monitor fields the
+same question thousands of times between policy changes.  This module
+precomputes, per subject, the *grant rectangles* implied by the
+ordering:
+
+For an entity-target grant privilege ``¤(s, t)`` reachable by the
+subject, rule (2) authorizes exactly the commands ``¤(v, v')`` whose
+new source reaches the original source and whose new target is reached
+by the original target, i.e. the authorized pairs are::
+
+    { (v, v') : v ∈ ancestors(s) ∩ (U ∪ R),  v' ∈ descendants(t) }
+
+(with the usual grammar sorts), a *rectangle* ancestors(s) ×
+descendants(t).  The index stores these rectangles as pairs of frozen
+sets; an authorization query is then two set-membership tests per held
+privilege instead of a recursive procedure.  Nested-target grants
+(rule 3) and the generalized rule-(2) hop are delegated to the
+ordering oracle — they are the rare case, and correctness is what
+matters there.
+
+The index is versioned against the policy graph like every other
+cache, and its answers are verified against the oracle by the test
+suite (`tests/core/test_authz_index.py`) and by a differential fuzz
+harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..graph import ancestors as graph_ancestors
+from .commands import Command, CommandAction
+from .entities import Role, User
+from .ordering import OrderingOracle
+from .policy import Policy
+from .privileges import Grant, Privilege, is_privilege
+
+_Entity = (User, Role)
+
+
+@dataclass(frozen=True)
+class GrantRectangle:
+    """The set of entity-pair grants authorized by one held privilege:
+    ``sources × targets`` (already sort-filtered)."""
+
+    held: Grant
+    sources: frozenset
+    targets: frozenset
+
+    def covers(self, source: object, target: object) -> bool:
+        return source in self.sources and target in self.targets
+
+    def pair_count(self) -> int:
+        return len(self.sources) * len(self.targets)
+
+
+class AuthorizationIndex:
+    """Per-subject precomputed authorization for the refined monitor.
+
+    ``authorizes(user, command)`` returns the held privilege that
+    covers the command, or None.  Exact matches and revocations are
+    answered from a set; entity-target grants from the rectangles;
+    nested grants fall back to the ordering oracle.
+    """
+
+    __slots__ = ("policy", "_version", "_held", "_rectangles", "_oracle")
+
+    def __init__(self, policy: Policy):
+        self.policy = policy
+        self._version = -1
+        self._held: dict[User, frozenset[Privilege]] = {}
+        self._rectangles: dict[User, tuple[GrantRectangle, ...]] = {}
+        self._oracle = OrderingOracle(policy)
+        self._rebuild()
+
+    # ------------------------------------------------------------------
+    def _rebuild(self) -> None:
+        self._held.clear()
+        self._rectangles.clear()
+        graph = self.policy.graph
+        entity_ancestors: dict[object, frozenset] = {}
+
+        def ancestors_of(vertex) -> frozenset:
+            cached = entity_ancestors.get(vertex)
+            if cached is None:
+                cached = frozenset(
+                    v for v in graph_ancestors(graph, vertex)
+                    if isinstance(v, _Entity)
+                )
+                entity_ancestors[vertex] = cached
+            return cached
+
+        for user in self.policy.users():
+            held = frozenset(
+                vertex
+                for vertex in self.policy.descendants(user)
+                if is_privilege(vertex)
+            )
+            self._held[user] = held
+            rectangles = []
+            for privilege in held:
+                if not isinstance(privilege, Grant):
+                    continue
+                if not isinstance(privilege.target, _Entity):
+                    continue
+                # Weaker sources: entities v with v ->phi s (rule 2
+                # premise v1 -> v2); weaker targets: entities below t.
+                sources = ancestors_of(privilege.source)
+                targets = frozenset(
+                    v for v in self.policy.descendants(privilege.target)
+                    if isinstance(v, Role)
+                )
+                rectangles.append(
+                    GrantRectangle(privilege, sources, targets)
+                )
+            self._rectangles[user] = tuple(rectangles)
+        self._version = graph.version
+
+    def _validate(self) -> None:
+        if self._version != self.policy.graph.version:
+            self._rebuild()
+
+    # ------------------------------------------------------------------
+    def authorizes(self, user: User, command: Command) -> Privilege | None:
+        """The held privilege covering ``command`` under refined-mode
+        semantics, or None."""
+        self._validate()
+        held = self._held.get(user, frozenset())
+        wanted = command.requested_privilege()
+        if wanted is None:
+            return None
+        if wanted in held:
+            return wanted
+        if command.action is CommandAction.REVOKE:
+            return None  # revocations: exact match only
+        source, target = command.source, command.target
+        if isinstance(target, _Entity):
+            for rectangle in self._rectangles.get(user, ()):
+                if rectangle.covers(source, target):
+                    return rectangle.held
+            return None
+        # Nested-privilege grant targets: fall back to the oracle.
+        for privilege in held:
+            if self._oracle.is_weaker(privilege, wanted):
+                return privilege
+        return None
+
+    # ------------------------------------------------------------------
+    def grantable_pairs(self, user: User) -> frozenset[tuple[object, object]]:
+        """All entity-pair edges ``(v, v')`` the user may currently
+        grant (the union of the rectangles plus exact entity grants).
+        This is the review-function view of implicit authorization —
+        what an administrator sees as "my effective authority"."""
+        self._validate()
+        pairs: set[tuple[object, object]] = set()
+        for rectangle in self._rectangles.get(user, ()):
+            for source in rectangle.sources:
+                for target in rectangle.targets:
+                    if isinstance(source, User) or isinstance(source, Role):
+                        pairs.add((source, target))
+        for privilege in self._held.get(user, frozenset()):
+            if isinstance(privilege, Grant) and isinstance(
+                privilege.target, _Entity
+            ):
+                pairs.add(privilege.edge)
+        return frozenset(pairs)
+
+    def statistics(self) -> dict[str, int]:
+        self._validate()
+        return {
+            "users": len(self._held),
+            "rectangles": sum(len(r) for r in self._rectangles.values()),
+            "rectangle_pairs": sum(
+                rect.pair_count()
+                for rects in self._rectangles.values()
+                for rect in rects
+            ),
+        }

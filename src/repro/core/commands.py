@@ -1,0 +1,294 @@
+"""Administrative commands and the transition function (Defs. 4 and 5).
+
+A command ``cmd(u, a, v, v')`` asks the reference monitor, on behalf of
+user ``u``, to add (``a = ¤``) or remove (``a = ♦``) the policy edge
+``(v, v')``.  Definition 5's transition function:
+
+* a grant executes iff ``u →φ r`` and ``r →φ ¤(v, v')`` for some role
+  ``r`` — i.e. the user reaches a role holding exactly that grant
+  privilege;
+* a revoke executes iff the user reaches ``♦(v, v')``;
+* otherwise the command is consumed **without changing the policy**
+  (disallowed commands are silent no-ops, not errors).
+
+Two authorization modes are supported:
+
+* ``Mode.STRICT`` — the literal Definition 5 (and the behaviour of the
+  prior administrative models surveyed in §5): the privilege must match
+  the requested edge exactly.
+* ``Mode.REFINED`` — the paper's contribution (§4.1): the user is also
+  *implicitly authorized* when some reachable privilege ``p`` satisfies
+  ``p Ãφ ¤(v, v')``.  Revocations gain nothing (the paper identifies
+  no revocation ordering; ♦-privileges are Ã-related only reflexively).
+
+Finiteness of the effective command universe
+--------------------------------------------
+
+Definition 4 ranges over the infinite ``P†``, but only finitely many
+commands can ever change a given policy:
+
+* In strict mode a grant needs a reachable term ``¤(v, v')``; every
+  privilege term ever present in a run is drawn from the *subterm
+  closure* of the initial policy (grants add edges ``(r, p)`` whose
+  target ``p`` is the target subterm of an existing ``¤(r, p)`` vertex,
+  and revokes only remove edges).  Hence the pairs ``(v, v')`` of
+  effective commands range over edges of closure terms.
+* In refined mode, weaker grants can additionally target any
+  **entity pair** over the policy's vertices (rule 2 weakening) and
+  any ``(role, p)`` with ``p`` in the subterm closure (rule 3 and the
+  generalized rule 2 hop reach exactly the closure vertices at the top
+  level; deeper synthesized terms add only the "extra administrative
+  step" indirections of Remark 2 and are excluded from the *candidate*
+  universe by design — see :func:`candidate_commands`).
+
+:func:`candidate_commands` materializes that finite universe once per
+initial policy; the bounded Definition-7 checker and the reachability
+analyses iterate over it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from ..errors import CommandError, PolicyError
+from .entities import Role, User
+from .ordering import OrderingOracle
+from .policy import Policy, check_edge_sorts
+from .privileges import (
+    Grant,
+    Privilege,
+    Revoke,
+    is_privilege,
+)
+
+
+class Mode(enum.Enum):
+    """Authorization mode of the reference monitor."""
+
+    STRICT = "strict"
+    REFINED = "refined"
+
+
+class CommandAction(enum.Enum):
+    """The connective of a command: grant (``¤``) or revoke (``♦``)."""
+
+    GRANT = "grant"
+    REVOKE = "revoke"
+
+
+@dataclass(frozen=True)
+class Command:
+    """``cmd(u, a, v, v')`` of Definition 4.
+
+    ``source``/``target`` may be users, roles, or privilege terms;
+    ill-sorted pairs are representable (Definition 4 allows them) and
+    are simply never authorized, so they execute as no-ops.
+    """
+
+    user: User
+    action: CommandAction
+    source: object
+    target: object
+
+    def __post_init__(self):
+        if not isinstance(self.user, User):
+            raise CommandError(f"command issuer must be a User, got {self.user!r}")
+        if not isinstance(self.action, CommandAction):
+            raise CommandError(f"bad command action: {self.action!r}")
+
+    @property
+    def edge(self) -> tuple[object, object]:
+        return (self.source, self.target)
+
+    def requested_privilege(self) -> Privilege | None:
+        """The privilege term that exactly authorizes this command, or
+        None when the edge is ill-sorted (no privilege can exist)."""
+        try:
+            check_edge_sorts(self.source, self.target)
+        except PolicyError:
+            return None
+        if self.action is CommandAction.GRANT:
+            return Grant(self.source, self.target)
+        return Revoke(self.source, self.target)
+
+    def __str__(self) -> str:
+        glyph = "grant" if self.action is CommandAction.GRANT else "revoke"
+        return f"cmd({self.user}, {glyph}, {self.source}, {self.target})"
+
+
+def grant_cmd(user: User, source: object, target: object) -> Command:
+    """Convenience constructor for ``cmd(u, ¤, v, v')``."""
+    return Command(user, CommandAction.GRANT, source, target)
+
+
+def revoke_cmd(user: User, source: object, target: object) -> Command:
+    """Convenience constructor for ``cmd(u, ♦, v, v')``."""
+    return Command(user, CommandAction.REVOKE, source, target)
+
+
+CommandQueue = tuple[Command, ...]
+
+
+@dataclass(frozen=True)
+class ExecutionRecord:
+    """Outcome of one transition step."""
+
+    command: Command
+    executed: bool
+    #: the privilege that authorized the command (None if denied);
+    #: in refined mode this may be a strictly stronger privilege.
+    authorized_by: Privilege | None = None
+    #: True when authorization used the ordering rather than an exact match.
+    implicit: bool = False
+
+
+def _authorize(
+    policy: Policy,
+    command: Command,
+    mode: Mode,
+    oracle: OrderingOracle | None = None,
+) -> tuple[Privilege | None, bool]:
+    """Find a privilege authorizing ``command`` under ``mode``.
+
+    Returns ``(privilege, implicit)``; ``(None, False)`` when denied.
+    """
+    wanted = command.requested_privilege()
+    if wanted is None:
+        return (None, False)
+    reachable = policy.descendants(command.user)
+    if wanted in reachable:
+        return (wanted, False)
+    if mode is Mode.STRICT:
+        return (None, False)
+    # Revocations have no ordering (only reflexivity), so the exact
+    # check above is already complete for them.
+    if command.action is CommandAction.REVOKE:
+        return (None, False)
+    if oracle is None:
+        oracle = OrderingOracle(policy)
+    for vertex in reachable:
+        if is_privilege(vertex) and oracle.is_weaker(vertex, wanted):
+            return (vertex, True)
+    return (None, False)
+
+
+def step(
+    policy: Policy,
+    command: Command,
+    mode: Mode = Mode.STRICT,
+    oracle: OrderingOracle | None = None,
+) -> ExecutionRecord:
+    """One transition of Definition 5, mutating ``policy`` in place.
+
+    Disallowed commands are consumed silently (``executed=False``),
+    exactly as in the paper.
+    """
+    authorized_by, implicit = _authorize(policy, command, mode, oracle)
+    if authorized_by is None:
+        return ExecutionRecord(command, False)
+    if command.action is CommandAction.GRANT:
+        policy.add_edge(command.source, command.target)
+    else:
+        policy.remove_edge(command.source, command.target)
+    return ExecutionRecord(command, True, authorized_by, implicit)
+
+
+def run_queue(
+    policy: Policy,
+    queue: Iterable[Command],
+    mode: Mode = Mode.STRICT,
+    in_place: bool = False,
+) -> tuple[Policy, list[ExecutionRecord]]:
+    """Execute a whole command queue (the paper's ``⇒*`` runs).
+
+    By default operates on a copy of ``policy``; pass ``in_place=True``
+    to mutate the given policy (the reference monitor does).
+    """
+    current = policy if in_place else policy.copy()
+    oracle = OrderingOracle(current)
+    records = [step(current, command, mode, oracle) for command in queue]
+    return current, records
+
+
+# ----------------------------------------------------------------------
+# The finite candidate-command universe for bounded analyses
+# ----------------------------------------------------------------------
+def relevant_entities(policy: Policy) -> tuple[list[User], list[Role]]:
+    """Users and roles that commands may mention: the policy's vertices
+    plus every entity mentioned inside an assigned privilege term (a
+    user may occur only inside ``¤(u, r)`` without being a vertex yet —
+    executing the grant then introduces it)."""
+    users = {u for u in policy.users()}
+    roles = {r for r in policy.roles()}
+    for privilege in policy.subterm_closure():
+        if isinstance(privilege, (Grant, Revoke)):
+            for entity in privilege.mentioned_entities():
+                if isinstance(entity, User):
+                    users.add(entity)
+                else:
+                    roles.add(entity)
+    return sorted(users, key=str), sorted(roles, key=str)
+
+
+def candidate_edges(policy: Policy, mode: Mode = Mode.STRICT) -> frozenset:
+    """All edges ``(v, v')`` that any command could conceivably add or
+    remove during any run from ``policy`` (see module docstring).
+    """
+    closure = policy.subterm_closure()
+    edges: set[tuple[object, object]] = set()
+    for term in closure:
+        if isinstance(term, (Grant, Revoke)):
+            edges.add(term.edge)
+    if mode is Mode.REFINED:
+        users, roles = relevant_entities(policy)
+        for role in roles:
+            for other in roles:
+                edges.add((role, other))
+            for term in closure:
+                edges.add((role, term))
+        for user in users:
+            for role in roles:
+                edges.add((user, role))
+    # Existing policy edges are revocable candidates too.
+    edges.update(policy.edge_set())
+    return frozenset(edges)
+
+
+def candidate_commands(
+    policy: Policy,
+    mode: Mode = Mode.STRICT,
+    users: Iterable[User] | None = None,
+) -> list[Command]:
+    """The finite command universe for bounded model checking.
+
+    Sorted deterministically so analyses are reproducible.
+    """
+    if users is None:
+        users, _ = relevant_entities(policy)
+    else:
+        users = sorted(users, key=str)
+    commands: list[Command] = []
+    for source, target in sorted(candidate_edges(policy, mode), key=str):
+        for user in users:
+            commands.append(Command(user, CommandAction.GRANT, source, target))
+            commands.append(Command(user, CommandAction.REVOKE, source, target))
+    return commands
+
+
+def effective_commands(
+    policy: Policy,
+    mode: Mode = Mode.STRICT,
+    users: Iterable[User] | None = None,
+) -> Iterator[tuple[Command, Privilege, bool]]:
+    """Commands *currently* executable, with their authorizing privilege.
+
+    This is the flexibility metric of the baseline comparison: refined
+    mode permits a superset of strict mode's effective commands.
+    """
+    oracle = OrderingOracle(policy)
+    for command in candidate_commands(policy, mode, users):
+        authorized_by, implicit = _authorize(policy, command, mode, oracle)
+        if authorized_by is not None:
+            yield (command, authorized_by, implicit)

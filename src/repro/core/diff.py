@@ -1,0 +1,124 @@
+"""Structural and semantic diffing of policies.
+
+Administrators evolve policies over time; the interesting question
+after each change is not just *what* changed (edges added/removed) but
+*in which direction* the change moved the policy in the refinement
+order of Definition 6:
+
+* ``refinement``   — the new policy grants no new (subject, privilege)
+  pairs: safe by construction;
+* ``coarsening``   — the old policy refines the new one: privileges
+  were strictly added;
+* ``equivalent``   — mutual refinement (e.g. a pure rearrangement);
+* ``incomparable`` — some subjects gained and others lost.
+
+The diff also classifies every changed edge by sort (UA/RH/PA,
+user-privilege vs administrative) and lists the granted-pair delta,
+which is what a security officer actually reviews.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .policy import Policy, check_edge_sorts
+from .privileges import AdminPrivilege, UserPrivilege
+from .refinement import granted_pairs, is_refinement
+
+PolicyEdge = tuple[object, object]
+
+
+def _edge_kind(edge: PolicyEdge) -> str:
+    source, target = edge
+    kind = check_edge_sorts(source, target)
+    if kind == "pa":
+        if isinstance(target, AdminPrivilege):
+            return "pa-admin"
+        return "pa-user"
+    return kind
+
+
+@dataclass(frozen=True)
+class PolicyDiff:
+    """The difference between two policies, old → new."""
+
+    added_edges: frozenset[PolicyEdge]
+    removed_edges: frozenset[PolicyEdge]
+    gained_pairs: frozenset[tuple[object, UserPrivilege]]
+    lost_pairs: frozenset[tuple[object, UserPrivilege]]
+    direction: str  # "refinement" | "coarsening" | "equivalent" | "incomparable"
+
+    @property
+    def is_noop(self) -> bool:
+        return not self.added_edges and not self.removed_edges
+
+    def added_by_kind(self) -> dict[str, list[PolicyEdge]]:
+        return self._by_kind(self.added_edges)
+
+    def removed_by_kind(self) -> dict[str, list[PolicyEdge]]:
+        return self._by_kind(self.removed_edges)
+
+    @staticmethod
+    def _by_kind(edges: frozenset[PolicyEdge]) -> dict[str, list[PolicyEdge]]:
+        grouped: dict[str, list[PolicyEdge]] = {}
+        for edge in sorted(edges, key=str):
+            grouped.setdefault(_edge_kind(edge), []).append(edge)
+        return grouped
+
+    def summary(self) -> str:
+        """A human-readable change report."""
+        lines = [f"direction: {self.direction}"]
+        for label, grouped in [
+            ("added", self.added_by_kind()),
+            ("removed", self.removed_by_kind()),
+        ]:
+            for kind, edges in sorted(grouped.items()):
+                for source, target in edges:
+                    lines.append(f"{label} {kind}: {source} -> {target}")
+        for subject, privilege in sorted(self.gained_pairs, key=str):
+            lines.append(f"gained: {subject} may {privilege}")
+        for subject, privilege in sorted(self.lost_pairs, key=str):
+            lines.append(f"lost: {subject} may {privilege}")
+        return "\n".join(lines)
+
+
+def diff_policies(old: Policy, new: Policy) -> PolicyDiff:
+    """Compute the structural + semantic diff from ``old`` to ``new``."""
+    old_edges = old.edge_set()
+    new_edges = new.edge_set()
+    old_pairs = granted_pairs(old)
+    new_pairs = granted_pairs(new)
+
+    old_refines_to_new = is_refinement(old, new)   # new grants less/equal
+    new_refines_to_old = is_refinement(new, old)
+    if old_refines_to_new and new_refines_to_old:
+        direction = "equivalent"
+    elif old_refines_to_new:
+        direction = "refinement"
+    elif new_refines_to_old:
+        direction = "coarsening"
+    else:
+        direction = "incomparable"
+
+    return PolicyDiff(
+        added_edges=frozenset(new_edges - old_edges),
+        removed_edges=frozenset(old_edges - new_edges),
+        gained_pairs=frozenset(new_pairs - old_pairs),
+        lost_pairs=frozenset(old_pairs - new_pairs),
+        direction=direction,
+    )
+
+
+def apply_diff(policy: Policy, diff: PolicyDiff) -> Policy:
+    """Apply a diff as a patch to (a copy of) ``policy``.
+
+    Replaying ``diff_policies(a, b)`` onto ``a`` reconstructs ``b``'s
+    edges exactly; onto a *different* base it acts as a best-effort
+    patch (removals of absent edges are ignored).
+    """
+    patched = policy.copy()
+    for edge in sorted(diff.removed_edges, key=str):
+        patched.remove_edge(*edge)
+    for edge in sorted(diff.added_edges, key=str):
+        patched.add_edge(*edge)
+    return patched

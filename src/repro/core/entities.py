@@ -1,0 +1,127 @@
+"""Entities of the RBAC model: users, roles, actions, and objects.
+
+Section 2 of the paper fixes four sets — users ``U``, roles ``R``,
+actions ``A``, and objects ``O`` — and defines user privileges as pairs
+``P ⊆ A × O``.  The paper treats these sets as "sufficiently large and
+fixed" (changes to them do not change the policy, only which policies
+are well-formed), so entities here are plain immutable values carrying
+just a name; the policy layer never needs to enumerate the universe.
+
+Users and roles are distinct *sorts*: a name alone is ambiguous in the
+policy graph (the same string could name a user and a role), so each
+entity type is its own class and vertices in policy graphs are entity
+instances, never bare strings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import EntityError
+
+_MAX_NAME_LENGTH = 255
+
+
+def _check_name(kind: str, name: str) -> None:
+    if not isinstance(name, str):
+        raise EntityError(f"{kind} name must be a string, got {type(name).__name__}")
+    if not name:
+        raise EntityError(f"{kind} name must be non-empty")
+    if len(name) > _MAX_NAME_LENGTH:
+        raise EntityError(f"{kind} name longer than {_MAX_NAME_LENGTH} characters")
+    if name != name.strip():
+        raise EntityError(f"{kind} name has leading/trailing whitespace: {name!r}")
+    for forbidden in "(),":
+        if forbidden in name:
+            raise EntityError(
+                f"{kind} name may not contain {forbidden!r} "
+                f"(reserved by the privilege grammar): {name!r}"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class User:
+    """A user ``u ∈ U``."""
+
+    name: str
+
+    def __post_init__(self):
+        _check_name("user", self.name)
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"User({self.name!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Role:
+    """A role ``r ∈ R``."""
+
+    name: str
+
+    def __post_init__(self):
+        _check_name("role", self.name)
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"Role({self.name!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Action:
+    """An action ``a ∈ A`` (e.g. ``read``, ``write``, ``print``)."""
+
+    name: str
+
+    def __post_init__(self):
+        _check_name("action", self.name)
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"Action({self.name!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Obj:
+    """An object ``o ∈ O`` (e.g. a database table or a printer)."""
+
+    name: str
+
+    def __post_init__(self):
+        _check_name("object", self.name)
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"Obj({self.name!r})"
+
+
+Subject = User | Role
+"""Vertices that can appear on the left of a membership/hierarchy edge."""
+
+
+def user(name: str) -> User:
+    """Convenience constructor: ``user("diana")``."""
+    return User(name)
+
+
+def role(name: str) -> Role:
+    """Convenience constructor: ``role("nurse")``."""
+    return Role(name)
+
+
+def users(*names: str) -> tuple[User, ...]:
+    """Construct several users at once: ``diana, bob = users("diana", "bob")``."""
+    return tuple(User(name) for name in names)
+
+
+def roles(*names: str) -> tuple[Role, ...]:
+    """Construct several roles at once."""
+    return tuple(Role(name) for name in names)

@@ -1,0 +1,333 @@
+"""Textual syntax for privileges and policies.
+
+The paper writes privileges with the glyphs ``¤`` (grant) and ``♦``
+(revoke).  This module provides an ASCII-friendly concrete syntax with
+the glyphs accepted as aliases, a tokenizer, a recursive-descent parser,
+and a pretty-printer whose output always round-trips::
+
+    (read, t1)                      user privilege
+    grant(bob, staff)               ¤(bob, staff)
+    revoke(joe, nurse)              ♦(joe, nurse)
+    grant(staff, grant(bob, staff)) ¤(staff, ¤(bob, staff))
+
+Because ``grant(bob, staff)`` does not say whether ``bob`` is a user or
+a role, parsing is performed against a :class:`Vocabulary` declaring the
+entity sorts.  Names not declared in the vocabulary are rejected —
+silent sort-guessing is how administrative policies acquire typos.
+
+The module also defines a small line-oriented policy document format
+(used by the CLI and the serialization tests)::
+
+    # hospital policy
+    users diana bob
+    roles nurse staff
+    user diana -> nurse          # UA edge
+    role staff -> nurse          # RH edge
+    priv nurse -> (read, t1)     # PA edge
+    priv HR -> grant(bob, staff)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from ..errors import GrammarError
+from .entities import Action, Obj, Role, User
+from .privileges import (
+    AdminPrivilege,
+    Grant,
+    Privilege,
+    Revoke,
+    UserPrivilege,
+)
+
+_GRANT_ALIASES = {"grant", "¤", "assign", "box"}
+_REVOKE_ALIASES = {"revoke", "♦", "diamond"}
+
+
+# ----------------------------------------------------------------------
+# Vocabulary
+# ----------------------------------------------------------------------
+@dataclass
+class Vocabulary:
+    """Declares which names denote users and which denote roles.
+
+    Actions and objects need no declaration: in a user privilege
+    ``(a, o)`` the sorts are positional.
+    """
+
+    users: set[str] = field(default_factory=set)
+    roles: set[str] = field(default_factory=set)
+
+    def __post_init__(self):
+        overlap = self.users & self.roles
+        if overlap:
+            raise GrammarError(
+                f"names declared both user and role: {sorted(overlap)}"
+            )
+
+    @classmethod
+    def of_policy(cls, policy) -> "Vocabulary":
+        """Vocabulary covering every entity mentioned in a policy."""
+        return cls(
+            users={u.name for u in policy.users()},
+            roles={r.name for r in policy.roles()},
+        )
+
+    def resolve(self, name: str):
+        if name in self.users:
+            return User(name)
+        if name in self.roles:
+            return Role(name)
+        raise GrammarError(f"unknown name {name!r}: declare it as a user or role")
+
+
+# ----------------------------------------------------------------------
+# Tokenizer
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # "name", "(", ")", ","
+    text: str
+    position: int
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    index = 0
+    length = len(text)
+    while index < length:
+        char = text[index]
+        if char.isspace():
+            index += 1
+            continue
+        if char in "(),":
+            tokens.append(_Token(char, char, index))
+            index += 1
+            continue
+        start = index
+        while index < length and not text[index].isspace() and text[index] not in "(),":
+            index += 1
+        tokens.append(_Token("name", text[start:index], start))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str, vocabulary: Vocabulary):
+        self._text = text
+        self._tokens = _tokenize(text)
+        self._cursor = 0
+        self._vocabulary = vocabulary
+
+    def _peek(self) -> _Token | None:
+        if self._cursor < len(self._tokens):
+            return self._tokens[self._cursor]
+        return None
+
+    def _next(self, expected: str | None = None) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise GrammarError(
+                f"unexpected end of input in {self._text!r}", len(self._text)
+            )
+        if expected is not None and token.kind != expected:
+            raise GrammarError(
+                f"expected {expected!r} but found {token.text!r}", token.position
+            )
+        self._cursor += 1
+        return token
+
+    def parse_privilege(self) -> Privilege:
+        privilege = self._privilege()
+        trailing = self._peek()
+        if trailing is not None:
+            raise GrammarError(
+                f"trailing input {trailing.text!r}", trailing.position
+            )
+        return privilege
+
+    def _privilege(self) -> Privilege:
+        token = self._peek()
+        if token is None:
+            raise GrammarError("empty privilege expression")
+        if token.kind == "(":
+            return self._user_privilege()
+        if token.kind == "name":
+            lowered = token.text.lower()
+            if lowered in _GRANT_ALIASES or lowered in _REVOKE_ALIASES:
+                return self._admin_privilege()
+            if lowered == "perm":
+                self._next("name")
+                return self._user_privilege()
+        raise GrammarError(
+            f"expected a privilege, found {token.text!r}", token.position
+        )
+
+    def _user_privilege(self) -> UserPrivilege:
+        self._next("(")
+        action = self._next("name")
+        self._next(",")
+        obj = self._next("name")
+        self._next(")")
+        return UserPrivilege(Action(action.text), Obj(obj.text))
+
+    def _admin_privilege(self) -> AdminPrivilege:
+        keyword = self._next("name")
+        constructor = (
+            Grant if keyword.text.lower() in _GRANT_ALIASES else Revoke
+        )
+        self._next("(")
+        source_token = self._next("name")
+        source = self._vocabulary.resolve(source_token.text)
+        self._next(",")
+        target_token = self._peek()
+        if target_token is None:
+            raise GrammarError("unexpected end of input", len(self._text))
+        if target_token.kind == "(" or (
+            target_token.kind == "name"
+            and target_token.text.lower()
+            in _GRANT_ALIASES | _REVOKE_ALIASES | {"perm"}
+        ):
+            target: object = self._privilege()
+        else:
+            name = self._next("name")
+            target = self._vocabulary.resolve(name.text)
+        self._next(")")
+        return constructor(source, target)  # sort errors surface here
+
+
+def parse_privilege(text: str, vocabulary: Vocabulary) -> Privilege:
+    """Parse a privilege expression against ``vocabulary``.
+
+    Raises :class:`~repro.errors.GrammarError` on syntax errors and
+    :class:`~repro.errors.PrivilegeError` on sort violations.
+    """
+    return _Parser(text, vocabulary).parse_privilege()
+
+
+def format_privilege(privilege: Privilege, unicode_glyphs: bool = False) -> str:
+    """Render a privilege in the concrete syntax.
+
+    With ``unicode_glyphs=True`` the paper's ``¤``/``♦`` glyphs are used
+    (the parser accepts both spellings).
+    """
+    if isinstance(privilege, UserPrivilege):
+        return f"({privilege.action.name}, {privilege.obj.name})"
+    if isinstance(privilege, AdminPrivilege):
+        if unicode_glyphs:
+            keyword = "¤" if isinstance(privilege, Grant) else "♦"
+        else:
+            keyword = "grant" if isinstance(privilege, Grant) else "revoke"
+        target = privilege.target
+        if isinstance(target, (UserPrivilege, AdminPrivilege)):
+            rendered = format_privilege(target, unicode_glyphs)
+        else:
+            rendered = target.name
+        return f"{keyword}({privilege.source.name}, {rendered})"
+    raise GrammarError(f"not a privilege: {privilege!r}")
+
+
+# ----------------------------------------------------------------------
+# Policy documents
+# ----------------------------------------------------------------------
+def _strip_comment(line: str) -> str:
+    cut = line.find("#")
+    if cut >= 0:
+        line = line[:cut]
+    return line.strip()
+
+
+def parse_policy_source(text: str):
+    """Parse the line-oriented policy document format into a Policy.
+
+    Returns a :class:`repro.core.policy.Policy` (imported lazily to
+    avoid a module cycle).
+    """
+    from .policy import Policy
+
+    vocabulary = Vocabulary()
+    ua: list[tuple[User, Role]] = []
+    rh: list[tuple[Role, Role]] = []
+    pa: list[tuple[Role, Privilege]] = []
+
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw_line)
+        if not line:
+            continue
+        try:
+            head, _, rest = line.partition(" ")
+            rest = rest.strip()
+            if head == "users":
+                vocabulary.users.update(rest.split())
+            elif head == "roles":
+                vocabulary.roles.update(rest.split())
+            elif head in {"user", "role", "priv"}:
+                left_text, arrow, right_text = rest.partition("->")
+                if not arrow:
+                    raise GrammarError(f"missing '->' in {line!r}")
+                left_text = left_text.strip()
+                right_text = right_text.strip()
+                if head == "user":
+                    left = User(left_text)
+                    if left_text not in vocabulary.users:
+                        raise GrammarError(f"undeclared user {left_text!r}")
+                    right = vocabulary.resolve(right_text)
+                    if not isinstance(right, Role):
+                        raise GrammarError(
+                            f"user assignment target must be a role: {line!r}"
+                        )
+                    ua.append((left, right))
+                elif head == "role":
+                    if left_text not in vocabulary.roles:
+                        raise GrammarError(f"undeclared role {left_text!r}")
+                    right = vocabulary.resolve(right_text)
+                    if not isinstance(right, Role):
+                        raise GrammarError(
+                            f"hierarchy edge target must be a role: {line!r}"
+                        )
+                    rh.append((Role(left_text), right))
+                else:  # priv
+                    if left_text not in vocabulary.roles:
+                        raise GrammarError(f"undeclared role {left_text!r}")
+                    privilege = parse_privilege(right_text, vocabulary)
+                    pa.append((Role(left_text), privilege))
+            else:
+                raise GrammarError(f"unknown directive {head!r}")
+        except GrammarError as error:
+            raise GrammarError(f"line {line_number}: {error}") from error
+
+    policy = Policy(ua=ua, rh=rh, pa=pa)
+    for name in vocabulary.users:
+        policy.add_user(User(name))
+    for name in vocabulary.roles:
+        policy.add_role(Role(name))
+    return policy
+
+
+def format_policy_source(policy) -> str:
+    """Render a policy as a policy document (round-trips with the parser)."""
+    lines: list[str] = []
+    user_names = sorted(u.name for u in policy.users())
+    role_names = sorted(r.name for r in policy.roles())
+    if user_names:
+        lines.append("users " + " ".join(user_names))
+    if role_names:
+        lines.append("roles " + " ".join(role_names))
+    for left, right in sorted(policy.ua_edges(), key=lambda e: (str(e[0]), str(e[1]))):
+        lines.append(f"user {left.name} -> {right.name}")
+    for left, right in sorted(policy.rh_edges(), key=lambda e: (str(e[0]), str(e[1]))):
+        lines.append(f"role {left.name} -> {right.name}")
+    for left, privilege in sorted(
+        policy.pa_edges(), key=lambda e: (str(e[0]), format_privilege(e[1]))
+    ):
+        lines.append(f"priv {left.name} -> {format_privilege(privilege)}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_privileges(
+    expressions: Iterable[str], vocabulary: Vocabulary
+) -> Iterator[Privilege]:
+    """Parse several privilege expressions with one vocabulary."""
+    for expression in expressions:
+        yield parse_privilege(expression, vocabulary)

@@ -1,0 +1,201 @@
+"""The RBAC reference monitor.
+
+Combines the pieces of §2–§4 into the component a system (such as the
+:mod:`repro.dbms` engine) actually talks to:
+
+* **session functions** — ``create_session``, ``add_active_role``,
+  ``drop_active_role``, ``delete_session`` (ANSI RBAC);
+* **access checks** — ``check_access(session, action, object)``: allowed
+  iff some *currently authorized* active role reaches the user
+  privilege.  (If a role membership is revoked mid-session, subsequent
+  checks through that role fail; the standard leaves this choice open
+  and this is the conservative reading.)
+* **administrative functions** — ``submit(command)`` executes
+  Definition 5's transition on the live policy.  In
+  :attr:`~repro.core.commands.Mode.STRICT` mode the privilege must
+  match exactly (the behaviour of prior administrative models); in
+  :attr:`~repro.core.commands.Mode.REFINED` mode the monitor also
+  accepts commands covered by a Ã-stronger privilege — the paper's
+  implicit authorization (§4.1).
+* **review functions** — ``assigned_users``, ``authorized_users``,
+  ``role_privileges`` (ANSI review API, used by the examples).
+
+Every decision — allowed or denied — is appended to the monitor's
+audit trail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..errors import AccessDenied
+from .commands import Command, ExecutionRecord, Mode, step
+from .entities import Role, User
+from .ordering import OrderingOracle
+from .policy import Policy
+from .privileges import UserPrivilege, perm
+from .sessions import Session
+
+
+@dataclass(frozen=True)
+class AccessDecision:
+    """One entry of the monitor's audit trail."""
+
+    kind: str  # "access" | "admin" | "session"
+    subject: User
+    detail: str
+    allowed: bool
+
+
+@dataclass
+class ReferenceMonitor:
+    """A reference monitor over a live (mutable) policy.
+
+    ``use_index=True`` switches administrative authorization to the
+    precomputed :class:`~repro.core.authz_index.AuthorizationIndex`
+    (faster under query bursts; differentially tested against the
+    oracle path — see ``tests/core/test_authz_index.py`` and the
+    monitor fuzzer).
+    """
+
+    policy: Policy
+    mode: Mode = Mode.STRICT
+    use_index: bool = False
+    audit_trail: list[AccessDecision] = field(default_factory=list)
+    _sessions: dict[int, Session] = field(default_factory=dict)
+    _oracle: OrderingOracle | None = field(default=None, repr=False)
+    _index: object = field(default=None, repr=False)
+
+    def __post_init__(self):
+        self._oracle = OrderingOracle(self.policy)
+        if self.use_index:
+            from .authz_index import AuthorizationIndex
+
+            self._index = AuthorizationIndex(self.policy)
+
+    # ------------------------------------------------------------------
+    # Session functions
+    # ------------------------------------------------------------------
+    def create_session(self, user: User) -> Session:
+        session = Session(user)
+        self._sessions[session.session_id] = session
+        self._audit("session", user, f"create {session}", True)
+        return session
+
+    def delete_session(self, session: Session) -> None:
+        self._sessions.pop(session.session_id, None)
+        session.terminate()
+        self._audit("session", session.user, f"delete session#{session.session_id}", True)
+
+    def add_active_role(self, session: Session, role: Role) -> None:
+        """Activate ``role`` — allowed iff ``user →φ role`` (§2)."""
+        session.require_live()
+        if not self.policy.reaches(session.user, role):
+            self._audit("session", session.user, f"activate {role}", False)
+            raise AccessDenied(
+                session.user.name, f"cannot activate role {role.name}"
+            )
+        session.activate(role)
+        self._audit("session", session.user, f"activate {role}", True)
+
+    def drop_active_role(self, session: Session, role: Role) -> None:
+        session.deactivate(role)
+        self._audit("session", session.user, f"deactivate {role}", True)
+
+    # ------------------------------------------------------------------
+    # Access checks
+    # ------------------------------------------------------------------
+    def check_access(
+        self, session: Session, action: str, obj: str
+    ) -> bool:
+        """True iff some active, still-authorized role reaches
+        ``(action, obj)``."""
+        session.require_live()
+        privilege = perm(action, obj)
+        allowed = any(
+            self.policy.reaches(session.user, role)
+            and self.policy.reaches(role, privilege)
+            for role in session.active_roles
+        )
+        self._audit(
+            "access", session.user, f"{action} {obj}", allowed
+        )
+        return allowed
+
+    def require_access(self, session: Session, action: str, obj: str) -> None:
+        """Like :meth:`check_access` but raises on denial."""
+        if not self.check_access(session, action, obj):
+            raise AccessDenied(session.user.name, f"{action} on {obj}")
+
+    def session_privileges(self, session: Session) -> frozenset[UserPrivilege]:
+        """All user privileges of the session (§2): the union over the
+        activated roles of the privileges they reach."""
+        session.require_live()
+        privileges: set[UserPrivilege] = set()
+        for role in session.active_roles:
+            if self.policy.reaches(session.user, role):
+                privileges |= self.policy.authorized_privileges(role)
+        return frozenset(privileges)
+
+    # ------------------------------------------------------------------
+    # Administrative functions (Definition 5)
+    # ------------------------------------------------------------------
+    def submit(self, command: Command) -> ExecutionRecord:
+        """Execute one administrative command on the live policy.
+
+        Disallowed commands are consumed as no-ops (the Definition 5
+        semantics); the outcome is recorded in the audit trail either
+        way.
+        """
+        if self._index is not None and self.mode is Mode.REFINED:
+            record = self._submit_via_index(command)
+        else:
+            record = step(self.policy, command, self.mode, self._oracle)
+        detail = str(command)
+        if record.executed and record.implicit:
+            detail += f" [implicitly authorized by {record.authorized_by}]"
+        self._audit("admin", command.user, detail, record.executed)
+        return record
+
+    def submit_queue(self, queue: Iterable[Command]) -> list[ExecutionRecord]:
+        return [self.submit(command) for command in queue]
+
+    def _submit_via_index(self, command: Command) -> ExecutionRecord:
+        """Index-backed authorization, then the Definition-5 effect."""
+        authorized_by = self._index.authorizes(command.user, command)
+        if authorized_by is None:
+            return ExecutionRecord(command, False)
+        from .commands import CommandAction
+
+        if command.action is CommandAction.GRANT:
+            self.policy.add_edge(command.source, command.target)
+        else:
+            self.policy.remove_edge(command.source, command.target)
+        implicit = authorized_by != command.requested_privilege()
+        return ExecutionRecord(command, True, authorized_by, implicit)
+
+    # ------------------------------------------------------------------
+    # Review functions (ANSI RBAC)
+    # ------------------------------------------------------------------
+    def assigned_users(self, role: Role) -> frozenset[User]:
+        """Users directly assigned to ``role`` (UA edges)."""
+        return frozenset(
+            user for user, assigned in self.policy.ua_edges() if assigned == role
+        )
+
+    def authorized_users(self, role: Role) -> frozenset[User]:
+        """Users that may activate ``role`` (directly or via hierarchy)."""
+        return frozenset(
+            user for user in self.policy.users() if self.policy.reaches(user, role)
+        )
+
+    def role_privileges(self, role: Role) -> frozenset[UserPrivilege]:
+        return self.policy.authorized_privileges(role)
+
+    # ------------------------------------------------------------------
+    def _audit(self, kind: str, subject: User, detail: str, allowed: bool) -> None:
+        self.audit_trail.append(AccessDecision(kind, subject, detail, allowed))
+
+    def denials(self) -> list[AccessDecision]:
+        return [entry for entry in self.audit_trail if not entry.allowed]

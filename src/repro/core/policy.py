@@ -1,0 +1,318 @@
+"""Administrative RBAC policies (Definitions 1 and 3).
+
+A policy ``φ = (UA, RH, PA†)`` is, following the paper, treated as a
+single directed graph whose edge set is ``UA ∪ RH ∪ PA†``:
+
+* ``UA ⊆ U × R`` — user-to-role membership edges,
+* ``RH ⊆ R × R`` — role-hierarchy edges (deliberately *not* required to
+  be a partial order; cycles are legal, per the paper's footnote 3), and
+* ``PA† ⊆ R × P†`` — privilege-assignment edges, where the privilege may
+  be an ordinary user privilege or an administrative ``¤``/``♦`` term.
+
+Privilege terms are graph *vertices*; their internal structure (the
+users/roles they mention) induces no edges.  The paper's judgement
+``v →φ v'`` is reflexive-transitive reachability in this graph.
+
+The non-administrative policies of Definition 1 are exactly the
+policies whose ``PA`` assigns only user privileges;
+:meth:`Policy.is_non_administrative` tests for that subclass.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from ..errors import PolicyError
+from ..graph import Digraph, ReachabilityCache, longest_chain_length
+from .entities import Role, User
+from .privileges import (
+    AdminPrivilege,
+    Privilege,
+    UserPrivilege,
+    is_privilege,
+)
+
+PolicyEdge = tuple[object, object]
+
+
+def check_edge_sorts(source: object, target: object) -> str:
+    """Classify a policy edge; raise PolicyError if ill-sorted.
+
+    Returns ``"ua"``, ``"rh"``, or ``"pa"``.
+    """
+    if isinstance(source, User) and isinstance(target, Role):
+        return "ua"
+    if isinstance(source, Role) and isinstance(target, Role):
+        return "rh"
+    if isinstance(source, Role) and is_privilege(target):
+        return "pa"
+    raise PolicyError(
+        f"ill-sorted policy edge ({source!r}, {target!r}); legal edges are "
+        "user->role, role->role, role->privilege"
+    )
+
+
+class Policy:
+    """A mutable administrative RBAC policy.
+
+    The reference monitor mutates policies in place when executing
+    administrative commands; analyses that must not disturb a policy
+    take a :meth:`copy` first.  Reachability queries are served by a
+    version-checked cache, so bursts of queries between mutations cost
+    one BFS per distinct source.
+    """
+
+    __slots__ = ("_graph", "_cache")
+
+    def __init__(
+        self,
+        ua: Iterable[tuple[User, Role]] = (),
+        rh: Iterable[tuple[Role, Role]] = (),
+        pa: Iterable[tuple[Role, Privilege]] = (),
+    ):
+        self._graph = Digraph()
+        self._cache = ReachabilityCache(self._graph)
+        for source, target in ua:
+            self.assign_user(source, target)
+        for source, target in rh:
+            self.add_inheritance(source, target)
+        for source, target in pa:
+            self.assign_privilege(source, target)
+
+    # ------------------------------------------------------------------
+    # Construction / mutation
+    # ------------------------------------------------------------------
+    def add_user(self, user: User) -> None:
+        """Register a user with no memberships yet."""
+        if not isinstance(user, User):
+            raise PolicyError(f"not a user: {user!r}")
+        self._graph.add_vertex(user)
+
+    def add_role(self, role: Role) -> None:
+        """Register a role with no edges yet."""
+        if not isinstance(role, Role):
+            raise PolicyError(f"not a role: {role!r}")
+        self._graph.add_vertex(role)
+
+    def assign_user(self, user: User, role: Role) -> bool:
+        """Add a UA edge; returns True if the edge was new."""
+        if not (isinstance(user, User) and isinstance(role, Role)):
+            raise PolicyError(f"UA edge must be user->role: ({user!r}, {role!r})")
+        return self._graph.add_edge(user, role)
+
+    def add_inheritance(self, senior: Role, junior: Role) -> bool:
+        """Add an RH edge ``senior -> junior`` (senior inherits junior)."""
+        if not (isinstance(senior, Role) and isinstance(junior, Role)):
+            raise PolicyError(f"RH edge must be role->role: ({senior!r}, {junior!r})")
+        return self._graph.add_edge(senior, junior)
+
+    def assign_privilege(self, role: Role, privilege: Privilege) -> bool:
+        """Add a PA† edge ``role -> privilege``."""
+        if not (isinstance(role, Role) and is_privilege(privilege)):
+            raise PolicyError(
+                f"PA edge must be role->privilege: ({role!r}, {privilege!r})"
+            )
+        return self._graph.add_edge(role, privilege)
+
+    def add_edge(self, source: object, target: object) -> bool:
+        """Add an edge of any legal sort (used by command execution)."""
+        check_edge_sorts(source, target)
+        return self._graph.add_edge(source, target)
+
+    def remove_edge(self, source: object, target: object) -> bool:
+        """Remove an edge; returns True if it was present.
+
+        Users and roles stay registered when they lose their last
+        edge (they are declared entities), but a privilege vertex
+        with no remaining incoming edge is garbage-collected: an
+        unassigned privilege term is not part of the policy (and
+        would otherwise break serialization round-trips).
+        """
+        removed = self._graph.remove_edge(source, target)
+        if (
+            removed
+            and is_privilege(target)
+            and self._graph.in_degree(target) == 0
+        ):
+            self._graph.remove_vertex(target)
+        return removed
+
+    def has_edge(self, source: object, target: object) -> bool:
+        return self._graph.has_edge(source, target)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> Digraph:
+        """The underlying graph.  Mutate only through Policy methods."""
+        return self._graph
+
+    def users(self) -> Iterator[User]:
+        for vertex in self._graph.vertices():
+            if isinstance(vertex, User):
+                yield vertex
+
+    def roles(self) -> Iterator[Role]:
+        for vertex in self._graph.vertices():
+            if isinstance(vertex, Role):
+                yield vertex
+
+    def privileges(self) -> Iterator[Privilege]:
+        """All privilege vertices (user and administrative)."""
+        for vertex in self._graph.vertices():
+            if is_privilege(vertex):
+                yield vertex
+
+    def user_privileges(self) -> Iterator[UserPrivilege]:
+        for vertex in self._graph.vertices():
+            if isinstance(vertex, UserPrivilege):
+                yield vertex
+
+    def admin_privileges(self) -> Iterator[AdminPrivilege]:
+        for vertex in self._graph.vertices():
+            if isinstance(vertex, AdminPrivilege):
+                yield vertex
+
+    def ua_edges(self) -> Iterator[tuple[User, Role]]:
+        for source, target in self._graph.edges():
+            if isinstance(source, User):
+                yield (source, target)
+
+    def rh_edges(self) -> Iterator[tuple[Role, Role]]:
+        for source, target in self._graph.edges():
+            if isinstance(source, Role) and isinstance(target, Role):
+                yield (source, target)
+
+    def pa_edges(self) -> Iterator[tuple[Role, Privilege]]:
+        for source, target in self._graph.edges():
+            if isinstance(source, Role) and is_privilege(target):
+                yield (source, target)
+
+    def is_non_administrative(self) -> bool:
+        """True iff the policy is in the Definition-1 subclass
+        (assigns no administrative privileges)."""
+        return not any(True for _ in self.admin_privileges_assigned())
+
+    def admin_privileges_assigned(self) -> Iterator[tuple[Role, AdminPrivilege]]:
+        for role, privilege in self.pa_edges():
+            if isinstance(privilege, AdminPrivilege):
+                yield (role, privilege)
+
+    # ------------------------------------------------------------------
+    # Reachability (the paper's  v ->_phi v'  judgement)
+    # ------------------------------------------------------------------
+    def reaches(self, source: object, target: object) -> bool:
+        """Reflexive-transitive reachability in the policy graph."""
+        return self._cache.reaches(source, target)
+
+    def descendants(self, source: object) -> frozenset:
+        """All vertices reachable from ``source`` (including itself)."""
+        return self._cache.descendants(source)
+
+    def authorized_roles(self, user: User) -> frozenset[Role]:
+        """Roles the user may activate: ``{r : u ->φ r}`` (§2)."""
+        return frozenset(
+            vertex for vertex in self.descendants(user) if isinstance(vertex, Role)
+        )
+
+    def authorized_privileges(self, subject: object) -> frozenset[UserPrivilege]:
+        """User privileges reachable from ``subject``."""
+        return frozenset(
+            vertex
+            for vertex in self.descendants(subject)
+            if isinstance(vertex, UserPrivilege)
+        )
+
+    def reachable_admin_privileges(self, subject: object) -> frozenset[AdminPrivilege]:
+        """Administrative privileges reachable from ``subject``."""
+        return frozenset(
+            vertex
+            for vertex in self.descendants(subject)
+            if isinstance(vertex, AdminPrivilege)
+        )
+
+    # ------------------------------------------------------------------
+    # Derived structure
+    # ------------------------------------------------------------------
+    def rh_subgraph(self) -> Digraph:
+        """The role-hierarchy edges as a standalone graph."""
+        sub = Digraph()
+        for role in self.roles():
+            sub.add_vertex(role)
+        for senior, junior in self.rh_edges():
+            sub.add_edge(senior, junior)
+        return sub
+
+    def longest_role_chain(self) -> int:
+        """Length of the longest chain in RH — the Remark-2 bound ``n``."""
+        return longest_chain_length(self.rh_subgraph())
+
+    def subterm_closure(self) -> frozenset[Privilege]:
+        """Every privilege occurring in the policy, including strict
+        subterms of assigned administrative privileges.
+
+        Key finiteness fact (used by the effective-command universe,
+        see :mod:`repro.core.commands`): executing grant commands can
+        only introduce privilege vertices drawn from this set, because
+        a grant of ``(r, p)`` requires a reachable term ``¤(r, p)``
+        whose target ``p`` is already a subterm of the policy.
+        """
+        closed: set[Privilege] = set()
+        for privilege in self.privileges():
+            if isinstance(privilege, AdminPrivilege):
+                closed.update(privilege.subterms())
+            else:
+                closed.add(privilege)
+        return frozenset(closed)
+
+    # ------------------------------------------------------------------
+    # Value semantics
+    # ------------------------------------------------------------------
+    def copy(self) -> "Policy":
+        clone = Policy()
+        for vertex in self._graph.vertices():
+            clone._graph.add_vertex(vertex)
+        for source, target in self._graph.edges():
+            clone._graph.add_edge(source, target)
+        return clone
+
+    def edge_set(self) -> frozenset[PolicyEdge]:
+        return self._graph.edge_set()
+
+    def vertex_set(self) -> frozenset:
+        return frozenset(self._graph.vertices())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Policy):
+            return NotImplemented
+        return (
+            self.edge_set() == other.edge_set()
+            and self.vertex_set() == other.vertex_set()
+        )
+
+    def __hash__(self):
+        raise TypeError("Policy is mutable and unhashable; use edge_set()")
+
+    def __repr__(self) -> str:
+        users = sum(1 for _ in self.users())
+        roles = sum(1 for _ in self.roles())
+        privileges = sum(1 for _ in self.privileges())
+        return (
+            f"Policy(users={users}, roles={roles}, privileges={privileges}, "
+            f"edges={self._graph.edge_count})"
+        )
+
+
+def union_with_edge(policy: Policy, edge: PolicyEdge) -> Policy:
+    """``φ ∪ (v, v')`` as a new policy (Definition 5, grant case)."""
+    clone = policy.copy()
+    clone.add_edge(*edge)
+    return clone
+
+
+def minus_edge(policy: Policy, edge: PolicyEdge) -> Policy:
+    """``φ \\ (v, v')`` as a new policy (Definition 5, revoke case)."""
+    clone = policy.copy()
+    clone.remove_edge(*edge)
+    return clone

@@ -1,0 +1,212 @@
+"""JSON serialization for policies, privileges, and commands.
+
+The wire format is a plain ``dict`` tree (no custom classes), so
+documents survive ``json.dumps``/``json.loads`` round-trips and can be
+produced by other tools.  Every decoder validates shape and sorts and
+raises :class:`~repro.errors.SerializationError` on malformed input.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..errors import SerializationError
+from .commands import Command, CommandAction
+from .entities import Action, Obj, Role, User
+from .policy import Policy
+from .privileges import (
+    AdminPrivilege,
+    Grant,
+    Privilege,
+    Revoke,
+    UserPrivilege,
+)
+
+
+# ----------------------------------------------------------------------
+# Entities
+# ----------------------------------------------------------------------
+def entity_to_dict(entity: object) -> dict[str, str]:
+    if isinstance(entity, User):
+        return {"kind": "user", "name": entity.name}
+    if isinstance(entity, Role):
+        return {"kind": "role", "name": entity.name}
+    raise SerializationError(f"not a serializable entity: {entity!r}")
+
+
+def entity_from_dict(document: Any) -> User | Role:
+    if not isinstance(document, dict):
+        raise SerializationError(f"entity must be an object, got {document!r}")
+    kind = document.get("kind")
+    name = document.get("name")
+    if not isinstance(name, str):
+        raise SerializationError(f"entity name missing in {document!r}")
+    if kind == "user":
+        return User(name)
+    if kind == "role":
+        return Role(name)
+    raise SerializationError(f"unknown entity kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Privileges
+# ----------------------------------------------------------------------
+def privilege_to_dict(privilege: Privilege) -> dict[str, Any]:
+    if isinstance(privilege, UserPrivilege):
+        return {
+            "kind": "perm",
+            "action": privilege.action.name,
+            "object": privilege.obj.name,
+        }
+    if isinstance(privilege, AdminPrivilege):
+        connective = "grant" if isinstance(privilege, Grant) else "revoke"
+        target = privilege.target
+        if isinstance(target, (UserPrivilege, AdminPrivilege)):
+            target_document: Any = privilege_to_dict(target)
+        else:
+            target_document = entity_to_dict(target)
+        return {
+            "kind": connective,
+            "source": entity_to_dict(privilege.source),
+            "target": target_document,
+        }
+    raise SerializationError(f"not a privilege: {privilege!r}")
+
+
+def privilege_from_dict(document: Any) -> Privilege:
+    if not isinstance(document, dict):
+        raise SerializationError(f"privilege must be an object, got {document!r}")
+    kind = document.get("kind")
+    if kind == "perm":
+        action = document.get("action")
+        obj = document.get("object")
+        if not (isinstance(action, str) and isinstance(obj, str)):
+            raise SerializationError(f"malformed perm: {document!r}")
+        return UserPrivilege(Action(action), Obj(obj))
+    if kind in ("grant", "revoke"):
+        source = entity_from_dict(document.get("source"))
+        target_document = document.get("target")
+        if isinstance(target_document, dict) and target_document.get("kind") in (
+            "perm",
+            "grant",
+            "revoke",
+        ):
+            target: Any = privilege_from_dict(target_document)
+        else:
+            target = entity_from_dict(target_document)
+        constructor = Grant if kind == "grant" else Revoke
+        return constructor(source, target)
+    raise SerializationError(f"unknown privilege kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Policies
+# ----------------------------------------------------------------------
+def policy_to_dict(policy: Policy) -> dict[str, Any]:
+    return {
+        "users": sorted(user.name for user in policy.users()),
+        "roles": sorted(role.name for role in policy.roles()),
+        "ua": sorted(
+            [user.name, role.name] for user, role in policy.ua_edges()
+        ),
+        "rh": sorted(
+            [senior.name, junior.name] for senior, junior in policy.rh_edges()
+        ),
+        "pa": sorted(
+            ([role.name, privilege_to_dict(privilege)]
+             for role, privilege in policy.pa_edges()),
+            key=lambda item: (item[0], json.dumps(item[1], sort_keys=True)),
+        ),
+    }
+
+
+def policy_from_dict(document: Any) -> Policy:
+    if not isinstance(document, dict):
+        raise SerializationError(f"policy must be an object, got {document!r}")
+    policy = Policy()
+    try:
+        for name in document.get("users", []):
+            policy.add_user(User(name))
+        for name in document.get("roles", []):
+            policy.add_role(Role(name))
+        for user_name, role_name in document.get("ua", []):
+            policy.assign_user(User(user_name), Role(role_name))
+        for senior_name, junior_name in document.get("rh", []):
+            policy.add_inheritance(Role(senior_name), Role(junior_name))
+        for role_name, privilege_document in document.get("pa", []):
+            policy.assign_privilege(
+                Role(role_name), privilege_from_dict(privilege_document)
+            )
+    except (TypeError, ValueError) as error:
+        raise SerializationError(f"malformed policy document: {error}") from error
+    return policy
+
+
+def policy_to_json(policy: Policy, indent: int | None = 2) -> str:
+    return json.dumps(policy_to_dict(policy), indent=indent, sort_keys=True)
+
+
+def policy_from_json(text: str) -> Policy:
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise SerializationError(f"invalid JSON: {error}") from error
+    return policy_from_dict(document)
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
+def _vertex_to_dict(vertex: object) -> dict[str, Any]:
+    if isinstance(vertex, (User, Role)):
+        return entity_to_dict(vertex)
+    return privilege_to_dict(vertex)  # raises on non-privileges
+
+
+def _vertex_from_dict(document: Any) -> object:
+    if isinstance(document, dict) and document.get("kind") in ("user", "role"):
+        return entity_from_dict(document)
+    return privilege_from_dict(document)
+
+
+def command_to_dict(command: Command) -> dict[str, Any]:
+    return {
+        "user": command.user.name,
+        "action": command.action.value,
+        "source": _vertex_to_dict(command.source),
+        "target": _vertex_to_dict(command.target),
+    }
+
+
+def command_from_dict(document: Any) -> Command:
+    if not isinstance(document, dict):
+        raise SerializationError(f"command must be an object, got {document!r}")
+    user_name = document.get("user")
+    action_name = document.get("action")
+    if not isinstance(user_name, str):
+        raise SerializationError(f"command user missing in {document!r}")
+    try:
+        action = CommandAction(action_name)
+    except ValueError as error:
+        raise SerializationError(f"unknown command action {action_name!r}") from error
+    return Command(
+        User(user_name),
+        action,
+        _vertex_from_dict(document.get("source")),
+        _vertex_from_dict(document.get("target")),
+    )
+
+
+def queue_to_json(queue: list[Command], indent: int | None = 2) -> str:
+    return json.dumps([command_to_dict(c) for c in queue], indent=indent)
+
+
+def queue_from_json(text: str) -> list[Command]:
+    try:
+        documents = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise SerializationError(f"invalid JSON: {error}") from error
+    if not isinstance(documents, list):
+        raise SerializationError("command queue document must be a list")
+    return [command_from_dict(document) for document in documents]

@@ -1,0 +1,56 @@
+"""RBAC sessions (ANSI INCITS 359-2004, §2 of the paper).
+
+A session belongs to one user and carries a set of *activated* roles.
+Sessions are the standard's least-privilege mechanism: a user may hold
+many roles but activate only those needed for the task at hand — the
+paper's Example 4 turns on exactly this point (Jane can only *hope*
+Bob activates ``dbusr2`` rather than ``staff``).
+
+The session object itself is a dumb record; all authorization checks
+live in :class:`repro.core.monitor.ReferenceMonitor`, which owns the
+policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+
+from ..errors import SessionError
+from .entities import Role, User
+
+_session_ids = count(1)
+
+
+@dataclass
+class Session:
+    """One user session with its activated roles."""
+
+    user: User
+    session_id: int = field(default_factory=lambda: next(_session_ids))
+    active_roles: set[Role] = field(default_factory=set)
+    terminated: bool = False
+
+    def require_live(self) -> None:
+        if self.terminated:
+            raise SessionError(f"session {self.session_id} is terminated")
+
+    def activate(self, role: Role) -> None:
+        self.require_live()
+        self.active_roles.add(role)
+
+    def deactivate(self, role: Role) -> None:
+        self.require_live()
+        if role not in self.active_roles:
+            raise SessionError(
+                f"role {role} is not active in session {self.session_id}"
+            )
+        self.active_roles.discard(role)
+
+    def terminate(self) -> None:
+        self.active_roles.clear()
+        self.terminated = True
+
+    def __str__(self) -> str:
+        roles = ", ".join(sorted(role.name for role in self.active_roles))
+        return f"session#{self.session_id}({self.user}; active: {roles or '-'})"

@@ -1,0 +1,114 @@
+"""Derivation traces for the privilege ordering.
+
+The decision procedure of Lemma 1 is a structural induction; when asked
+to *explain* a judgement ``p Ã q`` we record which rule of Definition 8
+fired and with which premises, yielding a proof tree.  Example 5 of the
+paper walks through two such derivations ("this follows from rule (1)",
+"by using rule (3) first, and then rule (2)"); the formatted traces
+reproduce those walk-throughs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from .privileges import Privilege
+from .grammar import format_privilege
+
+
+@dataclass(frozen=True)
+class ReachPremise:
+    """A premise of the form ``v ->phi v'`` (graph reachability)."""
+
+    source: object
+    target: object
+
+    def __str__(self) -> str:
+        def render(vertex: object) -> str:
+            try:
+                return format_privilege(vertex)  # type: ignore[arg-type]
+            except Exception:
+                return str(vertex)
+
+        return f"{render(self.source)} ->phi {render(self.target)}"
+
+
+@dataclass(frozen=True)
+class Derivation:
+    """A proof tree for ``stronger Ã weaker``.
+
+    ``rule`` is one of:
+
+    * ``"reflexivity"`` — rule (1) of Definition 8;
+    * ``"rule2"`` — rule (2), possibly in its generalized form where the
+      weaker privilege's target is a privilege vertex reachable in the
+      policy graph (required by the paper's Example 6);
+    * ``"rule3"`` — rule (3), with a sub-derivation for the nested
+      targets;
+    * ``"rule2+transitivity"`` — the generalized-rule-2 step composed
+      with a sub-derivation, i.e. ``p Ã ¤(s, w)`` by rule (2) followed
+      by ``¤(s, w) Ã q`` where the sub-derivation shows ``w Ã target``.
+    """
+
+    rule: str
+    stronger: Privilege
+    weaker: Privilege
+    premises: tuple[ReachPremise, ...] = ()
+    sub: "Derivation | None" = None
+    via: Privilege | None = None  # the intermediate vertex w, if any
+
+    def rules_used(self) -> Iterator[str]:
+        yield self.rule
+        if self.sub is not None:
+            yield from self.sub.rules_used()
+
+    def depth(self) -> int:
+        if self.sub is None:
+            return 1
+        return 1 + self.sub.depth()
+
+    def format(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        head = (
+            f"{pad}{format_privilege(self.stronger)} "
+            f"~> {format_privilege(self.weaker)}   [{self.rule}]"
+        )
+        lines = [head]
+        for premise in self.premises:
+            lines.append(f"{pad}  premise: {premise}")
+        if self.via is not None:
+            lines.append(f"{pad}  via vertex: {format_privilege(self.via)}")
+        if self.sub is not None:
+            lines.append(self.sub.format(indent + 1))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.format()
+
+
+@dataclass
+class OrderingStatistics:
+    """Counters exposed by the ordering oracle (used by benchmarks)."""
+
+    queries: int = 0
+    memo_hits: int = 0
+    reach_checks: int = 0
+    rule_applications: dict[str, int] = field(
+        default_factory=lambda: {
+            "reflexivity": 0,
+            "rule2": 0,
+            "rule3": 0,
+            "rule2+transitivity": 0,
+        }
+    )
+
+    def record_rule(self, rule: str) -> None:
+        self.rule_applications[rule] = self.rule_applications.get(rule, 0) + 1
+
+    def reset(self) -> None:
+        self.queries = 0
+        self.memo_hits = 0
+        self.reach_checks = 0
+        for key in self.rule_applications:
+            self.rule_applications[key] = 0

@@ -1,0 +1,20 @@
+"""The paper's database substrate: an RBAC-guarded in-memory DBMS."""
+
+from .audit import AuditEntry, AuditLog
+from .engine import GuardedDatabase, hospital_database
+from .sql import QueryResult, execute_sql, parse_sql
+from .tables import Row, Schema, Table, TableStore
+
+__all__ = [
+    "AuditEntry",
+    "AuditLog",
+    "GuardedDatabase",
+    "hospital_database",
+    "QueryResult",
+    "execute_sql",
+    "parse_sql",
+    "Row",
+    "Schema",
+    "Table",
+    "TableStore",
+]

@@ -1,0 +1,78 @@
+"""Structured audit logging for the guarded database.
+
+Every query and every administrative command that flows through
+:class:`repro.dbms.engine.GuardedDatabase` leaves an entry here — who,
+what, on which object, allowed or denied, and (for administrative
+commands in refined mode) which stronger privilege implicitly
+authorized it.  The hospital scenario of the paper is precisely a
+setting where such trails matter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Iterator
+
+_sequence = count(1)
+
+
+@dataclass(frozen=True)
+class AuditEntry:
+    """One audited event."""
+
+    sequence: int
+    category: str        # "query" | "admin" | "session"
+    subject: str         # user name
+    operation: str       # e.g. "read t1", "grant (bob, staff)"
+    allowed: bool
+    detail: str = ""
+
+    def __str__(self) -> str:
+        verdict = "ALLOW" if self.allowed else "DENY"
+        suffix = f" ({self.detail})" if self.detail else ""
+        return f"#{self.sequence} [{verdict}] {self.subject}: {self.operation}{suffix}"
+
+
+@dataclass
+class AuditLog:
+    """An append-only audit trail with simple filters."""
+
+    entries: list[AuditEntry] = field(default_factory=list)
+
+    def record(
+        self,
+        category: str,
+        subject: str,
+        operation: str,
+        allowed: bool,
+        detail: str = "",
+    ) -> AuditEntry:
+        entry = AuditEntry(
+            next(_sequence), category, subject, operation, allowed, detail
+        )
+        self.entries.append(entry)
+        return entry
+
+    def denials(self) -> list[AuditEntry]:
+        return [entry for entry in self.entries if not entry.allowed]
+
+    def by_subject(self, subject: str) -> list[AuditEntry]:
+        return [entry for entry in self.entries if entry.subject == subject]
+
+    def by_category(self, category: str) -> list[AuditEntry]:
+        return [entry for entry in self.entries if entry.category == category]
+
+    def implicit_authorizations(self) -> list[AuditEntry]:
+        """Admin events that went through the privilege ordering."""
+        return [
+            entry
+            for entry in self.entries
+            if entry.category == "admin" and entry.allowed and entry.detail
+        ]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[AuditEntry]:
+        return iter(self.entries)

@@ -1,0 +1,151 @@
+"""The RBAC-guarded database engine.
+
+The paper's Example 1: "the system ``dbms`` uses the RBAC policy
+depicted in Figure 1" to decide who may see or change the health
+records.  :class:`GuardedDatabase` wires the pieces together:
+
+* a :class:`~repro.dbms.tables.TableStore` holds the data;
+* a :class:`~repro.core.monitor.ReferenceMonitor` holds the policy and
+  the sessions;
+* every read/write/print goes through ``check_access`` with the
+  actions of the paper (``read``, ``write``, ``print``);
+* administrative commands are forwarded to the monitor (strict or
+  refined mode) and audited.
+
+The engine raises :class:`~repro.errors.AccessDenied` on denied
+queries, after recording the denial — a denied access is an expected
+runtime event, not a silent no-op (unlike Definition 5's treatment of
+administrative commands, which the monitor handles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..core.commands import Command, ExecutionRecord, Mode
+from ..core.entities import User
+from ..core.monitor import ReferenceMonitor
+from ..core.policy import Policy
+from ..core.sessions import Session
+from ..errors import AccessDenied
+from .audit import AuditLog
+from .tables import Row, TableStore
+
+Predicate = Callable[[Row], bool]
+
+
+@dataclass
+class GuardedDatabase:
+    """An in-memory DBMS whose every access is mediated by RBAC."""
+
+    monitor: ReferenceMonitor
+    store: TableStore
+    audit: AuditLog
+
+    @classmethod
+    def create(cls, policy: Policy, mode: Mode = Mode.STRICT) -> "GuardedDatabase":
+        return cls(
+            monitor=ReferenceMonitor(policy, mode=mode),
+            store=TableStore(),
+            audit=AuditLog(),
+        )
+
+    # ------------------------------------------------------------------
+    # Sessions (thin pass-through with auditing)
+    # ------------------------------------------------------------------
+    def login(self, user: User, *activate_roles) -> Session:
+        session = self.monitor.create_session(user)
+        for role in activate_roles:
+            self.monitor.add_active_role(session, role)
+        self.audit.record(
+            "session",
+            user.name,
+            "login "
+            + (", ".join(str(r) for r in activate_roles) or "(no roles)"),
+            True,
+        )
+        return session
+
+    def logout(self, session: Session) -> None:
+        self.audit.record("session", session.user.name, "logout", True)
+        self.monitor.delete_session(session)
+
+    # ------------------------------------------------------------------
+    # Guarded queries
+    # ------------------------------------------------------------------
+    def _guard(self, session: Session, action: str, table: str) -> None:
+        allowed = self.monitor.check_access(session, action, table)
+        self.audit.record("query", session.user.name, f"{action} {table}", allowed)
+        if not allowed:
+            raise AccessDenied(session.user.name, f"{action} on {table}")
+
+    def select(
+        self, session: Session, table: str, predicate: Predicate | None = None
+    ) -> list[Row]:
+        """Read rows — requires the ``(read, table)`` privilege."""
+        self._guard(session, "read", table)
+        return self.store.table(table).select(predicate)
+
+    def insert(self, session: Session, table: str, row: Row) -> None:
+        """Insert a row — requires ``(write, table)``."""
+        self._guard(session, "write", table)
+        self.store.table(table).insert(row)
+
+    def update(
+        self, session: Session, table: str, predicate: Predicate, changes: Row
+    ) -> int:
+        """Update rows — requires ``(write, table)``."""
+        self._guard(session, "write", table)
+        return self.store.table(table).update(predicate, changes)
+
+    def delete(self, session: Session, table: str, predicate: Predicate) -> int:
+        """Delete rows — requires ``(write, table)``."""
+        self._guard(session, "write", table)
+        return self.store.table(table).delete(predicate)
+
+    def print_document(self, session: Session, printer: str, text: str) -> str:
+        """Print — requires ``(print, printer)`` (the paper's
+        ``(prnt, black)`` / ``(prnt, colorA4)`` privileges)."""
+        allowed = self.monitor.check_access(session, "print", printer)
+        self.audit.record(
+            "query", session.user.name, f"print {printer}", allowed
+        )
+        if not allowed:
+            raise AccessDenied(session.user.name, f"print on {printer}")
+        return f"[{printer}] {text}"
+
+    # ------------------------------------------------------------------
+    # Administration
+    # ------------------------------------------------------------------
+    def administer(self, command: Command) -> ExecutionRecord:
+        """Submit an administrative command through the monitor."""
+        record = self.monitor.submit(command)
+        detail = ""
+        if record.executed and record.implicit:
+            detail = f"implicitly authorized by {record.authorized_by}"
+        self.audit.record(
+            "admin",
+            command.user.name,
+            str(command),
+            record.executed,
+            detail,
+        )
+        return record
+
+
+def hospital_database(mode: Mode = Mode.STRICT) -> GuardedDatabase:
+    """The paper's hospital DBMS: Figure 2's policy guarding EHR tables
+    t1–t3, pre-loaded with a few synthetic records."""
+    from ..papercases import figures
+
+    database = GuardedDatabase.create(figures.figure2(), mode=mode)
+    t1 = database.store.create_table("t1", ["patient", "ward", "status"])
+    t2 = database.store.create_table("t2", ["patient", "medication", "dose"])
+    t3 = database.store.create_table("t3", ["patient", "note", "author"])
+    t1.insert({"patient": "p-001", "ward": "cardiology", "status": "stable"})
+    t1.insert({"patient": "p-002", "ward": "oncology", "status": "critical"})
+    t2.insert({"patient": "p-001", "medication": "aspirin", "dose": "75mg"})
+    t2.insert({"patient": "p-002", "medication": "cisplatin", "dose": "20mg"})
+    t3.insert({"patient": "p-001", "note": "admitted", "author": "diana"})
+    return database

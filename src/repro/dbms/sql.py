@@ -1,0 +1,353 @@
+"""A small SQL front-end for the guarded database.
+
+The paper's scenario has hospital personnel querying a DBMS whose
+accesses are mediated by the RBAC policy.  This module provides the
+query surface a real such system exposes — a compact SQL subset —
+executing through :class:`~repro.dbms.engine.GuardedDatabase`, so
+every statement is subject to the reference monitor:
+
+* ``SELECT col, ... | * FROM table [WHERE cond [AND cond]...]``
+* ``INSERT INTO table (col, ...) VALUES (val, ...)``
+* ``UPDATE table SET col = val [, ...] [WHERE ...]``
+* ``DELETE FROM table [WHERE ...]``
+
+Conditions are ``column OP literal`` with ``OP`` one of
+``= != < <= > >=``; literals are single-quoted strings or numbers.
+``SELECT`` requires the ``(read, table)`` privilege; the three
+mutating statements require ``(write, table)`` — exactly the actions
+of Figure 1.
+
+This is a deliberately small, fully tested subset — no joins, no
+subqueries — sufficient for the examples and benchmarks; the point is
+the mediation, not the query planner.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..core.sessions import Session
+from ..errors import GrammarError
+from .engine import GuardedDatabase
+from .tables import Row
+
+_TOKEN_PATTERN = re.compile(
+    r"""
+    \s*(?:
+        (?P<string>'(?:[^']|'')*')      # 'quoted string' ('' escapes ')
+      | (?P<number>-?\d+(?:\.\d+)?)     # integer or decimal
+      | (?P<op><=|>=|!=|=|<|>)          # comparison operators
+      | (?P<punct>[(),*])               # punctuation
+      | (?P<word>[A-Za-z_][A-Za-z_0-9]*)  # keyword / identifier
+    )
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "select", "from", "where", "and", "insert", "into", "values",
+    "update", "set", "delete",
+}
+
+_OPERATORS: dict[str, Callable[[Any, Any], bool]] = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # "string" | "number" | "op" | "punct" | "word"
+    text: str
+    position: int
+
+
+def _tokenize(sql: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    position = 0
+    while position < len(sql):
+        if sql[position].isspace():
+            position += 1
+            continue
+        match = _TOKEN_PATTERN.match(sql, position)
+        if match is None or match.end() == position:
+            raise GrammarError(f"bad SQL near {sql[position:position + 10]!r}",
+                               position)
+        kind = match.lastgroup
+        tokens.append(_Token(kind, match.group(kind).strip(), match.start(kind)))
+        position = match.end()
+    return tokens
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One ``column OP literal`` condition."""
+
+    column: str
+    operator: str
+    literal: Any
+
+    def matches(self, row: Row) -> bool:
+        value = row.get(self.column)
+        try:
+            return _OPERATORS[self.operator](value, self.literal)
+        except TypeError:
+            return False  # e.g. comparing str with int: no match
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    table: str
+    columns: tuple[str, ...] | None  # None means *
+    conditions: tuple[Comparison, ...]
+
+
+@dataclass(frozen=True)
+class InsertStatement:
+    table: str
+    row: tuple[tuple[str, Any], ...]
+
+
+@dataclass(frozen=True)
+class UpdateStatement:
+    table: str
+    changes: tuple[tuple[str, Any], ...]
+    conditions: tuple[Comparison, ...]
+
+
+@dataclass(frozen=True)
+class DeleteStatement:
+    table: str
+    conditions: tuple[Comparison, ...]
+
+
+Statement = SelectStatement | InsertStatement | UpdateStatement | DeleteStatement
+
+
+class _Parser:
+    def __init__(self, sql: str):
+        self._sql = sql
+        self._tokens = _tokenize(sql)
+        self._cursor = 0
+
+    def _peek(self) -> _Token | None:
+        if self._cursor < len(self._tokens):
+            return self._tokens[self._cursor]
+        return None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise GrammarError(f"unexpected end of SQL in {self._sql!r}")
+        self._cursor += 1
+        return token
+
+    def _expect_word(self, keyword: str) -> None:
+        token = self._next()
+        if token.kind != "word" or token.text.lower() != keyword:
+            raise GrammarError(
+                f"expected {keyword.upper()!r}, found {token.text!r}",
+                token.position,
+            )
+
+    def _expect_punct(self, text: str) -> None:
+        token = self._next()
+        if token.kind != "punct" or token.text != text:
+            raise GrammarError(
+                f"expected {text!r}, found {token.text!r}", token.position
+            )
+
+    def _identifier(self) -> str:
+        token = self._next()
+        if token.kind != "word" or token.text.lower() in _KEYWORDS:
+            raise GrammarError(
+                f"expected an identifier, found {token.text!r}", token.position
+            )
+        return token.text
+
+    def _literal(self) -> Any:
+        token = self._next()
+        if token.kind == "string":
+            return token.text[1:-1].replace("''", "'")
+        if token.kind == "number":
+            text = token.text
+            return float(text) if "." in text else int(text)
+        raise GrammarError(f"expected a literal, found {token.text!r}",
+                           token.position)
+
+    def _conditions(self) -> tuple[Comparison, ...]:
+        token = self._peek()
+        if token is None:
+            return ()
+        if not (token.kind == "word" and token.text.lower() == "where"):
+            raise GrammarError(
+                f"unexpected trailing input {token.text!r}", token.position
+            )
+        self._next()
+        conditions = [self._comparison()]
+        while True:
+            token = self._peek()
+            if token is None:
+                break
+            if token.kind == "word" and token.text.lower() == "and":
+                self._next()
+                conditions.append(self._comparison())
+            else:
+                raise GrammarError(
+                    f"unexpected trailing input {token.text!r}", token.position
+                )
+        return tuple(conditions)
+
+    def _comparison(self) -> Comparison:
+        column = self._identifier()
+        operator = self._next()
+        if operator.kind != "op":
+            raise GrammarError(
+                f"expected a comparison operator, found {operator.text!r}",
+                operator.position,
+            )
+        return Comparison(column, operator.text, self._literal())
+
+    # ------------------------------------------------------------------
+    def parse(self) -> Statement:
+        head = self._next()
+        if head.kind != "word":
+            raise GrammarError(f"expected a statement, found {head.text!r}",
+                               head.position)
+        keyword = head.text.lower()
+        if keyword == "select":
+            return self._select()
+        if keyword == "insert":
+            return self._insert()
+        if keyword == "update":
+            return self._update()
+        if keyword == "delete":
+            return self._delete()
+        raise GrammarError(f"unknown statement {head.text!r}", head.position)
+
+    def _select(self) -> SelectStatement:
+        token = self._peek()
+        if token is not None and token.kind == "punct" and token.text == "*":
+            self._next()
+            columns = None
+        else:
+            columns = [self._identifier()]
+            while (tok := self._peek()) is not None and tok.text == ",":
+                self._next()
+                columns.append(self._identifier())
+            columns = tuple(columns)
+        self._expect_word("from")
+        table = self._identifier()
+        return SelectStatement(table, columns, self._conditions())
+
+    def _insert(self) -> InsertStatement:
+        self._expect_word("into")
+        table = self._identifier()
+        self._expect_punct("(")
+        columns = [self._identifier()]
+        while (tok := self._peek()) is not None and tok.text == ",":
+            self._next()
+            columns.append(self._identifier())
+        self._expect_punct(")")
+        self._expect_word("values")
+        self._expect_punct("(")
+        values = [self._literal()]
+        while (tok := self._peek()) is not None and tok.text == ",":
+            self._next()
+            values.append(self._literal())
+        self._expect_punct(")")
+        if (tok := self._peek()) is not None:
+            raise GrammarError(f"unexpected trailing input {tok.text!r}",
+                               tok.position)
+        if len(columns) != len(values):
+            raise GrammarError(
+                f"{len(columns)} columns but {len(values)} values"
+            )
+        return InsertStatement(table, tuple(zip(columns, values)))
+
+    def _update(self) -> UpdateStatement:
+        table = self._identifier()
+        self._expect_word("set")
+        changes = [self._assignment()]
+        while (tok := self._peek()) is not None and tok.text == ",":
+            self._next()
+            changes.append(self._assignment())
+        return UpdateStatement(table, tuple(changes), self._conditions())
+
+    def _assignment(self) -> tuple[str, Any]:
+        column = self._identifier()
+        token = self._next()
+        if token.kind != "op" or token.text != "=":
+            raise GrammarError(f"expected '=', found {token.text!r}",
+                               token.position)
+        return (column, self._literal())
+
+    def _delete(self) -> DeleteStatement:
+        self._expect_word("from")
+        table = self._identifier()
+        return DeleteStatement(table, self._conditions())
+
+
+def parse_sql(sql: str) -> Statement:
+    """Parse one SQL statement; raises GrammarError on syntax errors."""
+    return _Parser(sql).parse()
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Rows for SELECT; affected-row count for the mutating statements."""
+
+    rows: tuple[Row, ...] = ()
+    affected: int = 0
+
+
+def _predicate(conditions: tuple[Comparison, ...]) -> Callable[[Row], bool]:
+    if not conditions:
+        return lambda row: True
+    return lambda row: all(cond.matches(row) for cond in conditions)
+
+
+def execute_sql(
+    database: GuardedDatabase, session: Session, sql: str
+) -> QueryResult:
+    """Parse and execute one statement through the guarded engine.
+
+    Raises :class:`~repro.errors.GrammarError` on syntax errors,
+    :class:`~repro.errors.AccessDenied` when the monitor denies the
+    access, and :class:`~repro.errors.TableError` on schema mismatches.
+    """
+    statement = parse_sql(sql)
+    if isinstance(statement, SelectStatement):
+        rows = database.select(
+            session, statement.table, _predicate(statement.conditions)
+        )
+        if statement.columns is not None:
+            wanted = statement.columns
+            missing = set(wanted) - set(
+                database.store.table(statement.table).schema.columns
+            )
+            if missing:
+                raise GrammarError(f"unknown columns {sorted(missing)}")
+            rows = [{column: row[column] for column in wanted} for row in rows]
+        return QueryResult(rows=tuple(rows))
+    if isinstance(statement, InsertStatement):
+        database.insert(session, statement.table, dict(statement.row))
+        return QueryResult(affected=1)
+    if isinstance(statement, UpdateStatement):
+        touched = database.update(
+            session,
+            statement.table,
+            _predicate(statement.conditions),
+            dict(statement.changes),
+        )
+        return QueryResult(affected=touched)
+    removed = database.delete(
+        session, statement.table, _predicate(statement.conditions)
+    )
+    return QueryResult(affected=removed)

@@ -1,0 +1,117 @@
+"""A tiny in-memory table store.
+
+The paper's running scenario is a hospital DBMS (``dbms``) holding
+electronic health records in tables ``t1``, ``t2``, ``t3``; the RBAC
+policy mediates who may read or write them.  This module provides the
+storage half: schemas, rows, and simple predicate queries.  The
+RBAC-guarded access path lives in :mod:`repro.dbms.engine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator
+
+from ..errors import TableError
+
+Row = dict[str, Any]
+Predicate = Callable[[Row], bool]
+
+
+@dataclass(frozen=True)
+class Schema:
+    """Column names of a table, order-preserving."""
+
+    columns: tuple[str, ...]
+
+    def __post_init__(self):
+        if not self.columns:
+            raise TableError("a schema needs at least one column")
+        if len(set(self.columns)) != len(self.columns):
+            raise TableError(f"duplicate columns in schema {self.columns!r}")
+
+    def validate_row(self, row: Row) -> None:
+        missing = set(self.columns) - set(row)
+        extra = set(row) - set(self.columns)
+        if missing:
+            raise TableError(f"row missing columns {sorted(missing)}")
+        if extra:
+            raise TableError(f"row has unknown columns {sorted(extra)}")
+
+
+class Table:
+    """One table: a schema and a list of rows."""
+
+    __slots__ = ("name", "schema", "_rows")
+
+    def __init__(self, name: str, columns: Iterable[str]):
+        self.name = name
+        self.schema = Schema(tuple(columns))
+        self._rows: list[Row] = []
+
+    def insert(self, row: Row) -> None:
+        self.schema.validate_row(row)
+        self._rows.append(dict(row))
+
+    def select(self, predicate: Predicate | None = None) -> list[Row]:
+        if predicate is None:
+            return [dict(row) for row in self._rows]
+        return [dict(row) for row in self._rows if predicate(row)]
+
+    def update(self, predicate: Predicate, changes: Row) -> int:
+        unknown = set(changes) - set(self.schema.columns)
+        if unknown:
+            raise TableError(f"update sets unknown columns {sorted(unknown)}")
+        touched = 0
+        for row in self._rows:
+            if predicate(row):
+                row.update(changes)
+                touched += 1
+        return touched
+
+    def delete(self, predicate: Predicate) -> int:
+        before = len(self._rows)
+        self._rows[:] = [row for row in self._rows if not predicate(row)]
+        return before - len(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.select())
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, columns={self.schema.columns}, rows={len(self)})"
+
+
+class TableStore:
+    """A named collection of tables (the ``dbms`` of Example 1)."""
+
+    __slots__ = ("_tables",)
+
+    def __init__(self):
+        self._tables: dict[str, Table] = {}
+
+    def create_table(self, name: str, columns: Iterable[str]) -> Table:
+        if name in self._tables:
+            raise TableError(f"table {name!r} already exists")
+        table = Table(name, columns)
+        self._tables[name] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        if name not in self._tables:
+            raise TableError(f"no such table {name!r}")
+        del self._tables[name]
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise TableError(f"no such table {name!r}") from None
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables

@@ -1,0 +1,73 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised deliberately by the library derives from
+:class:`ReproError`, so callers can catch library errors without
+catching programming errors (``TypeError`` from misuse is still raised
+directly where it indicates a bug in the caller).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class EntityError(ReproError):
+    """An entity (user, role, action, object) name is malformed."""
+
+
+class PrivilegeError(ReproError):
+    """A privilege term is malformed or used with the wrong sort."""
+
+
+class PolicyError(ReproError):
+    """A policy edge or policy operation violates the model's sorts."""
+
+
+class GrammarError(ReproError):
+    """The textual privilege/policy syntax could not be parsed."""
+
+    def __init__(self, message: str, position: int | None = None):
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class SessionError(ReproError):
+    """A session operation was invalid (unknown session, bad activation)."""
+
+
+class CommandError(ReproError):
+    """An administrative command is malformed (not: disallowed).
+
+    Disallowed-but-well-formed commands are *not* errors: per
+    Definition 5 of the paper they are consumed as no-ops.
+    """
+
+
+class SerializationError(ReproError):
+    """A policy/privilege document could not be (de)serialized."""
+
+
+class AnalysisError(ReproError):
+    """An analysis was configured inconsistently (bad bounds, ranges)."""
+
+
+class TableError(ReproError):
+    """A DBMS table operation failed (unknown table/column, bad row)."""
+
+
+class AccessDenied(ReproError):
+    """The reference monitor denied an access or administrative command.
+
+    Attributes:
+        subject: the user (or session owner) that was denied.
+        detail: human-readable reason.
+    """
+
+    def __init__(self, subject: str, detail: str):
+        super().__init__(f"access denied for {subject!r}: {detail}")
+        self.subject = subject
+        self.detail = detail

@@ -1,0 +1,51 @@
+"""Directed-graph substrate for RBAC policies.
+
+Built from scratch (no third-party graph library in the core path):
+RBAC policies are small, frequently mutated graphs, and the reference
+monitor and ordering decision procedure need cheap, cache-friendly
+reachability.
+"""
+
+from .digraph import Digraph, Vertex
+from .reachability import (
+    ReachabilityCache,
+    ancestors,
+    descendants,
+    reachable_from_any,
+    reaches,
+)
+from .closure import (
+    condensation,
+    longest_chain_length,
+    strongly_connected_components,
+    topological_order,
+    transitive_closure,
+)
+from .dot import digraph_to_dot, policy_to_dot
+from .paths import (
+    all_simple_paths,
+    explain_reachability,
+    format_path,
+    shortest_path,
+)
+
+__all__ = [
+    "Digraph",
+    "Vertex",
+    "ReachabilityCache",
+    "ancestors",
+    "descendants",
+    "reachable_from_any",
+    "reaches",
+    "condensation",
+    "longest_chain_length",
+    "strongly_connected_components",
+    "topological_order",
+    "transitive_closure",
+    "digraph_to_dot",
+    "policy_to_dot",
+    "all_simple_paths",
+    "explain_reachability",
+    "format_path",
+    "shortest_path",
+]

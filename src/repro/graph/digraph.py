@@ -1,0 +1,156 @@
+"""A small directed-graph data structure used as the policy substrate.
+
+The library does not depend on :mod:`networkx` for its core path; RBAC
+policies are tiny graphs mutated frequently by the reference monitor,
+and the operations we need (edge add/remove, successor iteration,
+reachability with caching) are simpler and faster on a purpose-built
+adjacency-set representation.
+
+Vertices may be any hashable value.  The graph stores vertices
+explicitly so that isolated vertices (e.g. a role with no assignments
+yet) are representable.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator
+
+Vertex = Hashable
+
+
+class Digraph:
+    """A mutable directed graph over hashable vertices.
+
+    The graph keeps both successor and predecessor adjacency so that
+    ancestor queries (used by the refinement checker) are as cheap as
+    descendant queries (used by the reference monitor).
+
+    A monotonically increasing ``version`` counter is bumped on every
+    mutation; caches layered on top (see
+    :class:`repro.graph.reachability.ReachabilityCache`) use it to
+    detect staleness without registering callbacks.
+    """
+
+    __slots__ = ("_succ", "_pred", "_edge_count", "version")
+
+    def __init__(self, edges: Iterable[tuple[Vertex, Vertex]] = ()):
+        self._succ: dict[Vertex, set[Vertex]] = {}
+        self._pred: dict[Vertex, set[Vertex]] = {}
+        self._edge_count = 0
+        self.version = 0
+        for source, target in edges:
+            self.add_edge(source, target)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_vertex(self, vertex: Vertex) -> bool:
+        """Add ``vertex``; return True if it was not already present."""
+        if vertex in self._succ:
+            return False
+        self._succ[vertex] = set()
+        self._pred[vertex] = set()
+        self.version += 1
+        return True
+
+    def add_edge(self, source: Vertex, target: Vertex) -> bool:
+        """Add the edge ``source -> target``; return True if new.
+
+        Both endpoints are added as vertices if missing.
+        """
+        self.add_vertex(source)
+        self.add_vertex(target)
+        if target in self._succ[source]:
+            return False
+        self._succ[source].add(target)
+        self._pred[target].add(source)
+        self._edge_count += 1
+        self.version += 1
+        return True
+
+    def remove_edge(self, source: Vertex, target: Vertex) -> bool:
+        """Remove the edge ``source -> target``; return True if present."""
+        if source not in self._succ or target not in self._succ[source]:
+            return False
+        self._succ[source].discard(target)
+        self._pred[target].discard(source)
+        self._edge_count -= 1
+        self.version += 1
+        return True
+
+    def remove_vertex(self, vertex: Vertex) -> bool:
+        """Remove ``vertex`` and all incident edges; return True if present."""
+        if vertex not in self._succ:
+            return False
+        for target in list(self._succ[vertex]):
+            self.remove_edge(vertex, target)
+        for source in list(self._pred[vertex]):
+            self.remove_edge(source, vertex)
+        del self._succ[vertex]
+        del self._pred[vertex]
+        self.version += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __contains__(self, vertex: Vertex) -> bool:
+        return vertex in self._succ
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    def has_edge(self, source: Vertex, target: Vertex) -> bool:
+        return source in self._succ and target in self._succ[source]
+
+    def successors(self, vertex: Vertex) -> frozenset[Vertex]:
+        """Direct successors of ``vertex`` (empty if unknown vertex)."""
+        return frozenset(self._succ.get(vertex, ()))
+
+    def predecessors(self, vertex: Vertex) -> frozenset[Vertex]:
+        """Direct predecessors of ``vertex`` (empty if unknown vertex)."""
+        return frozenset(self._pred.get(vertex, ()))
+
+    def vertices(self) -> Iterator[Vertex]:
+        return iter(self._succ)
+
+    def edges(self) -> Iterator[tuple[Vertex, Vertex]]:
+        for source, targets in self._succ.items():
+            for target in targets:
+                yield (source, target)
+
+    @property
+    def edge_count(self) -> int:
+        return self._edge_count
+
+    def out_degree(self, vertex: Vertex) -> int:
+        return len(self._succ.get(vertex, ()))
+
+    def in_degree(self, vertex: Vertex) -> int:
+        return len(self._pred.get(vertex, ()))
+
+    def copy(self) -> "Digraph":
+        """An independent copy sharing no mutable state."""
+        clone = Digraph()
+        for vertex in self._succ:
+            clone.add_vertex(vertex)
+        for source, target in self.edges():
+            clone.add_edge(source, target)
+        return clone
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Digraph):
+            return NotImplemented
+        return self._succ == other._succ
+
+    def __hash__(self):  # Digraphs are mutable; identity hashing is a trap.
+        raise TypeError("Digraph is unhashable; use edge_set() snapshots")
+
+    def edge_set(self) -> frozenset[tuple[Vertex, Vertex]]:
+        """An immutable snapshot of the edges, usable as a dict key."""
+        return frozenset(self.edges())
+
+    def __repr__(self) -> str:
+        return (
+            f"Digraph(vertices={len(self)}, edges={self._edge_count})"
+        )

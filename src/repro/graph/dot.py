@@ -1,0 +1,74 @@
+"""Graphviz DOT export for digraphs and policies.
+
+The paper's Figures 1-3 are policy drawings; :func:`policy_to_dot`
+regenerates them as ``.dot`` documents with the same visual grammar:
+users as boxes, roles as ellipses, user privileges as plain text, and
+administrative privileges as diamonds.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .digraph import Digraph, Vertex
+
+
+def _quote(label: str) -> str:
+    escaped = label.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def digraph_to_dot(
+    graph: Digraph,
+    name: str = "G",
+    label_of: Callable[[Vertex], str] = str,
+) -> str:
+    """Render a plain digraph as a DOT document."""
+    lines = [f"digraph {name} {{"]
+    ids: dict[Vertex, str] = {}
+    for number, vertex in enumerate(sorted(graph.vertices(), key=str)):
+        ids[vertex] = f"n{number}"
+        lines.append(f"  n{number} [label={_quote(label_of(vertex))}];")
+    for source, target in sorted(graph.edges(), key=lambda e: (str(e[0]), str(e[1]))):
+        lines.append(f"  {ids[source]} -> {ids[target]};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def policy_to_dot(policy, name: str = "policy") -> str:
+    """Render an RBAC policy in the paper's figure style.
+
+    Accepts a :class:`repro.core.policy.Policy`; imported lazily to keep
+    the graph package free of core dependencies.
+    """
+    from ..core.entities import User, Role
+    from ..core.privileges import Privilege, UserPrivilege
+    from ..core.grammar import format_privilege
+
+    lines = [f"digraph {name} {{", "  rankdir=TB;"]
+    ids: dict[Vertex, str] = {}
+
+    def vertex_id(vertex: Vertex) -> str:
+        if vertex not in ids:
+            ids[vertex] = f"n{len(ids)}"
+        return ids[vertex]
+
+    for vertex in sorted(policy.graph.vertices(), key=str):
+        node = vertex_id(vertex)
+        if isinstance(vertex, User):
+            shape, label = "box", vertex.name
+        elif isinstance(vertex, Role):
+            shape, label = "ellipse", vertex.name
+        elif isinstance(vertex, UserPrivilege):
+            shape, label = "plaintext", format_privilege(vertex)
+        elif isinstance(vertex, Privilege):
+            shape, label = "diamond", format_privilege(vertex)
+        else:
+            shape, label = "plaintext", str(vertex)
+        lines.append(f"  {node} [shape={shape}, label={_quote(label)}];")
+    for source, target in sorted(
+        policy.graph.edges(), key=lambda e: (str(e[0]), str(e[1]))
+    ):
+        lines.append(f"  {vertex_id(source)} -> {vertex_id(target)};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,90 @@
+"""Path extraction: *why* does ``v`` reach ``w``?
+
+The ordering derivations (:mod:`repro.core.trace`) and refinement
+witnesses justify their verdicts with reachability premises
+``v ->phi w``; for audits one level deeper, this module produces the
+actual path — the chain of UA/RH/PA edges substantiating the premise.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator
+
+from .digraph import Digraph, Vertex
+
+
+def shortest_path(
+    graph: Digraph, source: Vertex, target: Vertex
+) -> tuple[Vertex, ...] | None:
+    """A shortest path from ``source`` to ``target`` as a vertex tuple
+    (both endpoints included), or None if unreachable.
+
+    The empty path ``(source,)`` is returned when source == target —
+    matching the reflexive reading of the reachability judgement.
+    """
+    if source == target:
+        return (source,)
+    parent: dict[Vertex, Vertex] = {}
+    seen = {source}
+    queue: deque[Vertex] = deque([source])
+    while queue:
+        vertex = queue.popleft()
+        for successor in graph.successors(vertex):
+            if successor in seen:
+                continue
+            parent[successor] = vertex
+            if successor == target:
+                path = [target]
+                while path[-1] != source:
+                    path.append(parent[path[-1]])
+                return tuple(reversed(path))
+            seen.add(successor)
+            queue.append(successor)
+    return None
+
+
+def all_simple_paths(
+    graph: Digraph,
+    source: Vertex,
+    target: Vertex,
+    max_length: int = 16,
+) -> Iterator[tuple[Vertex, ...]]:
+    """All simple paths up to ``max_length`` edges, DFS order.
+
+    Bounded by construction: policies may contain cycles (footnote 3),
+    so path enumeration needs a cap.
+    """
+    if source == target:
+        yield (source,)
+        return
+    stack: list[tuple[Vertex, tuple[Vertex, ...]]] = [(source, (source,))]
+    while stack:
+        vertex, path = stack.pop()
+        if len(path) > max_length:
+            continue
+        for successor in sorted(graph.successors(vertex), key=str):
+            if successor in path:
+                continue
+            extended = path + (successor,)
+            if successor == target:
+                yield extended
+            else:
+                stack.append((successor, extended))
+
+
+def format_path(path: tuple[Vertex, ...]) -> str:
+    """Render a path as ``a -> b -> c`` using each vertex's str()."""
+    return " -> ".join(str(vertex) for vertex in path)
+
+
+def explain_reachability(
+    graph: Digraph, source: Vertex, target: Vertex
+) -> str:
+    """One-line human explanation of a reachability premise."""
+    path = shortest_path(graph, source, target)
+    if path is None:
+        return f"{source} does not reach {target}"
+    if len(path) == 1:
+        return f"{source} reaches itself (reflexivity)"
+    return format_path(path)

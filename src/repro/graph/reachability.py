@@ -1,0 +1,133 @@
+"""Reachability queries over :class:`~repro.graph.digraph.Digraph`.
+
+The paper's judgement ``v ->_phi w`` ("there is a path from v to w") is
+implemented here as *reflexive*-transitive reachability: ``reaches(v, v)``
+is true for every vertex, including vertices not present in the graph.
+Example 5 of the paper relies on this (``bob ->_phi bob`` holds with no
+self-edge in the policy).
+
+Two entry points are provided:
+
+* module-level functions (:func:`reaches`, :func:`descendants`,
+  :func:`ancestors`) that walk the graph directly; and
+* :class:`ReachabilityCache`, which memoizes descendant sets per source
+  vertex and invalidates itself automatically using the graph's
+  ``version`` counter.  The privilege-ordering decision procedure issues
+  many reachability queries against a policy that changes rarely, which
+  is exactly the access pattern the cache targets.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+from .digraph import Digraph, Vertex
+
+
+def descendants(graph: Digraph, source: Vertex) -> frozenset[Vertex]:
+    """All vertices reachable from ``source`` including ``source`` itself."""
+    seen: set[Vertex] = {source}
+    queue: deque[Vertex] = deque([source])
+    while queue:
+        vertex = queue.popleft()
+        for successor in graph.successors(vertex):
+            if successor not in seen:
+                seen.add(successor)
+                queue.append(successor)
+    return frozenset(seen)
+
+
+def ancestors(graph: Digraph, target: Vertex) -> frozenset[Vertex]:
+    """All vertices that reach ``target``, including ``target`` itself."""
+    seen: set[Vertex] = {target}
+    queue: deque[Vertex] = deque([target])
+    while queue:
+        vertex = queue.popleft()
+        for predecessor in graph.predecessors(vertex):
+            if predecessor not in seen:
+                seen.add(predecessor)
+                queue.append(predecessor)
+    return frozenset(seen)
+
+
+def reaches(graph: Digraph, source: Vertex, target: Vertex) -> bool:
+    """True iff there is a (possibly empty) path from source to target.
+
+    Uses an early-exit BFS rather than materializing the full
+    descendant set.
+    """
+    if source == target:
+        return True
+    seen: set[Vertex] = {source}
+    queue: deque[Vertex] = deque([source])
+    while queue:
+        vertex = queue.popleft()
+        for successor in graph.successors(vertex):
+            if successor == target:
+                return True
+            if successor not in seen:
+                seen.add(successor)
+                queue.append(successor)
+    return False
+
+
+def reachable_from_any(
+    graph: Digraph, sources: Iterable[Vertex]
+) -> frozenset[Vertex]:
+    """Union of descendant sets of all ``sources``."""
+    seen: set[Vertex] = set()
+    queue: deque[Vertex] = deque()
+    for source in sources:
+        if source not in seen:
+            seen.add(source)
+            queue.append(source)
+    while queue:
+        vertex = queue.popleft()
+        for successor in graph.successors(vertex):
+            if successor not in seen:
+                seen.add(successor)
+                queue.append(successor)
+    return frozenset(seen)
+
+
+class ReachabilityCache:
+    """Memoized descendant sets over a mutable :class:`Digraph`.
+
+    The cache is *pull-based*: every query compares the graph's current
+    ``version`` against the version at which the cache was filled, and
+    drops all memoized sets when they differ.  This keeps the graph
+    itself free of observer plumbing while remaining correct under
+    arbitrary mutation.
+    """
+
+    __slots__ = ("_graph", "_version", "_descendants")
+
+    def __init__(self, graph: Digraph):
+        self._graph = graph
+        self._version = graph.version
+        self._descendants: dict[Vertex, frozenset[Vertex]] = {}
+
+    def _validate(self) -> None:
+        if self._version != self._graph.version:
+            self._descendants.clear()
+            self._version = self._graph.version
+
+    def descendants(self, source: Vertex) -> frozenset[Vertex]:
+        self._validate()
+        cached = self._descendants.get(source)
+        if cached is None:
+            cached = descendants(self._graph, source)
+            self._descendants[source] = cached
+        return cached
+
+    def reaches(self, source: Vertex, target: Vertex) -> bool:
+        if source == target:
+            return True
+        return target in self.descendants(source)
+
+    @property
+    def cached_sources(self) -> int:
+        """Number of memoized descendant sets (diagnostic)."""
+        self._validate()
+        return len(self._descendants)

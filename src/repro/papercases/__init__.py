@@ -1,0 +1,23 @@
+"""The paper's figures and worked examples as executable artifacts."""
+
+from . import figures
+from .examples import (
+    example1,
+    example2,
+    example3,
+    example4,
+    example5,
+    example6,
+    example6_policy,
+)
+
+__all__ = [
+    "figures",
+    "example1",
+    "example2",
+    "example3",
+    "example4",
+    "example5",
+    "example6",
+    "example6_policy",
+]

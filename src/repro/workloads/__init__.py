@@ -1,0 +1,29 @@
+"""Workload generators: random, hospital-shaped, and enterprise-shaped
+policies for the tests and benchmarks."""
+
+from .generators import (
+    PolicyShape,
+    layered_hierarchy,
+    nested_grant,
+    random_policy,
+)
+from .hospital import HospitalShape, hospital_policy
+from .fuzz import FuzzReport, fuzz_many, fuzz_monitor
+from .enterprise import (
+    EnterpriseShape,
+    delegation_targets,
+    enterprise_policy,
+)
+
+__all__ = [
+    "PolicyShape",
+    "layered_hierarchy",
+    "nested_grant",
+    "random_policy",
+    "HospitalShape",
+    "hospital_policy",
+    "FuzzReport", "fuzz_many", "fuzz_monitor",
+    "EnterpriseShape",
+    "delegation_targets",
+    "enterprise_policy",
+]

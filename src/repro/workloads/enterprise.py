@@ -1,0 +1,101 @@
+"""Enterprise workloads: large hierarchies with delegation chains.
+
+The paper's introduction motivates the problem with organizations
+whose "RBAC policies can be very large and dynamic, consisting of
+thousands of roles".  This module builds such policies — departmental
+trees with per-department administrators and multi-level delegation
+privileges (nested ¤ terms) — for the scaling benchmarks and the
+enterprise example.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..core.entities import Role, User
+from ..core.policy import Policy
+from ..core.privileges import Grant, perm
+
+
+@dataclass(frozen=True)
+class EnterpriseShape:
+    departments: int = 5
+    levels_per_department: int = 4
+    roles_per_level: int = 3
+    employees_per_department: int = 10
+    delegation_depth: int = 2
+
+
+def enterprise_policy(
+    shape: EnterpriseShape = EnterpriseShape(), seed: int = 0
+) -> Policy:
+    """A multi-department enterprise.
+
+    Each department is a tree of roles ``dept_d_L{level}_r{index}``;
+    the department head role sits on top; a global ``CISO`` role holds
+    nested delegation privileges — ``¤(head_d, ¤(employee, role))``
+    chains of configurable depth — so the ordering has real work to do.
+    """
+    rng = random.Random(seed)
+    policy = Policy()
+    ciso = Role("CISO")
+    root_admin = User("ciso_admin")
+    policy.assign_user(root_admin, ciso)
+
+    for dept in range(shape.departments):
+        head = Role(f"dept{dept}_head")
+        policy.add_role(head)
+        previous_level = [head]
+        for level in range(shape.levels_per_department):
+            current_level = [
+                Role(f"dept{dept}_L{level}_r{index}")
+                for index in range(shape.roles_per_level)
+            ]
+            for role in current_level:
+                policy.add_role(role)
+                policy.add_inheritance(rng.choice(previous_level), role)
+            previous_level = current_level
+        # Bottom roles carry the department's resources.
+        for index, role in enumerate(previous_level):
+            policy.assign_privilege(role, perm("read", f"dept{dept}_doc{index}"))
+            policy.assign_privilege(role, perm("write", f"dept{dept}_wiki"))
+
+        employees = [
+            User(f"dept{dept}_emp{index}")
+            for index in range(shape.employees_per_department)
+        ]
+        for employee in employees:
+            level_roles = [
+                role for role in policy.roles()
+                if role.name.startswith(f"dept{dept}_L")
+            ]
+            policy.assign_user(employee, rng.choice(level_roles))
+
+        # Delegation chain: the CISO may give the department head the
+        # privilege to give ... the privilege to assign an employee to
+        # a mid-level role (nested ¤ terms of the requested depth).
+        target_role = Role(
+            f"dept{dept}_L{shape.levels_per_department - 1}_r0"
+        )
+        newcomer = User(f"dept{dept}_newcomer")
+        policy.add_user(newcomer)
+        term = Grant(newcomer, target_role)
+        for _ in range(shape.delegation_depth):
+            term = Grant(head, term)
+        policy.assign_privilege(ciso, term)
+        # Heads can directly appoint newcomers to the top working level.
+        policy.assign_privilege(
+            head, Grant(newcomer, Role(f"dept{dept}_L0_r0"))
+        )
+        policy.assign_user(User(f"dept{dept}_manager"), head)
+    return policy
+
+
+def delegation_targets(policy: Policy) -> list[tuple[Role, Grant]]:
+    """All (holder, nested-grant) pairs — benchmark query workload."""
+    return [
+        (holder, privilege)
+        for holder, privilege in policy.admin_privileges_assigned()
+        if isinstance(privilege, Grant) and privilege.depth >= 2
+    ]

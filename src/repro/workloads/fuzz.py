@@ -1,0 +1,192 @@
+"""Differential fuzzing of the reference monitor.
+
+Generates random command queues against random policies and checks the
+monitor's global invariants after every step:
+
+1. **Authorization soundness** — a command that executed was genuinely
+   authorized: re-checking the *pre-state* with a fresh ordering
+   oracle confirms the issuer reached a privilege covering it.
+2. **No silent mutation** — a denied command changed nothing.
+3. **Sort preservation** — every edge of every intermediate policy is
+   well-sorted (the grammar invariant survives arbitrary runs).
+4. **Mode monotonicity** — any command the strict monitor executes,
+   the refined monitor executes too (implicit authorization only adds).
+5. **Audit completeness** — the monitor records exactly one audit
+   entry per submitted command.
+6. **Index agreement** — the precomputed authorization index agrees
+   with the oracle path on every decision.
+
+The fuzzer is seeded and deterministic; the test suite runs it over a
+spread of seeds, and `examples/safety_audit.py`-style scripts can run
+longer campaigns.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..core.authz_index import AuthorizationIndex
+from ..core.commands import Command, CommandAction, Mode
+from ..core.entities import Role, User
+from ..core.monitor import ReferenceMonitor
+from ..core.ordering import is_weaker
+from ..core.policy import Policy, check_edge_sorts
+from ..core.privileges import Grant, Revoke, is_privilege
+from ..errors import PolicyError
+from .generators import PolicyShape, random_policy
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzzing campaign."""
+
+    seed: int
+    steps: int = 0
+    executed: int = 0
+    denied: int = 0
+    implicit: int = 0
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def _random_command(rng: random.Random, policy: Policy) -> Command:
+    """A random command, biased so campaigns exercise every decision
+    path: half the time the edge comes from an assigned ¤/♦ term (so
+    exact and implicit authorizations actually fire), otherwise it is
+    drawn uniformly (mostly denials and ill-sorted no-ops)."""
+    entities = sorted(
+        (v for v in policy.vertex_set() if isinstance(v, (User, Role))),
+        key=str,
+    )
+    privileges = sorted(
+        (v for v in policy.vertex_set() if is_privilege(v)), key=str
+    )
+    users = [e for e in entities if isinstance(e, User)]
+    issuer = rng.choice(users)
+    action = rng.choice([CommandAction.GRANT, CommandAction.REVOKE])
+
+    held_terms = sorted(
+        (term for term in policy.subterm_closure()
+         if isinstance(term, (Grant, Revoke))),
+        key=str,
+    )
+    if held_terms and rng.random() < 0.5:
+        term = rng.choice(held_terms)
+        source, target = term.edge
+        if rng.random() < 0.3 and isinstance(target, Role):
+            # Perturb the target downward/around for implicit cases.
+            candidates = [
+                v for v in policy.descendants(target) if isinstance(v, Role)
+            ]
+            if candidates:
+                target = rng.choice(sorted(candidates, key=str))
+        if isinstance(term, Grant) and rng.random() < 0.8:
+            action = CommandAction.GRANT
+        return Command(issuer, action, source, target)
+
+    source = rng.choice(entities)
+    target = rng.choice(entities + privileges)
+    return Command(issuer, action, source, target)
+
+
+def _authorized_in_prestate(
+    policy: Policy, command: Command, mode: Mode
+) -> bool:
+    """Independent re-check of Definition 5's side condition."""
+    wanted = command.requested_privilege()
+    if wanted is None:
+        return False
+    reachable = policy.descendants(command.user)
+    if wanted in reachable:
+        return True
+    if mode is Mode.STRICT or command.action is CommandAction.REVOKE:
+        return False
+    return any(
+        is_privilege(vertex) and is_weaker(policy, vertex, wanted)
+        for vertex in reachable
+    )
+
+
+def _well_sorted(policy: Policy) -> bool:
+    try:
+        for edge in policy.edge_set():
+            check_edge_sorts(*edge)
+    except PolicyError:
+        return False
+    return True
+
+
+def fuzz_monitor(
+    seed: int,
+    steps: int = 60,
+    shape: PolicyShape = PolicyShape(),
+    mode: Mode = Mode.REFINED,
+) -> FuzzReport:
+    """Run one seeded campaign; returns the report (check ``.ok``)."""
+    rng = random.Random(seed)
+    policy = random_policy(seed, shape)
+    monitor = ReferenceMonitor(policy, mode=mode)
+    index = AuthorizationIndex(policy)
+    report = FuzzReport(seed=seed)
+
+    for _ in range(steps):
+        command = _random_command(rng, policy)
+        pre_state = policy.copy()
+        audit_before = len(monitor.audit_trail)
+        strict_would_execute = _authorized_in_prestate(
+            pre_state, command, Mode.STRICT
+        )
+        expected = _authorized_in_prestate(pre_state, command, mode)
+        index_says = index.authorizes(command.user, command) is not None
+
+        record = monitor.submit(command)
+        report.steps += 1
+
+        # (1) + (2): execution matches independent authorization check.
+        if record.executed != expected:
+            report.violations.append(
+                f"authorization mismatch on {command}: monitor="
+                f"{record.executed} oracle={expected}"
+            )
+        if not record.executed and policy.edge_set() != pre_state.edge_set():
+            report.violations.append(f"denied command mutated policy: {command}")
+        # (3) sorts.
+        if not _well_sorted(policy):
+            report.violations.append(f"ill-sorted edge after {command}")
+        # (4) strict subset of refined.
+        if mode is Mode.REFINED and strict_would_execute and not record.executed:
+            report.violations.append(
+                f"refined denied a strictly-authorized command: {command}"
+            )
+        # (5) audit completeness.
+        if len(monitor.audit_trail) != audit_before + 1:
+            report.violations.append(f"audit gap on {command}")
+        # (6) index agreement (decision is on the pre-state, so the
+        # index was validated against it before submit).
+        if mode is Mode.REFINED and index_says != expected:
+            report.violations.append(
+                f"index disagrees with oracle on {command}: "
+                f"index={index_says} oracle={expected}"
+            )
+
+        if record.executed:
+            report.executed += 1
+            if record.implicit:
+                report.implicit += 1
+        else:
+            report.denied += 1
+    return report
+
+
+def fuzz_many(
+    seeds: range,
+    steps: int = 40,
+    shape: PolicyShape = PolicyShape(),
+    mode: Mode = Mode.REFINED,
+) -> list[FuzzReport]:
+    """Run a campaign per seed; returns all reports."""
+    return [fuzz_monitor(seed, steps, shape, mode) for seed in seeds]

@@ -1,0 +1,68 @@
+"""Hospital workloads: the paper's scenario, parameterized.
+
+:mod:`repro.papercases.figures` holds the exact figures; this module
+scales the same shape up — multiple wards, nurses, flexworkers, and an
+HR department with delegation privileges — for the benchmarks and the
+examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.entities import Role, User
+from ..core.policy import Policy
+from ..core.privileges import Grant, Revoke, perm
+
+
+@dataclass(frozen=True)
+class HospitalShape:
+    wards: int = 3
+    nurses_per_ward: int = 4
+    flexworkers: int = 2
+    hr_members: int = 2
+    tables_per_ward: int = 2
+
+
+def hospital_policy(shape: HospitalShape = HospitalShape()) -> Policy:
+    """A multi-ward hospital in the paper's style.
+
+    Per ward ``w``: roles ``nurse_w`` < ``staff_w``, database roles
+    ``dbusr_w`` guarding the ward's EHR tables; an HR role holding
+    grant privileges over the staff roles (so the Example-4 flexworker
+    pattern is available in every ward); a security-officer role above
+    HR.
+    """
+    policy = Policy()
+    so = Role("SO")
+    hr = Role("HR")
+    alice = User("alice")
+    policy.assign_user(alice, so)
+    policy.add_inheritance(so, hr)
+
+    for member in range(shape.hr_members):
+        policy.assign_user(User(f"hr{member}"), hr)
+
+    flexworkers = [User(f"flex{index}") for index in range(shape.flexworkers)]
+    for worker in flexworkers:
+        policy.add_user(worker)
+
+    for ward in range(shape.wards):
+        staff = Role(f"staff_w{ward}")
+        nurse = Role(f"nurse_w{ward}")
+        dbusr = Role(f"dbusr_w{ward}")
+        policy.add_inheritance(staff, nurse)
+        policy.add_inheritance(staff, dbusr)
+        policy.add_inheritance(nurse, dbusr)
+        for table in range(shape.tables_per_ward):
+            policy.assign_privilege(dbusr, perm("read", f"ehr_w{ward}_t{table}"))
+        policy.assign_privilege(staff, perm("write", f"ehr_w{ward}_t0"))
+        policy.assign_privilege(nurse, perm("print", f"ward{ward}_printer"))
+        for index in range(shape.nurses_per_ward):
+            policy.assign_user(User(f"nurse_w{ward}_{index}"), nurse)
+        # HR can appoint flexworkers to the ward's staff role (and
+        # hence, via the ordering, to any junior role).
+        for worker in flexworkers:
+            policy.assign_privilege(hr, Grant(worker, staff))
+            policy.assign_privilege(hr, Revoke(worker, staff))
+    return policy

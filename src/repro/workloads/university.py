@@ -1,0 +1,92 @@
+"""University workload: delegation plus separation of duty.
+
+A third domain scenario (after the hospital and the enterprise),
+chosen because it naturally combines the paper's machinery with the
+constraints extension:
+
+* per-course roles: ``instructor_c`` > ``ta_c`` > ``grader_c``;
+  students enrolled per course;
+* graders must not grade their own work: SSD between ``grader_c`` and
+  ``student_c``;
+* the registrar holds grant privileges over instructor roles; each
+  instructor holds grant privileges for appointing TAs — under the
+  ordering they may directly appoint someone as a mere grader
+  (least privilege, Example 4's pattern in a new domain).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.constraints import SsdConstraint
+from ..core.entities import Role, User
+from ..core.policy import Policy
+from ..core.privileges import Grant, Revoke, perm
+
+
+@dataclass(frozen=True)
+class UniversityShape:
+    courses: int = 3
+    students_per_course: int = 6
+    candidate_tas_per_course: int = 2
+
+
+def course_roles(course: int) -> tuple[Role, Role, Role, Role]:
+    """(instructor, ta, grader, student) roles of a course."""
+    return (
+        Role(f"instructor_c{course}"),
+        Role(f"ta_c{course}"),
+        Role(f"grader_c{course}"),
+        Role(f"student_c{course}"),
+    )
+
+
+def university_policy(shape: UniversityShape = UniversityShape()) -> Policy:
+    policy = Policy()
+    registrar_role = Role("registrar")
+    policy.assign_user(User("registrar0"), registrar_role)
+
+    for course in range(shape.courses):
+        instructor, ta, grader, student = course_roles(course)
+        policy.add_inheritance(instructor, ta)
+        policy.add_inheritance(ta, grader)
+        policy.add_role(student)
+
+        policy.assign_privilege(grader, perm("grade", f"submissions_c{course}"))
+        policy.assign_privilege(ta, perm("write", f"solutions_c{course}"))
+        policy.assign_privilege(
+            instructor, perm("write", f"gradebook_c{course}")
+        )
+        policy.assign_privilege(student, perm("read", f"material_c{course}"))
+        policy.assign_privilege(
+            student, perm("write", f"submissions_c{course}")
+        )
+
+        professor = User(f"prof_c{course}")
+        policy.assign_user(professor, instructor)
+        policy.assign_privilege(
+            registrar_role, Grant(professor, instructor)
+        )
+        for index in range(shape.students_per_course):
+            policy.assign_user(User(f"student_c{course}_{index}"), student)
+        for index in range(shape.candidate_tas_per_course):
+            candidate = User(f"ta_candidate_c{course}_{index}")
+            policy.add_user(candidate)
+            # The instructor may appoint the candidate as TA — and, by
+            # the ordering, directly as grader only.
+            policy.assign_privilege(instructor, Grant(candidate, ta))
+            policy.assign_privilege(instructor, Revoke(candidate, ta))
+    return policy
+
+
+def grading_ssd_constraints(
+    shape: UniversityShape = UniversityShape(),
+) -> list[SsdConstraint]:
+    """One SSD constraint per course: nobody both grades and submits."""
+    return [
+        SsdConstraint(
+            f"grader-vs-student_c{course}",
+            frozenset({course_roles(course)[2], course_roles(course)[3]}),
+        )
+        for course in range(shape.courses)
+    ]

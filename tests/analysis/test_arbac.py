@@ -1,0 +1,137 @@
+"""Unit tests for the ARBAC97/URA97 baseline."""
+
+import pytest
+
+from repro.analysis.arbac import (
+    ArbacSystem,
+    CanAssign,
+    CanRevoke,
+    Condition,
+    Literal,
+    RoleRange,
+)
+from repro.core.entities import Role, User
+from repro.core.policy import Policy
+
+ADMIN, EMP, NEW = User("admin"), User("emp"), User("new")
+SO, HEAD, STAFF, NURSE, OUTSIDE = (
+    Role("SO"), Role("head"), Role("staff"), Role("nurse"), Role("outside")
+)
+
+
+@pytest.fixture
+def policy():
+    policy = Policy(
+        ua=[(ADMIN, SO), (EMP, STAFF)],
+        rh=[(HEAD, STAFF), (STAFF, NURSE)],
+    )
+    policy.add_user(NEW)
+    policy.add_role(OUTSIDE)
+    return policy
+
+
+class TestRoleRange:
+    def test_contains_endpoints(self, policy):
+        full = RoleRange(NURSE, HEAD)
+        assert full.contains(HEAD, policy)
+        assert full.contains(STAFF, policy)
+        assert full.contains(NURSE, policy)
+
+    def test_excludes_outside(self, policy):
+        full = RoleRange(NURSE, HEAD)
+        assert not full.contains(OUTSIDE, policy)
+        assert not full.contains(SO, policy)
+
+    def test_open_endpoints(self, policy):
+        open_range = RoleRange(NURSE, HEAD, lower_inclusive=False,
+                               upper_inclusive=False)
+        assert open_range.contains(STAFF, policy)
+        assert not open_range.contains(NURSE, policy)
+        assert not open_range.contains(HEAD, policy)
+
+    def test_roles(self, policy):
+        assert RoleRange(NURSE, HEAD).roles(policy) == {NURSE, STAFF, HEAD}
+
+    def test_str(self):
+        assert str(RoleRange(NURSE, HEAD)) == "[nurse, head]"
+        assert str(RoleRange(NURSE, HEAD, False, False)) == "(nurse, head)"
+
+
+class TestConditions:
+    def test_true_condition(self, policy):
+        assert Condition.true().satisfied_by(NEW, policy)
+
+    def test_membership_literal(self, policy):
+        assert Condition.member_of(STAFF).satisfied_by(EMP, policy)
+        assert not Condition.member_of(STAFF).satisfied_by(NEW, policy)
+
+    def test_inherited_membership_counts(self, policy):
+        assert Condition.member_of(NURSE).satisfied_by(EMP, policy)
+
+    def test_negative_literal(self, policy):
+        no_staff = Condition((Literal(STAFF, positive=False),))
+        assert no_staff.satisfied_by(NEW, policy)
+        assert not no_staff.satisfied_by(EMP, policy)
+
+    def test_conjunction(self, policy):
+        both = Condition((Literal(STAFF), Literal(SO, positive=False)))
+        assert both.satisfied_by(EMP, policy)
+        assert not both.satisfied_by(ADMIN, policy)
+
+    def test_str(self):
+        assert str(Condition.true()) == "true"
+        assert "not" in str(Condition((Literal(SO, positive=False),)))
+
+
+class TestArbacSystem:
+    @pytest.fixture
+    def system(self, policy):
+        return ArbacSystem(
+            policy,
+            can_assign_rules=[
+                CanAssign(SO, Condition.true(), RoleRange(NURSE, STAFF)),
+            ],
+            can_revoke_rules=[
+                CanRevoke(SO, RoleRange(NURSE, STAFF)),
+            ],
+        )
+
+    def test_may_assign_in_range(self, system):
+        assert system.may_assign(ADMIN, NEW, STAFF)
+        assert system.may_assign(ADMIN, NEW, NURSE)
+
+    def test_may_not_assign_above_range(self, system):
+        assert not system.may_assign(ADMIN, NEW, HEAD)
+
+    def test_non_admin_may_not_assign(self, system):
+        assert not system.may_assign(EMP, NEW, NURSE)
+
+    def test_assign_mutates_policy(self, system):
+        assert system.assign(ADMIN, NEW, STAFF)
+        assert system.policy.reaches(NEW, STAFF)
+
+    def test_assign_denied_leaves_policy(self, system):
+        before = system.policy.edge_set()
+        assert not system.assign(EMP, NEW, STAFF)
+        assert system.policy.edge_set() == before
+
+    def test_revoke(self, system):
+        assert system.revoke(ADMIN, EMP, STAFF)
+        assert not system.policy.has_edge(EMP, STAFF)
+
+    def test_prerequisite_condition(self, policy):
+        system = ArbacSystem(
+            policy,
+            can_assign_rules=[
+                CanAssign(SO, Condition.member_of(STAFF), RoleRange(HEAD, HEAD)),
+            ],
+        )
+        assert system.may_assign(ADMIN, EMP, HEAD)     # emp is staff
+        assert not system.may_assign(ADMIN, NEW, HEAD)  # new is not
+
+    def test_permitted_assignments_enumeration(self, system):
+        permitted = list(system.permitted_assignments())
+        assert (ADMIN, NEW, STAFF) in permitted
+        assert all(admin == ADMIN for admin, _, _ in permitted)
+        # 2 roles in range x 3 users = 6 assignments for the one admin.
+        assert len(permitted) == 6

@@ -1,0 +1,94 @@
+"""Unit tests for the cross-model comparison harness."""
+
+import pytest
+
+from repro.analysis.compare import (
+    arbac_from_grants,
+    count_arbac_operations,
+    count_grant_commands,
+    count_model_operations,
+    count_scope_operations,
+    flexibility_report,
+    safety_comparison,
+)
+from repro.core.commands import Mode
+from repro.core.entities import Role, User
+from repro.core.policy import Policy
+from repro.core.privileges import Grant, Revoke, perm
+from repro.papercases import figures
+
+
+class TestCounts:
+    def test_refined_counts_dominate_strict(self, fig2):
+        strict, strict_implicit = count_model_operations(fig2, Mode.STRICT)
+        refined, refined_implicit = count_model_operations(fig2, Mode.REFINED)
+        assert strict_implicit == 0
+        assert refined >= strict
+        assert refined_implicit == refined - strict
+
+    def test_grant_only_count(self, fig2):
+        grants = count_grant_commands(fig2, Mode.STRICT)
+        total, _ = count_model_operations(fig2, Mode.STRICT)
+        assert 0 < grants < total  # fig2 also has revocations
+
+    def test_policy_without_admin_privileges(self, fig1):
+        total, implicit = count_model_operations(fig1, Mode.STRICT)
+        assert total == 0 and implicit == 0
+
+
+class TestArbacTranslation:
+    def test_figure2_translates(self, fig2):
+        system = arbac_from_grants(fig2)
+        assert len(system.can_assign_rules) == 2   # grant(bob,staff), grant(joe,nurse)
+        assert len(system.can_revoke_rules) == 3   # revoke(joe,nurse) + 2 dbusr2 revokes
+
+    def test_translation_widens_user_component(self, fig2):
+        # ARBAC ranges cannot say "only bob": jane may assign *diana*
+        # to staff under the translation, which the source policy forbids.
+        system = arbac_from_grants(fig2)
+        assert system.may_assign(figures.JANE, figures.DIANA, figures.STAFF)
+
+    def test_nested_privileges_untranslatable(self):
+        u, adm = User("u"), Role("adm")
+        r = Role("r")
+        policy = Policy(pa=[(adm, Grant(adm, Grant(u, r)))])
+        assert count_arbac_operations(policy) is None
+
+    def test_count_arbac_operations_positive(self, fig2):
+        assert count_arbac_operations(fig2) > 0
+
+
+class TestReports:
+    def test_flexibility_report_figure2(self, fig2):
+        report = flexibility_report(fig2)
+        assert report.refined_operations > report.strict_operations
+        assert report.implicit_operations == (
+            report.refined_operations - report.strict_operations
+        )
+        assert report.refined_over_strict > 1
+        rows = report.as_rows()
+        assert len(rows) == 6
+
+    def test_scope_operations_counted(self, fig2):
+        assert count_scope_operations(fig2) > 0
+
+    def test_safety_comparison_figure2(self, fig2):
+        comparison = safety_comparison(fig2, depth=1)
+        assert comparison.refined_pairs >= comparison.strict_pairs
+        # §4.1's claim: the extra flexibility is safe.
+        assert comparison.refined_is_safe
+
+    def test_safety_comparison_small_policy_depth2(self):
+        u, admin = User("u"), User("admin")
+        high, low, adm = Role("high"), Role("low"), Role("adm")
+        policy = Policy(
+            ua=[(admin, adm)],
+            rh=[(high, low)],
+            pa=[(low, perm("read", "x")),
+                (high, perm("write", "y")),
+                (adm, Grant(u, high)),
+                (adm, Revoke(u, high))],
+        )
+        policy.add_user(u)
+        comparison = safety_comparison(policy, depth=2)
+        assert comparison.refined_is_safe

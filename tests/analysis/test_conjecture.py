@@ -1,0 +1,41 @@
+"""Unit tests for the Remark-2 conjecture tester."""
+
+import pytest
+
+from repro.analysis.conjecture import check_conjecture_instance
+from repro.core.entities import Role, User
+from repro.core.policy import Policy
+from repro.core.privileges import Grant, perm
+from repro.papercases.examples import example6_policy
+
+U, ADMIN = User("u"), User("admin")
+HIGH, LOW, ADM = Role("high"), Role("low"), Role("adm")
+
+
+def test_example6_instance_holds():
+    """The paper's own example: deep terms are redundant — they add no
+    ultimately-obtainable pairs beyond the shallow terms."""
+    policy, seed = example6_policy()
+    r2 = Role("r2")
+    report = check_conjecture_instance(policy, r2, seed, extra_depth=1)
+    assert report.terms_beyond_bound > 0  # there really are deeper terms
+    assert report.holds
+
+
+def test_chain_policy_instance():
+    policy = Policy(
+        ua=[(ADMIN, ADM)],
+        rh=[(HIGH, LOW)],
+        pa=[(LOW, perm("read", "doc")), (ADM, Grant(U, HIGH))],
+    )
+    policy.add_user(U)
+    report = check_conjecture_instance(policy, ADM, Grant(U, HIGH), extra_depth=1)
+    assert report.bound == 1
+    assert report.holds
+
+
+def test_report_counts_consistent():
+    policy, seed = example6_policy()
+    report = check_conjecture_instance(policy, Role("r2"), seed, extra_depth=1)
+    assert report.terms_within_bound >= 1
+    assert not report.violations or not report.holds

@@ -1,0 +1,151 @@
+"""Tests for the separation-of-duty extension."""
+
+import pytest
+
+from repro.analysis.constraints import (
+    ConstrainedMonitor,
+    DsdConstraint,
+    SsdConstraint,
+    weakening_preserves_ssd,
+)
+from repro.core.commands import Mode, grant_cmd
+from repro.core.entities import Role, User
+from repro.core.policy import Policy
+from repro.core.privileges import Grant, perm
+from repro.core.weaker import weaker_set
+from repro.errors import AccessDenied, AnalysisError
+from repro.workloads.generators import PolicyShape, random_policy
+
+U, ADMIN = User("u"), User("admin")
+PAYER, APPROVER, CLERK, ADM = (
+    Role("payer"), Role("approver"), Role("clerk"), Role("adm")
+)
+
+
+@pytest.fixture
+def policy():
+    return Policy(
+        ua=[(ADMIN, ADM), (U, CLERK)],
+        rh=[(PAYER, CLERK)],
+        pa=[
+            (PAYER, perm("exec", "payment")),
+            (APPROVER, perm("exec", "approval")),
+            (ADM, Grant(U, PAYER)),
+            (ADM, Grant(U, APPROVER)),
+        ],
+    )
+
+
+SSD = SsdConstraint("pay-vs-approve", frozenset({PAYER, APPROVER}))
+
+
+class TestSsdConstraint:
+    def test_satisfied_initially(self, policy):
+        assert SSD.satisfied(policy)
+
+    def test_violation_detected(self, policy):
+        policy.assign_user(U, PAYER)
+        policy.assign_user(U, APPROVER)
+        violations = SSD.violations(policy)
+        assert violations == [(U, frozenset({PAYER, APPROVER}))]
+
+    def test_inherited_membership_counts(self, policy):
+        top = Role("top")
+        policy.add_inheritance(top, PAYER)
+        policy.add_inheritance(top, APPROVER)
+        policy.assign_user(U, top)
+        assert not SSD.satisfied(policy)
+
+    def test_cardinality_validation(self):
+        with pytest.raises(AnalysisError):
+            SsdConstraint("bad", frozenset({PAYER, APPROVER}), cardinality=1)
+        with pytest.raises(AnalysisError):
+            SsdConstraint("bad", frozenset({PAYER}), cardinality=2)
+
+
+class TestConstrainedMonitor:
+    def test_rejects_initially_violating_policy(self, policy):
+        policy.assign_user(U, PAYER)
+        policy.assign_user(U, APPROVER)
+        with pytest.raises(AnalysisError):
+            ConstrainedMonitor(policy, ssd=[SSD])
+
+    def test_blocks_violating_command(self, policy):
+        monitor = ConstrainedMonitor(policy, ssd=[SSD])
+        assert monitor.submit(grant_cmd(ADMIN, U, PAYER)).executed
+        record = monitor.submit(grant_cmd(ADMIN, U, APPROVER))
+        assert not record.executed
+        assert SSD.satisfied(monitor.policy)
+        # The block is audited.
+        assert any("SSD" in e.detail for e in monitor.audit_trail)
+
+    def test_allows_nonviolating_commands(self, policy):
+        monitor = ConstrainedMonitor(policy, ssd=[SSD])
+        assert monitor.submit(grant_cmd(ADMIN, U, APPROVER)).executed
+
+    def test_dsd_blocks_activation(self, policy):
+        policy.assign_user(U, PAYER)
+        policy.assign_user(U, APPROVER)
+        dsd = DsdConstraint("pay-vs-approve", frozenset({PAYER, APPROVER}))
+        monitor = ConstrainedMonitor(policy, dsd=[dsd])
+        session = monitor.create_session(U)
+        monitor.add_active_role(session, PAYER)
+        with pytest.raises(AccessDenied, match="DSD"):
+            monitor.add_active_role(session, APPROVER)
+        # Dropping the first role unblocks the second.
+        monitor.drop_active_role(session, PAYER)
+        monitor.add_active_role(session, APPROVER)
+
+    def test_dsd_ignores_unrelated_roles(self, policy):
+        dsd = DsdConstraint("pay-vs-approve", frozenset({PAYER, APPROVER}))
+        monitor = ConstrainedMonitor(policy, dsd=[dsd])
+        session = monitor.create_session(U)
+        monitor.add_active_role(session, CLERK)
+
+    def test_refined_mode_composes_with_ssd(self, policy):
+        monitor = ConstrainedMonitor(policy, mode=Mode.REFINED, ssd=[SSD])
+        # Implicitly authorized weaker grant executes...
+        record = monitor.submit(grant_cmd(ADMIN, U, CLERK))
+        assert record.executed and record.implicit
+        # ... and SSD still blocks the violating pair.
+        assert monitor.submit(grant_cmd(ADMIN, U, PAYER)).executed
+        assert not monitor.submit(grant_cmd(ADMIN, U, APPROVER)).executed
+
+
+class TestExtensionClaim:
+    def test_weakening_preserves_ssd_on_fixture(self, policy):
+        stronger = Grant(U, PAYER)
+        for weaker in weaker_set(policy, stronger, 1) - {stronger}:
+            if not isinstance(weaker, Grant):
+                continue
+            assert weakening_preserves_ssd(
+                policy, stronger, weaker, [SSD], ADMIN
+            )
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_weakening_preserves_ssd_on_random_policies(self, seed):
+        shape = PolicyShape(n_admin_privileges=3, max_nesting=1,
+                            allow_revocations=False)
+        policy = random_policy(seed, shape)
+        roles = sorted(policy.roles(), key=str)
+        constraint = SsdConstraint(
+            "random-ssd", frozenset(roles[:3]), cardinality=2
+        )
+        grants = [
+            (role, privilege)
+            for role, privilege in policy.admin_privileges_assigned()
+            if isinstance(privilege, Grant)
+            and isinstance(privilege.target, Role)
+        ]
+        for holder, stronger in grants:
+            actors = [u for u in policy.users() if policy.reaches(u, holder)]
+            if not actors:
+                continue
+            for weaker in sorted(
+                weaker_set(policy, stronger, 1) - {stronger}, key=str
+            )[:4]:
+                if not isinstance(weaker, Grant):
+                    continue
+                assert weakening_preserves_ssd(
+                    policy, stronger, weaker, [constraint], actors[0]
+                ), (stronger, weaker)

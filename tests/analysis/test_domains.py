@@ -1,0 +1,76 @@
+"""Unit tests for administrative domains (Wang & Osborn)."""
+
+import pytest
+
+from repro.analysis.domains import Domain, DomainPartition
+from repro.core.entities import Role, User
+from repro.core.policy import Policy
+from repro.errors import AnalysisError
+
+U = User("u")
+ADMIN_A, ADMIN_B = Role("adminA"), Role("adminB")
+A1, A2, B1 = Role("a1"), Role("a2"), Role("b1")
+
+
+@pytest.fixture
+def policy():
+    policy = Policy(ua=[(U, ADMIN_A)], rh=[(A1, A2)])
+    for role in (ADMIN_A, ADMIN_B, B1):
+        policy.add_role(role)
+    return policy
+
+
+def test_domain_requires_roles():
+    with pytest.raises(AnalysisError):
+        Domain("empty", frozenset(), ADMIN_A)
+
+
+def test_partition_validates_disjointness(policy):
+    with pytest.raises(AnalysisError, match="overlap"):
+        DomainPartition(policy, [
+            Domain("a", frozenset({A1, A2}), ADMIN_A),
+            Domain("b", frozenset({A2, B1}), ADMIN_B),
+        ])
+
+
+def test_partition_validates_known_roles(policy):
+    with pytest.raises(AnalysisError, match="unknown roles"):
+        DomainPartition(policy, [
+            Domain("a", frozenset({Role("ghost")}), ADMIN_A),
+        ])
+
+
+@pytest.fixture
+def partition(policy):
+    return DomainPartition(policy, [
+        Domain("a", frozenset({A1, A2}), ADMIN_A),
+        Domain("b", frozenset({B1}), ADMIN_B),
+    ])
+
+
+def test_domain_of(partition):
+    assert partition.domain_of(A1).name == "a"
+    assert partition.domain_of(B1).name == "b"
+    assert partition.domain_of(ADMIN_A) is None
+
+
+def test_may_administer_own_domain(partition):
+    assert partition.may_administer(U, A1)
+    assert partition.may_administer(U, A2)
+
+
+def test_may_not_administer_other_domain(partition):
+    assert not partition.may_administer(U, B1)
+
+
+def test_unpartitioned_role_unadministered(partition):
+    assert not partition.may_administer(U, ADMIN_B)
+
+
+def test_may_assign_signature_parity(partition):
+    assert partition.may_assign(U, User("x"), A1)
+    assert not partition.may_assign(U, User("x"), B1)
+
+
+def test_administrators(partition):
+    assert partition.administrators() == {ADMIN_A, ADMIN_B}

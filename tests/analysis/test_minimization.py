@@ -1,0 +1,148 @@
+"""Unit tests for policy minimization."""
+
+import pytest
+
+from repro.analysis.minimization import (
+    canonicalize,
+    lowering_opportunities,
+    redundant_edges,
+)
+from repro.core.entities import Role, User
+from repro.core.policy import Policy
+from repro.core.privileges import Grant, perm
+from repro.core.refinement import granted_pairs, is_refinement
+from repro.papercases import figures
+
+U = User("u")
+R, S, T = Role("r"), Role("s"), Role("t")
+P = perm("read", "doc")
+
+
+class TestRedundantEdges:
+    def test_clean_policy_has_none(self):
+        policy = Policy(ua=[(U, R)], pa=[(R, P)])
+        assert redundant_edges(policy) == []
+
+    def test_parallel_path_detected(self):
+        # u -> r -> s and u -> s: the direct edge is redundant, and so
+        # is the hop through r (individually).
+        policy = Policy(ua=[(U, R), (U, S)], rh=[(R, S)], pa=[(S, P)])
+        redundant = set(redundant_edges(policy))
+        assert (U, S) in redundant
+
+    def test_dead_role_edge(self):
+        # A hierarchy edge to a role with nothing below it.
+        policy = Policy(ua=[(U, R)], rh=[(R, S)], pa=[(R, P)])
+        assert (R, S) in redundant_edges(policy)
+
+    def test_not_closed_under_combination(self):
+        policy = Policy(ua=[(U, R), (U, S)], rh=[(R, S)], pa=[(S, P)])
+        # Both (u, s) and (u, r) may be individually redundant, but
+        # removing both would cut u off: canonicalize handles this.
+        minimized, _removed = canonicalize(policy)
+        assert granted_pairs(minimized) == granted_pairs(policy)
+
+
+class TestCanonicalize:
+    def test_preserves_granted_pairs(self):
+        policy = Policy(
+            ua=[(U, R), (U, S)],
+            rh=[(R, S), (S, T), (R, T)],
+            pa=[(T, P)],
+        )
+        minimized, removed = canonicalize(policy)
+        assert granted_pairs(minimized) == granted_pairs(policy)
+        assert is_refinement(policy, minimized)
+        assert is_refinement(minimized, policy)
+        assert removed
+
+    def test_fixpoint_no_single_redundancy_left(self):
+        policy = Policy(
+            ua=[(U, R), (U, S)],
+            rh=[(R, S), (S, T), (R, T)],
+            pa=[(T, P)],
+        )
+        minimized, _ = canonicalize(policy)
+        from repro.core.privileges import AdminPrivilege
+
+        leftovers = [
+            edge for edge in redundant_edges(minimized)
+            if not isinstance(edge[1], AdminPrivilege)
+        ]
+        assert leftovers == []
+
+    def test_preserves_admin_authority(self):
+        admin = User("admin")
+        adm = Role("adm")
+        policy = Policy(
+            ua=[(admin, adm), (U, R)],
+            pa=[(R, P), (adm, Grant(U, S))],
+        )
+        # The UA edge (admin, adm) grants no user privileges — naive
+        # minimization would strip it and silently demote the admin.
+        minimized, removed = canonicalize(policy)
+        assert minimized.reachable_admin_privileges(admin)
+        assert (admin, adm) not in removed
+
+    def test_figure1_diana_nurse_is_authority_redundant(self):
+        """A genuine hygiene finding on the paper's own figure: Diana's
+        direct nurse membership grants nothing her staff membership
+        does not — it exists for least-privilege *sessions*."""
+        minimized, removed = canonicalize(figures.figure1())
+        assert removed == [(figures.DIANA, figures.NURSE)]
+        assert granted_pairs(minimized) == granted_pairs(figures.figure1())
+
+    def test_preserve_user_assignments_keeps_figure1_intact(self):
+        minimized, removed = canonicalize(
+            figures.figure1(), preserve_user_assignments=True
+        )
+        assert removed == []
+        assert minimized == figures.figure1()
+
+    def test_inflated_figure1_shrinks_back(self):
+        policy = figures.figure1()
+        policy.add_inheritance(figures.STAFF, figures.DBUSR1)  # implied
+        policy.assign_user(figures.DIANA, figures.DBUSR2)      # implied
+        minimized, removed = canonicalize(policy)
+        assert (figures.STAFF, figures.DBUSR1) in removed
+        assert (figures.DIANA, figures.DBUSR2) in removed
+        assert granted_pairs(minimized) == granted_pairs(figures.figure1())
+
+
+class TestLoweringOpportunities:
+    def test_example3_rearrangement_not_suggested_when_privileges_differ(self):
+        # Moving Diana from staff to nurse LOSES privileges (write t3),
+        # so it is not a lowering opportunity in our strict sense.
+        opportunities = lowering_opportunities(figures.figure1())
+        assert all(
+            opp.user != figures.DIANA or opp.current_role != figures.STAFF
+            for opp in opportunities
+        )
+
+    def test_vacuous_senior_membership_lowered(self):
+        empty_top = Role("empty_top")
+        policy = Policy(
+            ua=[(U, empty_top)], rh=[(empty_top, R)], pa=[(R, P)]
+        )
+        opportunities = lowering_opportunities(policy)
+        assert len(opportunities) == 1
+        opportunity = opportunities[0]
+        assert opportunity.user == U
+        assert opportunity.current_role == empty_top
+        assert opportunity.lower_role == R
+        assert "can be moved" in str(opportunity)
+
+    def test_junior_most_candidate_preferred(self):
+        a, b = Role("a"), Role("b")
+        policy = Policy(ua=[(U, a)], rh=[(a, b), (b, R)], pa=[(R, P)])
+        (opportunity,) = lowering_opportunities(policy)
+        assert opportunity.lower_role == R
+
+    def test_admin_authority_blocks_lowering(self):
+        adm = Role("adm")
+        policy = Policy(
+            ua=[(U, adm)], rh=[(adm, R)],
+            pa=[(R, P), (adm, Grant(U, R))],
+        )
+        # Lowering u from adm to r would lose the admin privilege.
+        assert lowering_opportunities(policy) == []

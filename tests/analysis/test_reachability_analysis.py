@@ -1,0 +1,89 @@
+"""Unit tests for administrative reachability analysis."""
+
+import pytest
+
+from repro.analysis.reachability import (
+    newly_obtainable_pairs,
+    obtainable_pairs,
+    reachable_policies,
+)
+from repro.core.commands import Mode
+from repro.core.entities import Role, User
+from repro.core.policy import Policy
+from repro.core.privileges import Grant, Revoke, perm
+from repro.core.refinement import granted_pairs
+
+U, ADMIN = User("u"), User("admin")
+R, HIGH, LOW, ADM = Role("r"), Role("high"), Role("low"), Role("adm")
+P = perm("read", "doc")
+
+
+@pytest.fixture
+def policy():
+    return Policy(
+        ua=[(ADMIN, ADM)],
+        rh=[],
+        pa=[(R, P), (ADM, Grant(U, R)), (ADM, Revoke(U, R))],
+    )
+
+
+class TestReachablePolicies:
+    def test_initial_state_included(self, policy):
+        states = reachable_policies(policy, depth=0)
+        assert len(states) == 1
+        assert states[0].policy == policy
+        assert states[0].witness == ()
+
+    def test_grant_reached_at_depth_one(self, policy):
+        states = reachable_policies(policy, depth=1)
+        signatures = {state.policy.edge_set() for state in states}
+        extended = policy.copy()
+        extended.assign_user(U, R)
+        assert extended.edge_set() in signatures
+
+    def test_witness_length_matches_depth(self, policy):
+        states = reachable_policies(policy, depth=2)
+        for state in states:
+            assert len(state.witness) <= 2
+
+    def test_revoke_and_regrant_cycle_deduplicated(self, policy):
+        # Granting then revoking returns to the start; dedup keeps the
+        # state count small.
+        states = reachable_policies(policy, depth=3)
+        signatures = [state.policy.edge_set() for state in states]
+        assert len(signatures) == len(set(signatures))
+
+    def test_max_states_cap(self, policy):
+        states = reachable_policies(policy, depth=3, max_states=2)
+        assert len(states) == 2
+
+
+class TestObtainablePairs:
+    def test_includes_initial_grants(self, policy):
+        pairs = obtainable_pairs(policy, depth=0)
+        assert pairs == granted_pairs(policy)
+
+    def test_grant_extends_pairs(self, policy):
+        pairs = obtainable_pairs(policy, depth=1)
+        assert (U, P) in pairs
+
+    def test_newly_obtainable(self, policy):
+        new = newly_obtainable_pairs(policy, depth=1)
+        assert (U, P) in new
+        assert (R, P) not in new  # already granted initially
+
+    def test_refined_superset_of_strict(self):
+        policy = Policy(
+            ua=[(ADMIN, ADM)],
+            rh=[(HIGH, LOW)],
+            pa=[(LOW, P), (ADM, Grant(U, HIGH))],
+        )
+        strict = obtainable_pairs(policy, 1, Mode.STRICT)
+        refined = obtainable_pairs(policy, 1, Mode.REFINED)
+        assert strict <= refined
+
+    def test_depth_monotone(self, policy):
+        d0 = obtainable_pairs(policy, 0)
+        d1 = obtainable_pairs(policy, 1)
+        d2 = obtainable_pairs(policy, 2)
+        assert d0 <= d1 <= d2

@@ -1,0 +1,104 @@
+"""Unit tests for the experimental revocation orderings (§6)."""
+
+import pytest
+
+from repro.analysis.revocation import (
+    candidate_substitutions,
+    cross_connective_unsafe,
+    dual_grant_ordering,
+    falsify_candidate,
+    revoke_always_weaker,
+)
+from repro.core.entities import Role, User
+from repro.core.policy import Policy
+from repro.core.privileges import Grant, Revoke, perm
+
+JANE, BOB = User("jane"), User("bob")
+HIGH, LOW, HR = Role("high"), Role("low"), Role("HR")
+
+
+def pool_policy():
+    policy = Policy(
+        ua=[(JANE, HR)],
+        rh=[(HIGH, LOW)],
+        pa=[
+            (LOW, perm("read", "doc")),
+            (HIGH, perm("write", "doc")),
+            (HR, Grant(BOB, LOW)),
+            (HR, Revoke(BOB, HIGH)),
+        ],
+    )
+    policy.add_user(BOB)
+    return policy
+
+
+class TestCandidatePredicates:
+    def test_revoke_always_weaker(self):
+        policy = pool_policy()
+        assert revoke_always_weaker(policy, Grant(BOB, LOW), Revoke(BOB, HIGH))
+        assert not revoke_always_weaker(policy, Revoke(BOB, HIGH), Grant(BOB, LOW))
+
+    def test_dual_grant_ordering(self):
+        policy = pool_policy()
+        # Revoking from a junior membership... the dual: stronger
+        # revoke (bob, low) vs weaker revoke (bob, high): premises
+        # low_src -> ... : source(stronger)=bob reaches source(weaker)=bob,
+        # target(weaker)=high reaches target(stronger)=low.
+        assert dual_grant_ordering(
+            policy, Revoke(BOB, LOW), Revoke(BOB, HIGH)
+        )
+        assert not dual_grant_ordering(
+            policy, Revoke(BOB, HIGH), Revoke(BOB, LOW)
+        )
+        assert not dual_grant_ordering(
+            policy, Grant(BOB, LOW), Revoke(BOB, HIGH)
+        )
+
+    def test_cross_connective_unsafe_shape(self):
+        policy = pool_policy()
+        assert cross_connective_unsafe(
+            policy, Revoke(BOB, HIGH), Grant(BOB, HIGH)
+        )
+        assert not cross_connective_unsafe(
+            policy, Grant(BOB, HIGH), Revoke(BOB, HIGH)
+        )
+
+
+class TestSubstitutions:
+    def test_substitutions_respect_candidate(self):
+        policy = pool_policy()
+        subs = list(candidate_substitutions(policy, revoke_always_weaker))
+        assert subs
+        for _role, _stronger, weaker in subs:
+            assert isinstance(weaker, Revoke)
+
+
+class TestFalsifier:
+    def test_revoke_always_weaker_survives(self):
+        outcome = falsify_candidate(
+            revoke_always_weaker, [pool_policy()], depth=2,
+            name="revoke-always-weaker", max_substitutions_per_policy=6,
+        )
+        assert outcome.substitutions_tried > 0
+        assert outcome.survived
+
+    def test_dual_ordering_survives_small_pool(self):
+        outcome = falsify_candidate(
+            dual_grant_ordering, [pool_policy()], depth=2,
+            name="dual", max_substitutions_per_policy=6,
+        )
+        assert outcome.survived
+
+    def test_unsafe_candidate_is_refuted(self):
+        """Positive control: replacing a revoke privilege by a *grant*
+        must be caught by the bounded Definition-7 checker."""
+        outcome = falsify_candidate(
+            cross_connective_unsafe, [pool_policy()], depth=1,
+            name="cross-connective", max_substitutions_per_policy=20,
+        )
+        assert outcome.substitutions_tried > 0
+        assert not outcome.survived
+        _policy, role, stronger, weaker, result = outcome.counterexamples[0]
+        assert isinstance(stronger, Revoke)
+        assert isinstance(weaker, Grant)
+        assert result.counterexample

@@ -1,0 +1,84 @@
+"""Unit tests for administrative scope (Crampton & Loizou)."""
+
+import pytest
+
+from repro.analysis.scope import (
+    administrative_scope,
+    is_within_scope,
+    juniors,
+    may_assign_under_scope,
+    scope_administrators,
+    seniors,
+    strict_administrative_scope,
+)
+from repro.core.entities import Role, User
+from repro.core.policy import Policy
+
+U = User("u")
+TOP, LEFT, RIGHT, MID, BOT = (
+    Role("top"), Role("left"), Role("right"), Role("mid"), Role("bot")
+)
+
+
+@pytest.fixture
+def diamond():
+    """top -> {left, right} -> mid -> bot."""
+    return Policy(rh=[
+        (TOP, LEFT), (TOP, RIGHT), (LEFT, MID), (RIGHT, MID), (MID, BOT),
+    ])
+
+
+class TestUpDownSets:
+    def test_seniors(self, diamond):
+        assert seniors(diamond, MID) == {MID, LEFT, RIGHT, TOP}
+        assert seniors(diamond, TOP) == {TOP}
+
+    def test_juniors(self, diamond):
+        assert juniors(diamond, LEFT) == {LEFT, MID, BOT}
+        assert juniors(diamond, BOT) == {BOT}
+
+
+class TestScope:
+    def test_top_scopes_everything(self, diamond):
+        assert administrative_scope(diamond, TOP) == {TOP, LEFT, RIGHT, MID, BOT}
+
+    def test_mid_not_in_left_scope(self, diamond):
+        # mid has a senior (right) that is neither above nor below left.
+        assert MID not in administrative_scope(diamond, LEFT)
+        assert administrative_scope(diamond, LEFT) == {LEFT}
+
+    def test_mid_scopes_bot(self, diamond):
+        assert administrative_scope(diamond, MID) == {MID, BOT}
+
+    def test_strict_scope_excludes_self(self, diamond):
+        assert strict_administrative_scope(diamond, MID) == {BOT}
+
+    def test_is_within_scope(self, diamond):
+        assert is_within_scope(diamond, TOP, MID)
+        assert not is_within_scope(diamond, LEFT, MID)
+
+    def test_scope_administrators(self, diamond):
+        admins = scope_administrators(diamond, MID)
+        assert TOP in admins and MID in admins
+        assert LEFT not in admins
+
+    def test_isolated_role_scopes_only_itself(self, diamond):
+        lonely = Role("lonely")
+        diamond.add_role(lonely)
+        assert administrative_scope(diamond, lonely) == {lonely}
+
+
+class TestAssignmentCheck:
+    def test_member_of_scoping_role_may_assign(self, diamond):
+        diamond.assign_user(U, TOP)
+        assert may_assign_under_scope(diamond, U, User("x"), MID)
+        assert may_assign_under_scope(diamond, U, User("x"), BOT)
+
+    def test_strictness_blocks_own_role(self, diamond):
+        diamond.assign_user(U, MID)
+        assert not may_assign_under_scope(diamond, U, User("x"), MID)
+        assert may_assign_under_scope(diamond, U, User("x"), BOT)
+
+    def test_nonmember_cannot_assign(self, diamond):
+        diamond.add_user(U)
+        assert not may_assign_under_scope(diamond, U, User("x"), BOT)

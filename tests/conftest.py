@@ -1,0 +1,48 @@
+"""Shared fixtures: the paper's policies and a few small scenarios."""
+
+import pytest
+
+from repro.core.entities import Role, User
+from repro.core.policy import Policy
+from repro.core.privileges import Grant, Revoke, perm
+from repro.papercases import figures
+
+
+@pytest.fixture
+def fig1():
+    return figures.figure1()
+
+
+@pytest.fixture
+def fig2():
+    return figures.figure2()
+
+
+@pytest.fixture
+def tiny_policy():
+    """u -> r -> (read, doc); r2 holds grant/revoke privileges."""
+    u, admin = User("u"), User("admin")
+    r, r2 = Role("r"), Role("r2")
+    policy = Policy(
+        ua=[(u, r), (admin, r2)],
+        rh=[],
+        pa=[
+            (r, perm("read", "doc")),
+            (r2, Grant(u, r)),
+            (r2, Revoke(u, r)),
+        ],
+    )
+    return policy
+
+
+@pytest.fixture
+def chain_policy():
+    """A 4-role chain top -> a -> b -> bottom with privileges at the ends."""
+    top, a, b, bottom = (Role(n) for n in ["top", "a", "b", "bottom"])
+    u = User("u")
+    policy = Policy(
+        ua=[(u, top)],
+        rh=[(top, a), (a, b), (b, bottom)],
+        pa=[(bottom, perm("read", "leaf")), (top, perm("write", "root"))],
+    )
+    return policy

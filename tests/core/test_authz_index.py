@@ -1,0 +1,111 @@
+"""Unit and differential tests for the authorization index."""
+
+import pytest
+
+from repro.core.authz_index import AuthorizationIndex
+from repro.core.commands import Mode, candidate_commands, grant_cmd, revoke_cmd, step
+from repro.core.entities import Role, User
+from repro.core.ordering import OrderingOracle
+from repro.core.policy import Policy
+from repro.core.privileges import Grant, Revoke, perm
+from repro.papercases import figures
+from repro.workloads.generators import PolicyShape, random_policy
+
+U, ADMIN = User("u"), User("admin")
+HIGH, MID, LOW, ADM = Role("high"), Role("mid"), Role("low"), Role("adm")
+
+
+@pytest.fixture
+def policy():
+    policy = Policy(
+        ua=[(ADMIN, ADM)],
+        rh=[(HIGH, MID), (MID, LOW)],
+        pa=[(ADM, Grant(U, HIGH)), (ADM, Revoke(U, HIGH))],
+    )
+    policy.add_user(U)
+    return policy
+
+
+class TestRectangles:
+    def test_exact_grant_covered(self, policy):
+        index = AuthorizationIndex(policy)
+        assert index.authorizes(ADMIN, grant_cmd(ADMIN, U, HIGH)) == Grant(U, HIGH)
+
+    def test_weaker_targets_covered(self, policy):
+        index = AuthorizationIndex(policy)
+        for role in (MID, LOW):
+            assert index.authorizes(ADMIN, grant_cmd(ADMIN, U, role)) == Grant(U, HIGH)
+
+    def test_unrelated_target_denied(self, policy):
+        index = AuthorizationIndex(policy)
+        assert index.authorizes(ADMIN, grant_cmd(ADMIN, U, ADM)) is None
+
+    def test_unauthorized_user_denied(self, policy):
+        index = AuthorizationIndex(policy)
+        assert index.authorizes(U, grant_cmd(U, U, LOW)) is None
+
+    def test_revocation_exact_only(self, policy):
+        index = AuthorizationIndex(policy)
+        assert index.authorizes(ADMIN, revoke_cmd(ADMIN, U, HIGH)) == Revoke(U, HIGH)
+        assert index.authorizes(ADMIN, revoke_cmd(ADMIN, U, LOW)) is None
+
+    def test_ill_sorted_command_denied(self, policy):
+        index = AuthorizationIndex(policy)
+        assert index.authorizes(ADMIN, grant_cmd(ADMIN, U, User("x"))) is None
+
+    def test_nested_target_falls_back_to_oracle(self, policy):
+        inner = Grant(U, HIGH)
+        policy.assign_privilege(ADM, Grant(ADM, inner))
+        index = AuthorizationIndex(policy)
+        weaker_nested = Grant(ADM, Grant(U, LOW))
+        command = grant_cmd(ADMIN, ADM, Grant(U, LOW))
+        assert index.authorizes(ADMIN, command) == Grant(ADM, inner)
+
+    def test_invalidated_on_policy_change(self, policy):
+        index = AuthorizationIndex(policy)
+        assert index.authorizes(ADMIN, grant_cmd(ADMIN, U, LOW)) is not None
+        policy.remove_edge(ADM, Grant(U, HIGH))
+        assert index.authorizes(ADMIN, grant_cmd(ADMIN, U, LOW)) is None
+
+
+class TestGrantablePairs:
+    def test_pairs_match_rectangle(self, policy):
+        index = AuthorizationIndex(policy)
+        pairs = index.grantable_pairs(ADMIN)
+        assert (U, HIGH) in pairs
+        assert (U, MID) in pairs
+        assert (U, LOW) in pairs
+        assert (U, ADM) not in pairs
+
+    def test_unprivileged_user_has_none(self, policy):
+        index = AuthorizationIndex(policy)
+        assert index.grantable_pairs(U) == frozenset()
+
+    def test_statistics(self, policy):
+        stats = AuthorizationIndex(policy).statistics()
+        assert stats["users"] == 2
+        assert stats["rectangles"] == 1
+        assert stats["rectangle_pairs"] >= 3
+
+
+class TestDifferentialAgainstOracle:
+    """The index must agree with the oracle-based monitor path on the
+    whole candidate command universe."""
+
+    def check_policy(self, policy):
+        index = AuthorizationIndex(policy)
+        for command in candidate_commands(policy, Mode.REFINED):
+            probe = policy.copy()
+            record = step(probe, command, Mode.REFINED, OrderingOracle(probe))
+            indexed = index.authorizes(command.user, command)
+            assert record.executed == (indexed is not None), command
+
+    def test_figure2(self):
+        self.check_policy(figures.figure2())
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_policies(self, seed):
+        shape = PolicyShape(
+            n_users=3, n_roles=4, n_admin_privileges=3, max_nesting=2,
+        )
+        self.check_policy(random_policy(seed, shape))

@@ -1,0 +1,211 @@
+"""Unit tests for commands and the transition function (Defs. 4, 5)."""
+
+import pytest
+
+from repro.core.commands import (
+    Command,
+    CommandAction,
+    Mode,
+    candidate_commands,
+    candidate_edges,
+    effective_commands,
+    grant_cmd,
+    revoke_cmd,
+    run_queue,
+    step,
+)
+from repro.core.entities import Role, User
+from repro.core.policy import Policy
+from repro.core.privileges import Grant, Revoke, perm
+from repro.errors import CommandError
+
+U, ADMIN = User("u"), User("admin")
+R, S = Role("r"), Role("s")
+P = perm("read", "doc")
+
+
+@pytest.fixture
+def policy():
+    """admin -> s holds grant/revoke over (u, r); r guards P."""
+    return Policy(
+        ua=[(ADMIN, S)],
+        pa=[(R, P), (S, Grant(U, R)), (S, Revoke(U, R))],
+    )
+
+
+class TestCommandConstruction:
+    def test_convenience_constructors(self):
+        c = grant_cmd(U, U, R)
+        assert c.action is CommandAction.GRANT
+        assert c.edge == (U, R)
+        assert revoke_cmd(U, U, R).action is CommandAction.REVOKE
+
+    def test_requires_user_issuer(self):
+        with pytest.raises(CommandError):
+            Command(R, CommandAction.GRANT, U, R)
+
+    def test_requires_enum_action(self):
+        with pytest.raises(CommandError):
+            Command(U, "grant", U, R)
+
+    def test_requested_privilege(self):
+        assert grant_cmd(U, U, R).requested_privilege() == Grant(U, R)
+        assert revoke_cmd(U, U, R).requested_privilege() == Revoke(U, R)
+
+    def test_ill_sorted_edge_has_no_privilege(self):
+        command = grant_cmd(ADMIN, U, User("other"))
+        assert command.requested_privilege() is None
+
+    def test_str(self):
+        assert str(grant_cmd(U, U, R)) == "cmd(u, grant, u, r)"
+
+
+class TestDefinition5:
+    def test_authorized_grant_executes(self, policy):
+        record = step(policy, grant_cmd(ADMIN, U, R))
+        assert record.executed
+        assert record.authorized_by == Grant(U, R)
+        assert not record.implicit
+        assert policy.has_edge(U, R)
+
+    def test_authorized_revoke_executes(self, policy):
+        policy.assign_user(U, R)
+        record = step(policy, revoke_cmd(ADMIN, U, R))
+        assert record.executed
+        assert not policy.has_edge(U, R)
+
+    def test_unauthorized_command_is_noop(self, policy):
+        before = policy.edge_set()
+        record = step(policy, grant_cmd(U, U, R))  # u holds nothing
+        assert not record.executed
+        assert policy.edge_set() == before
+
+    def test_unauthorized_wrong_edge_is_noop(self, policy):
+        record = step(policy, grant_cmd(ADMIN, U, S))  # privilege is over r
+        assert not record.executed
+
+    def test_ill_sorted_command_is_noop(self, policy):
+        record = step(policy, grant_cmd(ADMIN, U, User("other")))
+        assert not record.executed
+
+    def test_revoking_absent_edge_executes_vacuously(self, policy):
+        # Def. 5 has no presence precondition: the command is allowed,
+        # and `policy \ (v, v')` leaves the policy unchanged.
+        record = step(policy, revoke_cmd(ADMIN, U, R))
+        assert record.executed
+
+    def test_strict_mode_rejects_weaker_request(self, policy):
+        policy.add_inheritance(R, S)  # r senior... irrelevant here
+        # admin holds grant(u, r); requests grant(u, s) which is not
+        # exactly held: strict mode denies.
+        record = step(policy, grant_cmd(ADMIN, U, S), Mode.STRICT)
+        assert not record.executed
+
+    def test_refined_mode_accepts_weaker_request(self):
+        high, low = Role("high"), Role("low")
+        policy = Policy(
+            ua=[(ADMIN, Role("adm"))],
+            rh=[(high, low)],
+            pa=[(Role("adm"), Grant(U, high))],
+        )
+        record = step(policy, grant_cmd(ADMIN, U, low), Mode.REFINED)
+        assert record.executed
+        assert record.implicit
+        assert record.authorized_by == Grant(U, high)
+        assert policy.has_edge(U, low)
+
+    def test_refined_mode_revocations_stay_exact(self):
+        high, low = Role("high"), Role("low")
+        adm = Role("adm")
+        policy = Policy(
+            ua=[(ADMIN, adm)],
+            rh=[(high, low)],
+            pa=[(adm, Revoke(U, high))],
+        )
+        policy.assign_user(U, low)
+        record = step(policy, revoke_cmd(ADMIN, U, low), Mode.REFINED)
+        assert not record.executed  # no ordering for revocations
+
+    def test_grant_of_nested_privilege(self):
+        adm = Role("adm")
+        inner = Grant(U, R)
+        outer = Grant(R, inner)
+        policy = Policy(ua=[(ADMIN, adm)], pa=[(adm, outer)])
+        policy.add_user(U)
+        record = step(policy, grant_cmd(ADMIN, R, inner))
+        assert record.executed
+        assert policy.has_edge(R, inner)
+        # Now u... still cannot execute inner: u must reach it.
+        record2 = step(policy, grant_cmd(U, U, R))
+        assert not record2.executed
+        policy.assign_user(U, R)
+        record3 = step(policy, grant_cmd(U, U, R))
+        assert record3.executed
+
+
+class TestRunQueue:
+    def test_copies_by_default(self, policy):
+        final, records = run_queue(policy, [grant_cmd(ADMIN, U, R)])
+        assert final.has_edge(U, R)
+        assert not policy.has_edge(U, R)
+
+    def test_in_place(self, policy):
+        final, _ = run_queue(policy, [grant_cmd(ADMIN, U, R)], in_place=True)
+        assert final is policy
+        assert policy.has_edge(U, R)
+
+    def test_queue_order_matters(self):
+        # Paper §4 / footnote 5: order of commands is significant.
+        adm = Role("adm")
+        inner = Grant(U, R)
+        policy = Policy(ua=[(ADMIN, adm)], pa=[(adm, Grant(S, inner))])
+        policy.add_user(U)
+        policy.assign_user(ADMIN, S)
+        give_then_use = [grant_cmd(ADMIN, S, inner), grant_cmd(ADMIN, U, R)]
+        use_then_give = [grant_cmd(ADMIN, U, R), grant_cmd(ADMIN, S, inner)]
+        final1, records1 = run_queue(policy, give_then_use)
+        final2, records2 = run_queue(policy, use_then_give)
+        assert [r.executed for r in records1] == [True, True]
+        assert [r.executed for r in records2] == [False, True]
+        assert final1.has_edge(U, R)
+        assert not final2.has_edge(U, R)
+
+    def test_empty_queue(self, policy):
+        final, records = run_queue(policy, [])
+        assert records == []
+        assert final == policy
+
+
+class TestCandidateUniverse:
+    def test_strict_candidates_cover_closure_edges(self, policy):
+        edges = candidate_edges(policy, Mode.STRICT)
+        assert (U, R) in edges
+        assert policy.edge_set() <= edges
+
+    def test_refined_candidates_cover_entity_pairs(self, policy):
+        edges = candidate_edges(policy, Mode.REFINED)
+        assert (U, S) in edges  # any user-role pair
+        assert (R, S) in edges  # any role-role pair
+
+    def test_candidate_commands_deterministic(self, policy):
+        first = [str(c) for c in candidate_commands(policy)]
+        second = [str(c) for c in candidate_commands(policy)]
+        assert first == second
+
+    def test_effective_commands_strict(self, policy):
+        effective = list(effective_commands(policy, Mode.STRICT))
+        commands = {str(cmd) for cmd, _, _ in effective}
+        assert "cmd(admin, grant, u, r)" in commands
+        assert "cmd(admin, revoke, u, r)" in commands
+        assert all(not implicit for _, _, implicit in effective)
+
+    def test_effective_commands_refined_superset(self):
+        high, low = Role("high"), Role("low")
+        adm = Role("adm")
+        policy = Policy(
+            ua=[(ADMIN, adm)], rh=[(high, low)], pa=[(adm, Grant(U, high))]
+        )
+        strict = {str(c) for c, _, _ in effective_commands(policy, Mode.STRICT)}
+        refined = {str(c) for c, _, _ in effective_commands(policy, Mode.REFINED)}
+        assert strict <= refined
+        assert "cmd(admin, grant, u, low)" in refined - strict

@@ -1,0 +1,124 @@
+"""Unit tests for policy diffing."""
+
+import pytest
+
+from repro.core.diff import apply_diff, diff_policies
+from repro.core.entities import Role, User
+from repro.core.policy import Policy
+from repro.core.privileges import Grant, perm
+from repro.core.refinement import without_edge
+from repro.papercases import figures
+
+U = User("u")
+R, S = Role("r"), Role("s")
+P, Q = perm("read", "a"), perm("read", "b")
+
+
+@pytest.fixture
+def base():
+    return Policy(ua=[(U, R)], rh=[(R, S)], pa=[(S, P)])
+
+
+class TestDirections:
+    def test_noop(self, base):
+        diff = diff_policies(base, base.copy())
+        assert diff.is_noop
+        assert diff.direction == "equivalent"
+        assert not diff.gained_pairs and not diff.lost_pairs
+
+    def test_refinement_direction(self, base):
+        smaller = without_edge(base, U, R)
+        diff = diff_policies(base, smaller)
+        assert diff.direction == "refinement"
+        assert (U, P) in diff.lost_pairs
+        assert not diff.gained_pairs
+
+    def test_coarsening_direction(self, base):
+        bigger = base.copy()
+        bigger.assign_privilege(R, Q)
+        diff = diff_policies(base, bigger)
+        assert diff.direction == "coarsening"
+        assert (U, Q) in diff.gained_pairs
+        assert not diff.lost_pairs
+
+    def test_incomparable_direction(self, base):
+        sideways = without_edge(base, S, P)
+        sideways.assign_privilege(R, Q)
+        diff = diff_policies(base, sideways)
+        assert diff.direction == "incomparable"
+        assert diff.gained_pairs and diff.lost_pairs
+
+    def test_equivalent_rearrangement(self):
+        # u at the senior vs junior end of a privilege-free senior role.
+        phi = Policy(ua=[(U, R)], rh=[(R, S)], pa=[(S, P)])
+        psi = Policy(ua=[(U, S)], rh=[(R, S)], pa=[(S, P)])
+        diff = diff_policies(phi, psi)
+        assert diff.direction == "equivalent"
+        assert diff.added_edges == {(U, S)}
+        assert diff.removed_edges == {(U, R)}
+
+
+class TestEdgeClassification:
+    def test_kinds(self, base):
+        new = base.copy()
+        new.assign_user(User("v"), R)
+        new.add_inheritance(S, Role("t"))
+        new.assign_privilege(R, Q)
+        new.assign_privilege(R, Grant(U, S))
+        diff = diff_policies(base, new)
+        kinds = diff.added_by_kind()
+        assert set(kinds) == {"ua", "rh", "pa-user", "pa-admin"}
+
+    def test_summary_mentions_direction_and_pairs(self, base):
+        bigger = base.copy()
+        bigger.assign_privilege(R, Q)
+        text = diff_policies(base, bigger).summary()
+        assert "direction: coarsening" in text
+        assert "added pa-user: r -> (read, b)" in text
+        assert "gained: u may (read, b)" in text
+
+
+class TestApplyDiff:
+    def test_roundtrip(self, base):
+        target = base.copy()
+        target.assign_privilege(R, Q)
+        target.remove_edge(S, P)
+        diff = diff_policies(base, target)
+        patched = apply_diff(base, diff)
+        assert patched.edge_set() == target.edge_set()
+
+    def test_figures_roundtrip(self):
+        fig1, fig2 = figures.figure1(), figures.figure2()
+        diff = diff_policies(fig1, fig2)
+        assert apply_diff(fig1, diff).edge_set() == fig2.edge_set()
+
+    def test_patch_on_other_base_is_best_effort(self, base):
+        diff = diff_policies(base, without_edge(base, S, P))
+        other = Policy(ua=[(U, R)])
+        patched = apply_diff(other, diff)  # removal of absent edge: ignored
+        assert patched.edge_set() == other.edge_set()
+
+    def test_original_untouched(self, base):
+        target = base.copy()
+        target.assign_privilege(R, Q)
+        diff = diff_policies(base, target)
+        apply_diff(base, diff)
+        assert not base.has_edge(R, Q)
+
+
+class TestFigureDiffs:
+    def test_figure1_to_figure2_is_equivalent_user_wise(self):
+        # Figure 2 adds only administrative machinery: no user-privilege
+        # pair changes, so the policies are Def-6 equivalent.
+        diff = diff_policies(figures.figure1(), figures.figure2())
+        assert diff.direction == "equivalent"
+        assert not diff.gained_pairs
+        admin_added = diff.added_by_kind().get("pa-admin", [])
+        assert len(admin_added) == 6
+
+    def test_strict_vs_refined_assignment_diff(self):
+        strict = figures.figure3_after_strict_assignment()
+        refined = figures.figure3_after_refined_assignment()
+        diff = diff_policies(strict, refined)
+        assert diff.direction == "refinement"  # least privilege
+        assert all(subject == figures.BOB for subject, _ in diff.lost_pairs)

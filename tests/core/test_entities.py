@@ -1,0 +1,73 @@
+"""Unit tests for entities."""
+
+import pytest
+
+from repro.core.entities import Action, Obj, Role, User, role, roles, user, users
+from repro.errors import EntityError
+
+
+def test_construction_and_str():
+    assert str(User("bob")) == "bob"
+    assert str(Role("staff")) == "staff"
+    assert str(Action("read")) == "read"
+    assert str(Obj("t1")) == "t1"
+
+
+def test_equality_is_per_sort():
+    assert User("x") == User("x")
+    assert User("x") != Role("x")
+    assert Role("x") != Action("x")
+
+
+def test_hashable_and_usable_in_sets():
+    assert len({User("a"), User("a"), Role("a")}) == 2
+
+
+def test_immutability():
+    u = User("bob")
+    with pytest.raises(AttributeError):
+        u.name = "eve"
+
+
+def test_empty_name_rejected():
+    with pytest.raises(EntityError):
+        User("")
+    with pytest.raises(EntityError):
+        Role("")
+
+
+def test_non_string_rejected():
+    with pytest.raises(EntityError):
+        User(42)
+
+
+def test_whitespace_padding_rejected():
+    with pytest.raises(EntityError):
+        Role(" staff")
+    with pytest.raises(EntityError):
+        Role("staff ")
+
+
+def test_reserved_characters_rejected():
+    for bad in ["a(b", "a)b", "a,b"]:
+        with pytest.raises(EntityError):
+            User(bad)
+
+
+def test_overlong_name_rejected():
+    with pytest.raises(EntityError):
+        User("x" * 300)
+
+
+def test_convenience_constructors():
+    assert user("d") == User("d")
+    assert role("r") == Role("r")
+    assert users("a", "b") == (User("a"), User("b"))
+    assert roles("x", "y", "z") == (Role("x"), Role("y"), Role("z"))
+
+
+def test_repr_roundtrip_via_eval():
+    u = User("diana")
+    assert eval(repr(u)) == u
+    r = Role("nurse")
+    assert eval(repr(r)) == r

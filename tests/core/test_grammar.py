@@ -1,0 +1,166 @@
+"""Unit tests for the textual privilege/policy syntax."""
+
+import pytest
+
+from repro.core.entities import Role, User
+from repro.core.grammar import (
+    Vocabulary,
+    format_policy_source,
+    format_privilege,
+    parse_policy_source,
+    parse_privilege,
+)
+from repro.core.privileges import Grant, Revoke, perm
+from repro.errors import GrammarError, PrivilegeError
+
+VOCAB = Vocabulary(users={"bob", "jane"}, roles={"staff", "nurse"})
+
+
+class TestParsePrivilege:
+    def test_user_privilege(self):
+        assert parse_privilege("(read, t1)", VOCAB) == perm("read", "t1")
+
+    def test_perm_keyword(self):
+        assert parse_privilege("perm(read, t1)", VOCAB) == perm("read", "t1")
+
+    def test_grant_user_role(self):
+        assert parse_privilege("grant(bob, staff)", VOCAB) == Grant(
+            User("bob"), Role("staff")
+        )
+
+    def test_revoke(self):
+        assert parse_privilege("revoke(bob, staff)", VOCAB) == Revoke(
+            User("bob"), Role("staff")
+        )
+
+    def test_grant_role_role(self):
+        assert parse_privilege("grant(staff, nurse)", VOCAB) == Grant(
+            Role("staff"), Role("nurse")
+        )
+
+    def test_nested(self):
+        parsed = parse_privilege("grant(staff, grant(bob, nurse))", VOCAB)
+        assert parsed == Grant(Role("staff"), Grant(User("bob"), Role("nurse")))
+
+    def test_nested_user_privilege(self):
+        parsed = parse_privilege("grant(staff, (read, t1))", VOCAB)
+        assert parsed == Grant(Role("staff"), perm("read", "t1"))
+
+    def test_unicode_glyph_aliases(self):
+        assert parse_privilege("¤(bob, staff)", VOCAB) == Grant(
+            User("bob"), Role("staff")
+        )
+        assert parse_privilege("♦(bob, staff)", VOCAB) == Revoke(
+            User("bob"), Role("staff")
+        )
+
+    def test_whitespace_insensitive(self):
+        assert parse_privilege("  grant ( bob , staff ) ", VOCAB) == Grant(
+            User("bob"), Role("staff")
+        )
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(GrammarError, match="unknown name"):
+            parse_privilege("grant(eve, staff)", VOCAB)
+
+    def test_ill_sorted_rejected(self):
+        with pytest.raises(PrivilegeError):
+            parse_privilege("grant(bob, jane)", VOCAB)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(GrammarError, match="trailing"):
+            parse_privilege("grant(bob, staff) extra", VOCAB)
+
+    def test_truncated_input_rejected(self):
+        with pytest.raises(GrammarError):
+            parse_privilege("grant(bob,", VOCAB)
+
+    def test_empty_rejected(self):
+        with pytest.raises(GrammarError):
+            parse_privilege("", VOCAB)
+
+    def test_bad_keyword_rejected(self):
+        with pytest.raises(GrammarError):
+            parse_privilege("bestow(bob, staff)", VOCAB)
+
+
+class TestFormatPrivilege:
+    def test_roundtrip_simple(self):
+        for text in [
+            "(read, t1)",
+            "grant(bob, staff)",
+            "revoke(jane, nurse)",
+            "grant(staff, grant(bob, nurse))",
+            "grant(staff, revoke(bob, nurse))",
+            "grant(staff, (read, t1))",
+        ]:
+            parsed = parse_privilege(text, VOCAB)
+            assert parse_privilege(format_privilege(parsed), VOCAB) == parsed
+
+    def test_unicode_output_parses_back(self):
+        term = Grant(Role("staff"), Revoke(User("bob"), Role("nurse")))
+        rendered = format_privilege(term, unicode_glyphs=True)
+        assert rendered.startswith("¤(")
+        assert parse_privilege(rendered, VOCAB) == term
+
+
+class TestVocabulary:
+    def test_overlap_rejected(self):
+        with pytest.raises(GrammarError):
+            Vocabulary(users={"x"}, roles={"x"})
+
+    def test_of_policy(self, fig1):
+        vocabulary = Vocabulary.of_policy(fig1)
+        assert "diana" in vocabulary.users
+        assert "nurse" in vocabulary.roles
+
+
+class TestPolicyDocuments:
+    DOC = """
+    # hospital fragment
+    users diana bob
+    roles nurse staff
+    user diana -> nurse
+    role staff -> nurse
+    priv nurse -> (read, t1)
+    priv staff -> grant(bob, nurse)
+    """
+
+    def test_parse(self):
+        policy = parse_policy_source(self.DOC)
+        assert policy.reaches(User("diana"), Role("nurse"))
+        assert policy.reaches(Role("staff"), perm("read", "t1"))
+        assert policy.has_edge(Role("staff"), Grant(User("bob"), Role("nurse")))
+
+    def test_declared_but_unused_entities_are_kept(self):
+        policy = parse_policy_source(self.DOC)
+        assert User("bob") in policy.vertex_set()
+
+    def test_roundtrip(self):
+        policy = parse_policy_source(self.DOC)
+        again = parse_policy_source(format_policy_source(policy))
+        assert again == policy
+
+    def test_roundtrip_figures(self, fig1, fig2):
+        for policy in (fig1, fig2):
+            assert parse_policy_source(format_policy_source(policy)) == policy
+
+    def test_undeclared_user_rejected(self):
+        with pytest.raises(GrammarError, match="line"):
+            parse_policy_source("roles r\nuser ghost -> r\n")
+
+    def test_missing_arrow_rejected(self):
+        with pytest.raises(GrammarError):
+            parse_policy_source("users u\nroles r\nuser u r\n")
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(GrammarError, match="unknown directive"):
+            parse_policy_source("grant u -> r\n")
+
+    def test_user_assignment_to_user_rejected(self):
+        with pytest.raises(GrammarError):
+            parse_policy_source("users a b\nuser a -> b\n")
+
+    def test_comments_and_blank_lines_ignored(self):
+        policy = parse_policy_source("# nothing\n\nusers u\n  # pad\nroles r\n")
+        assert User("u") in policy.vertex_set()

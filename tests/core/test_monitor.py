@@ -1,0 +1,212 @@
+"""Unit tests for the reference monitor."""
+
+import pytest
+
+from repro.core.commands import Mode, grant_cmd, revoke_cmd
+from repro.core.entities import Role, User
+from repro.core.monitor import ReferenceMonitor
+from repro.core.policy import Policy
+from repro.core.privileges import Grant, Revoke, perm
+from repro.errors import AccessDenied
+from repro.papercases import figures
+
+U, ADMIN = User("u"), User("admin")
+R, S, ADM = Role("r"), Role("s"), Role("adm")
+P = perm("read", "doc")
+
+
+@pytest.fixture
+def monitor():
+    policy = Policy(
+        ua=[(U, R), (ADMIN, ADM)],
+        rh=[(R, S)],
+        pa=[(S, P), (ADM, Grant(U, S)), (ADM, Revoke(U, R))],
+    )
+    return ReferenceMonitor(policy)
+
+
+class TestSessions:
+    def test_create_and_activate(self, monitor):
+        session = monitor.create_session(U)
+        monitor.add_active_role(session, R)
+        assert R in session.active_roles
+
+    def test_activate_inherited_role(self, monitor):
+        session = monitor.create_session(U)
+        monitor.add_active_role(session, S)  # via R -> S
+        assert S in session.active_roles
+
+    def test_activate_unauthorized_role_denied(self, monitor):
+        session = monitor.create_session(U)
+        with pytest.raises(AccessDenied):
+            monitor.add_active_role(session, ADM)
+        assert monitor.denials()
+
+    def test_drop_active_role(self, monitor):
+        session = monitor.create_session(U)
+        monitor.add_active_role(session, R)
+        monitor.drop_active_role(session, R)
+        assert session.active_roles == set()
+
+    def test_delete_session(self, monitor):
+        session = monitor.create_session(U)
+        monitor.delete_session(session)
+        assert session.terminated
+
+
+class TestCheckAccess:
+    def test_access_via_active_role(self, monitor):
+        session = monitor.create_session(U)
+        monitor.add_active_role(session, R)
+        assert monitor.check_access(session, "read", "doc")
+
+    def test_no_active_role_no_access(self, monitor):
+        session = monitor.create_session(U)
+        assert not monitor.check_access(session, "read", "doc")
+
+    def test_least_privilege_sessions(self, monitor):
+        # Activating only a role without the privilege denies access.
+        monitor.policy.add_role(Role("empty"))
+        monitor.policy.assign_user(U, Role("empty"))
+        session = monitor.create_session(U)
+        monitor.add_active_role(session, Role("empty"))
+        assert not monitor.check_access(session, "read", "doc")
+
+    def test_revocation_mid_session_disables_role(self, monitor):
+        session = monitor.create_session(U)
+        monitor.add_active_role(session, R)
+        assert monitor.check_access(session, "read", "doc")
+        monitor.policy.remove_edge(U, R)
+        assert not monitor.check_access(session, "read", "doc")
+
+    def test_require_access_raises(self, monitor):
+        session = monitor.create_session(U)
+        with pytest.raises(AccessDenied):
+            monitor.require_access(session, "read", "doc")
+
+    def test_session_privileges(self, monitor):
+        session = monitor.create_session(U)
+        monitor.add_active_role(session, R)
+        assert monitor.session_privileges(session) == {P}
+
+
+class TestAdministration:
+    def test_submit_executes_authorized(self, monitor):
+        record = monitor.submit(grant_cmd(ADMIN, U, S))
+        assert record.executed
+        assert monitor.policy.has_edge(U, S)
+
+    def test_submit_noop_on_unauthorized(self, monitor):
+        before = monitor.policy.edge_set()
+        record = monitor.submit(grant_cmd(U, U, S))
+        assert not record.executed
+        assert monitor.policy.edge_set() == before
+
+    def test_submit_queue(self, monitor):
+        records = monitor.submit_queue(
+            [grant_cmd(ADMIN, U, S), revoke_cmd(ADMIN, U, R)]
+        )
+        assert [r.executed for r in records] == [True, True]
+        assert monitor.policy.has_edge(U, S)
+        assert not monitor.policy.has_edge(U, R)
+
+    def test_refined_mode_implicit_authorization(self):
+        policy = Policy(
+            ua=[(ADMIN, ADM)], rh=[(R, S)], pa=[(ADM, Grant(U, R))]
+        )
+        monitor = ReferenceMonitor(policy, mode=Mode.REFINED)
+        record = monitor.submit(grant_cmd(ADMIN, U, S))
+        assert record.executed and record.implicit
+        # Audit trail mentions the implicit authorization.
+        admin_entries = [e for e in monitor.audit_trail if e.kind == "admin"]
+        assert any("implicitly authorized" in e.detail for e in admin_entries)
+
+    def test_strict_mode_denies_weaker_request(self):
+        policy = Policy(
+            ua=[(ADMIN, ADM)], rh=[(R, S)], pa=[(ADM, Grant(U, R))]
+        )
+        monitor = ReferenceMonitor(policy, mode=Mode.STRICT)
+        assert not monitor.submit(grant_cmd(ADMIN, U, S)).executed
+
+
+class TestReviewFunctions:
+    def test_assigned_vs_authorized_users(self, monitor):
+        assert monitor.assigned_users(S) == frozenset()
+        assert monitor.authorized_users(S) == {U}
+        assert monitor.assigned_users(R) == {U}
+
+    def test_role_privileges(self, monitor):
+        assert monitor.role_privileges(R) == {P}
+        assert monitor.role_privileges(S) == {P}
+
+
+class TestExample4EndToEnd:
+    def test_flexworker_scenario(self):
+        monitor = ReferenceMonitor(figures.figure3(), mode=Mode.REFINED)
+        record = monitor.submit(
+            grant_cmd(figures.JANE, figures.BOB, figures.DBUSR2)
+        )
+        assert record.executed and record.implicit
+        assert record.authorized_by == Grant(figures.BOB, figures.STAFF)
+        session = monitor.create_session(figures.BOB)
+        monitor.add_active_role(session, figures.DBUSR2)
+        assert monitor.check_access(session, "write", "t3")
+        assert not monitor.check_access(session, "print", "black")
+
+
+class TestIndexBackedMonitor:
+    def test_index_monitor_flexworker(self):
+        monitor = ReferenceMonitor(
+            figures.figure3(), mode=Mode.REFINED, use_index=True
+        )
+        record = monitor.submit(
+            grant_cmd(figures.JANE, figures.BOB, figures.DBUSR2)
+        )
+        assert record.executed and record.implicit
+        assert record.authorized_by == Grant(figures.BOB, figures.STAFF)
+
+    def test_index_monitor_denies_like_oracle(self):
+        monitor = ReferenceMonitor(
+            figures.figure2(), mode=Mode.REFINED, use_index=True
+        )
+        record = monitor.submit(
+            grant_cmd(figures.DIANA, figures.BOB, figures.STAFF)
+        )
+        assert not record.executed
+
+    def test_index_monitor_exact_match_not_implicit(self):
+        monitor = ReferenceMonitor(
+            figures.figure2(), mode=Mode.REFINED, use_index=True
+        )
+        record = monitor.submit(
+            grant_cmd(figures.JANE, figures.BOB, figures.STAFF)
+        )
+        assert record.executed and not record.implicit
+
+    def test_index_monitor_tracks_policy_mutation(self):
+        monitor = ReferenceMonitor(
+            figures.figure2(), mode=Mode.REFINED, use_index=True
+        )
+        monitor.policy.remove_edge(
+            figures.HR, Grant(figures.BOB, figures.STAFF)
+        )
+        record = monitor.submit(
+            grant_cmd(figures.JANE, figures.BOB, figures.DBUSR2)
+        )
+        assert not record.executed
+
+    def test_index_agrees_with_oracle_monitor_on_queue(self):
+        from repro.core.commands import candidate_commands
+
+        base = figures.figure2()
+        commands = candidate_commands(base, Mode.REFINED)[:120]
+        plain = ReferenceMonitor(base.copy(), mode=Mode.REFINED)
+        indexed = ReferenceMonitor(
+            base.copy(), mode=Mode.REFINED, use_index=True
+        )
+        for command in commands:
+            assert (
+                plain.submit(command).executed
+                == indexed.submit(command).executed
+            ), command
+        assert plain.policy == indexed.policy

@@ -1,0 +1,186 @@
+"""Differential validation of the ordering decision procedure.
+
+The oracle implements a *recursive characterization* of the transitive
+closure of Definition 8's (generalized) rules.  Here we build the
+relation the slow, obviously-correct way — explicit rule application
+plus transitive closure over a bounded term universe — and compare
+exhaustively on small policies.
+
+The reference semantics:
+
+* rule (1): p Ã p;
+* rule (2), generalized: ¤(s, t) Ã ¤(s', t') if s' →φ s and t →φ t'
+  (t an entity; t' an entity or a privilege *vertex*), provided the
+  result is well-sorted;
+* rule (3): ¤(s, p1) Ã ¤(s', p2) if s' →φ s and p1 Ã p2 (both
+  privilege-targeted);
+* transitive closure of all of the above.
+
+The universe is all well-sorted terms over the policy's entities with
+nesting ≤ 2, plus the policy's privilege vertices and their subterms.
+Within that universe the closure is exact, so oracle and reference
+must agree on every pair.
+"""
+
+from itertools import product
+
+import pytest
+
+from repro.core.entities import Role, User
+from repro.core.ordering import OrderingOracle
+from repro.core.policy import Policy
+from repro.core.privileges import Grant, Revoke, UserPrivilege, is_privilege, perm
+
+
+def term_universe(policy, max_depth=2):
+    """All well-sorted terms with nesting <= max_depth over the
+    policy's entities, plus assigned privileges and their subterms.
+
+    The universe is closed under subterms AND contains every bridge
+    term ``¤(role, w)`` for policy privilege vertices ``w`` — the
+    intermediates the transitive closure passes through — so the
+    reference fixpoint is exact on it.
+    """
+    entities = sorted(
+        (v for v in policy.vertex_set() if isinstance(v, (User, Role))),
+        key=str,
+    )
+    roles = [e for e in entities if isinstance(e, Role)]
+    user_privileges = sorted(policy.user_privileges(), key=str)
+
+    base: set = set(user_privileges)
+    for privilege in policy.privileges():
+        if is_privilege(privilege):
+            if hasattr(privilege, "subterms"):
+                base.update(privilege.subterms())
+            else:
+                base.add(privilege)
+
+    leaf: set = set()
+    for source, target in product(entities, roles):
+        try:
+            leaf.add(Grant(source, target))
+            leaf.add(Revoke(source, target))
+        except Exception:
+            pass
+    universe = base | leaf
+    for _ in range(max_depth - 1):
+        next_level = set()
+        for role, inner in product(roles, sorted(universe, key=str)):
+            if is_privilege(inner):
+                term = Grant(role, inner)
+                if term.depth <= max_depth + 1:
+                    next_level.add(term)
+        universe |= next_level
+    return sorted(universe, key=lambda t: (t.size() if hasattr(t, "size") else 1, str(t)))
+
+
+def reference_relation(policy, universe):
+    """The closed relation, by explicit fixpoint."""
+    related = set()
+    entity = (User, Role)
+    # Rules 1 and 2 (generalized).
+    for p in universe:
+        related.add((p, p))
+    for p, q in product(universe, universe):
+        if not (isinstance(p, Grant) and isinstance(q, Grant)):
+            continue
+        if not policy.reaches(q.source, p.source):
+            continue
+        if isinstance(p.target, entity):
+            if policy.reaches(p.target, q.target):
+                # q.target may be an entity or a privilege vertex; the
+                # reachability check covers both (privilege terms not
+                # in the graph are simply unreachable).
+                related.add((p, q))
+    # Close under rule 3 + transitivity until fixpoint.
+    changed = True
+    while changed:
+        changed = False
+        additions = set()
+        for p, q in product(universe, universe):
+            if (p, q) in related:
+                continue
+            # rule 3
+            if (
+                isinstance(p, Grant) and isinstance(q, Grant)
+                and is_privilege(p.target) and is_privilege(q.target)
+                and policy.reaches(q.source, p.source)
+                and (p.target, q.target) in related
+            ):
+                additions.add((p, q))
+        # transitivity
+        for (a, b) in list(related):
+            for (c, d) in list(related):
+                if b == c and (a, d) not in related:
+                    additions.add((a, d))
+        if additions - related:
+            related |= additions
+            changed = True
+    return related
+
+
+def check_agreement(policy, max_depth=2):
+    universe = term_universe(policy, max_depth)
+    reference = reference_relation(policy, universe)
+    oracle = OrderingOracle(policy)
+    for p, q in product(universe, universe):
+        expected = (p, q) in reference
+        actual = oracle.is_weaker(p, q)
+        assert actual == expected, (
+            f"disagreement on {p} ~> {q}: oracle={actual} "
+            f"reference={expected}"
+        )
+
+
+def test_chain_policy():
+    u = User("u")
+    high, low = Role("high"), Role("low")
+    policy = Policy(ua=[(u, high)], rh=[(high, low)],
+                    pa=[(low, perm("read", "x"))])
+    check_agreement(policy)
+
+
+def test_example6_policy():
+    from repro.papercases.examples import example6_policy
+
+    policy, _seed = example6_policy()
+    check_agreement(policy)
+
+
+def test_policy_with_nested_assignment():
+    u = User("u")
+    a, b = Role("a"), Role("b")
+    policy = Policy(
+        ua=[(u, a)],
+        rh=[(a, b)],
+        pa=[(a, Grant(b, Grant(u, b)))],
+    )
+    check_agreement(policy)
+
+
+def test_policy_with_cycle():
+    u = User("u")
+    a, b = Role("a"), Role("b")
+    policy = Policy(ua=[(u, a)], rh=[(a, b), (b, a)])
+    check_agreement(policy)
+
+
+def test_policy_with_revocations():
+    u = User("u")
+    a, b = Role("a"), Role("b")
+    policy = Policy(ua=[(u, a)], rh=[(a, b)],
+                    pa=[(a, Revoke(u, b))])
+    check_agreement(policy)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_random_small_policies(seed):
+    from repro.workloads.generators import PolicyShape, random_policy
+
+    policy = random_policy(seed, PolicyShape(
+        n_users=2, n_roles=2, n_user_privileges=2,
+        ua_edges=2, rh_edges=2, pa_edges=2,
+        n_admin_privileges=2, max_nesting=2,
+    ))
+    check_agreement(policy)

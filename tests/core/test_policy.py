@@ -1,0 +1,184 @@
+"""Unit tests for Policy (Definitions 1 and 3)."""
+
+import pytest
+
+from repro.core.entities import Role, User
+from repro.core.policy import Policy, check_edge_sorts, minus_edge, union_with_edge
+from repro.core.privileges import Grant, Revoke, perm
+from repro.errors import PolicyError
+
+U, V = User("u"), User("v")
+R, S, T = Role("r"), Role("s"), Role("t")
+P = perm("read", "doc")
+
+
+class TestConstruction:
+    def test_empty(self):
+        policy = Policy()
+        assert list(policy.users()) == []
+        assert list(policy.roles()) == []
+
+    def test_from_components(self):
+        policy = Policy(ua=[(U, R)], rh=[(R, S)], pa=[(S, P)])
+        assert policy.has_edge(U, R)
+        assert policy.has_edge(R, S)
+        assert policy.has_edge(S, P)
+
+    def test_sort_validation_ua(self):
+        with pytest.raises(PolicyError):
+            Policy(ua=[(R, S)])  # role in user position
+
+    def test_sort_validation_rh(self):
+        with pytest.raises(PolicyError):
+            Policy(rh=[(U, R)])
+
+    def test_sort_validation_pa(self):
+        with pytest.raises(PolicyError):
+            Policy(pa=[(U, P)])
+
+    def test_add_user_and_role_isolated(self):
+        policy = Policy()
+        policy.add_user(U)
+        policy.add_role(R)
+        assert U in policy.vertex_set()
+        assert R in policy.vertex_set()
+
+    def test_add_user_rejects_role(self):
+        policy = Policy()
+        with pytest.raises(PolicyError):
+            policy.add_user(R)
+        with pytest.raises(PolicyError):
+            policy.add_role(U)
+
+
+class TestEdgeSorts:
+    def test_classification(self):
+        assert check_edge_sorts(U, R) == "ua"
+        assert check_edge_sorts(R, S) == "rh"
+        assert check_edge_sorts(R, P) == "pa"
+        assert check_edge_sorts(R, Grant(U, R)) == "pa"
+
+    def test_rejects_user_user(self):
+        with pytest.raises(PolicyError):
+            check_edge_sorts(U, V)
+
+    def test_rejects_privilege_source(self):
+        with pytest.raises(PolicyError):
+            check_edge_sorts(P, R)
+
+    def test_rejects_user_privilege_edge(self):
+        with pytest.raises(PolicyError):
+            check_edge_sorts(U, P)
+
+
+class TestReachability:
+    def test_reflexive(self):
+        policy = Policy()
+        assert policy.reaches(U, U)
+
+    def test_user_role_privilege_path(self):
+        policy = Policy(ua=[(U, R)], rh=[(R, S)], pa=[(S, P)])
+        assert policy.reaches(U, P)
+        assert policy.reaches(R, P)
+        assert not policy.reaches(S, R)
+
+    def test_cycles_allowed_in_rh(self):
+        # Footnote 3: RH is not assumed to be a partial order.
+        policy = Policy(rh=[(R, S), (S, R)], pa=[(S, P)])
+        assert policy.reaches(R, P)
+        assert policy.reaches(S, R)
+
+    def test_authorized_roles(self):
+        policy = Policy(ua=[(U, R)], rh=[(R, S)])
+        assert policy.authorized_roles(U) == {R, S}
+
+    def test_authorized_privileges(self):
+        policy = Policy(ua=[(U, R)], rh=[(R, S)], pa=[(S, P)])
+        assert policy.authorized_privileges(U) == {P}
+
+    def test_reachable_admin_privileges(self):
+        g = Grant(U, R)
+        policy = Policy(ua=[(U, R)], pa=[(R, g)])
+        assert policy.reachable_admin_privileges(U) == {g}
+
+    def test_cache_tracks_mutation(self):
+        policy = Policy(ua=[(U, R)])
+        assert not policy.reaches(U, S)
+        policy.add_inheritance(R, S)
+        assert policy.reaches(U, S)
+        policy.remove_edge(R, S)
+        assert not policy.reaches(U, S)
+
+
+class TestViews:
+    def test_edge_views(self):
+        g = Grant(U, R)
+        policy = Policy(ua=[(U, R)], rh=[(R, S)], pa=[(S, P), (S, g)])
+        assert set(policy.ua_edges()) == {(U, R)}
+        assert set(policy.rh_edges()) == {(R, S)}
+        assert set(policy.pa_edges()) == {(S, P), (S, g)}
+        assert set(policy.admin_privileges_assigned()) == {(S, g)}
+
+    def test_is_non_administrative(self):
+        assert Policy(pa=[(R, P)]).is_non_administrative()
+        assert not Policy(pa=[(R, Grant(U, R))]).is_non_administrative()
+
+    def test_privilege_iterators(self):
+        g = Grant(U, R)
+        policy = Policy(pa=[(R, P), (R, g)])
+        assert set(policy.user_privileges()) == {P}
+        assert set(policy.admin_privileges()) == {g}
+        assert set(policy.privileges()) == {P, g}
+
+
+class TestDerivedStructure:
+    def test_longest_role_chain(self):
+        policy = Policy(rh=[(R, S), (S, T)])
+        assert policy.longest_role_chain() == 2
+
+    def test_longest_role_chain_ignores_ua_pa(self):
+        policy = Policy(ua=[(U, R)], pa=[(R, P)])
+        assert policy.longest_role_chain() == 0
+
+    def test_subterm_closure(self):
+        inner = Grant(U, R)
+        outer = Grant(S, inner)
+        policy = Policy(pa=[(R, outer), (R, P)])
+        assert policy.subterm_closure() == {outer, inner, P}
+
+    def test_subterm_closure_with_user_privilege_leaf(self):
+        term = Grant(R, P)
+        policy = Policy(pa=[(S, term)])
+        assert policy.subterm_closure() == {term, P}
+
+
+class TestValueSemantics:
+    def test_copy_independent(self):
+        policy = Policy(ua=[(U, R)])
+        clone = policy.copy()
+        clone.add_inheritance(R, S)
+        assert not policy.has_edge(R, S)
+        assert clone == clone.copy()
+
+    def test_equality(self):
+        one = Policy(ua=[(U, R)])
+        two = Policy(ua=[(U, R)])
+        assert one == two
+        two.add_role(S)
+        assert one != two  # vertex sets differ
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(Policy())
+
+    def test_union_and_minus_edge(self):
+        policy = Policy(ua=[(U, R)])
+        bigger = union_with_edge(policy, (R, S))
+        assert bigger.has_edge(R, S) and not policy.has_edge(R, S)
+        smaller = minus_edge(bigger, (U, R))
+        assert not smaller.has_edge(U, R) and bigger.has_edge(U, R)
+
+    def test_repr(self):
+        policy = Policy(ua=[(U, R)], pa=[(R, P)])
+        text = repr(policy)
+        assert "users=1" in text and "roles=1" in text

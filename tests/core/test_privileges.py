@@ -1,0 +1,142 @@
+"""Unit tests for the privilege term algebra (Definition 2)."""
+
+import pytest
+
+from repro.core.entities import Action, Obj, Role, User
+from repro.core.privileges import (
+    Grant,
+    Revoke,
+    UserPrivilege,
+    grant,
+    is_privilege,
+    perm,
+    privilege_depth,
+    revoke,
+)
+from repro.errors import PrivilegeError
+
+U = User("u")
+R = Role("r")
+R2 = Role("r2")
+P = perm("read", "t1")
+
+
+class TestUserPrivilege:
+    def test_construction(self):
+        q = UserPrivilege(Action("read"), Obj("t1"))
+        assert q == perm("read", "t1")
+        assert str(q) == "(read, t1)"
+
+    def test_sort_checked(self):
+        with pytest.raises(PrivilegeError):
+            UserPrivilege("read", Obj("t1"))
+        with pytest.raises(PrivilegeError):
+            UserPrivilege(Action("read"), "t1")
+
+    def test_depth_is_zero(self):
+        assert privilege_depth(P) == 0
+
+
+class TestGrammarSorts:
+    def test_user_role_legal(self):
+        assert Grant(U, R).edge == (U, R)
+        assert Revoke(U, R).edge == (U, R)
+
+    def test_role_role_legal(self):
+        assert Grant(R, R2).edge == (R, R2)
+
+    def test_role_privilege_legal(self):
+        assert Grant(R, P).target == P
+        assert Grant(R, Grant(U, R)).target == Grant(U, R)
+
+    def test_user_user_illegal(self):
+        with pytest.raises(PrivilegeError):
+            Grant(U, User("v"))
+
+    def test_user_privilege_illegal(self):
+        with pytest.raises(PrivilegeError):
+            Grant(U, P)
+
+    def test_privilege_source_illegal(self):
+        with pytest.raises(PrivilegeError):
+            Grant(P, R)
+
+    def test_non_entity_rejected(self):
+        with pytest.raises(PrivilegeError):
+            Grant("u", R)
+        with pytest.raises(PrivilegeError):
+            Revoke(R, "r2")
+
+
+class TestStructure:
+    def test_equality_structural(self):
+        assert Grant(U, R) == Grant(U, R)
+        assert Grant(U, R) != Revoke(U, R)
+        assert Grant(U, R) != Grant(U, R2)
+
+    def test_hash_consistent(self):
+        assert len({Grant(U, R), Grant(U, R), Revoke(U, R)}) == 2
+
+    def test_nested_equality(self):
+        inner = Grant(U, R)
+        assert Grant(R2, inner) == Grant(R2, Grant(U, R))
+
+    def test_depth(self):
+        assert Grant(U, R).depth == 1
+        assert Grant(R, Grant(U, R)).depth == 2
+        assert Grant(R, Grant(R2, Grant(U, R))).depth == 3
+        assert Grant(R, P).depth == 1  # user-privilege target: one level
+
+    def test_size(self):
+        assert Grant(U, R).size() == 2
+        assert Grant(R, Grant(U, R)).size() == 3
+
+    def test_subterms_outermost_first(self):
+        inner = Grant(U, R)
+        outer = Grant(R2, inner)
+        assert list(outer.subterms()) == [outer, inner]
+
+    def test_subterms_include_user_privilege_leaf(self):
+        term = Grant(R, P)
+        assert list(term.subterms()) == [term, P]
+
+    def test_subterms_entity_target_stops(self):
+        term = Grant(U, R)
+        assert list(term.subterms()) == [term]
+
+    def test_mentioned_entities(self):
+        term = Grant(R2, Grant(U, R))
+        assert set(term.mentioned_entities()) == {R2, U, R}
+
+    def test_immutable(self):
+        term = Grant(U, R)
+        with pytest.raises(AttributeError):
+            term.source = User("eve")
+
+    def test_str(self):
+        assert str(Grant(U, R)) == "grant(u, r)"
+        assert str(Revoke(U, R)) == "revoke(u, r)"
+        assert str(Grant(R, Grant(U, R))) == "grant(r, grant(u, r))"
+
+
+def test_is_privilege():
+    assert is_privilege(P)
+    assert is_privilege(Grant(U, R))
+    assert is_privilege(Revoke(U, R))
+    assert not is_privilege(U)
+    assert not is_privilege(R)
+    assert not is_privilege("grant(u, r)")
+
+
+def test_convenience_constructors():
+    assert grant(U, R) == Grant(U, R)
+    assert revoke(U, R) == Revoke(U, R)
+
+
+def test_deeply_nested_terms():
+    term = Grant(U, R)
+    for _ in range(50):
+        term = Grant(R2, term)
+    assert term.depth == 51
+    assert term.size() == 52
+    assert len(list(term.subterms())) == 51

@@ -1,0 +1,183 @@
+"""Unit tests for non-administrative refinement (Definition 6)."""
+
+import pytest
+
+from repro.core.entities import Role, User
+from repro.core.policy import Policy
+from repro.core.privileges import Grant, perm
+from repro.core.refinement import (
+    enumerate_weakenings,
+    granted_pairs,
+    is_refinement,
+    refinement_counterexample,
+    refines_strictly,
+    weaken_assignment,
+    with_replaced_edge,
+    without_edge,
+)
+from repro.errors import PolicyError, PrivilegeError
+from repro.papercases import figures
+
+U = User("u")
+R, S = Role("r"), Role("s")
+P, Q = perm("read", "a"), perm("read", "b")
+
+
+class TestDefinition6:
+    def test_reflexive(self, fig1):
+        assert is_refinement(fig1, fig1)
+
+    def test_empty_refines_everything(self, fig1):
+        assert is_refinement(fig1, Policy())
+
+    def test_nothing_refines_to_larger(self):
+        small = Policy(ua=[(U, R)], pa=[(R, P)])
+        large = small.copy()
+        large.assign_privilege(R, Q)
+        assert is_refinement(large, small)
+        assert not is_refinement(small, large)
+
+    def test_transitive(self):
+        a = Policy(ua=[(U, R)], pa=[(R, P), (R, Q)])
+        b = without_edge(a, R, Q)
+        c = without_edge(b, U, R)
+        assert is_refinement(a, b) and is_refinement(b, c)
+        assert is_refinement(a, c)
+
+    def test_counterexample_witness(self):
+        phi = Policy(ua=[(U, R)], pa=[(R, P)])
+        psi = Policy(ua=[(U, R)], pa=[(R, P), (R, Q)])
+        witness = refinement_counterexample(phi, psi)
+        assert witness is not None
+        assert witness.privilege == Q
+        assert witness.subject in (U, R)
+        assert "not in the original" in str(witness)
+
+    def test_only_user_privileges_count(self):
+        # Adding an *administrative* privilege does not break Def. 6.
+        phi = Policy(ua=[(U, R)], pa=[(R, P)])
+        psi = phi.copy()
+        psi.assign_privilege(R, Grant(U, S))
+        assert is_refinement(phi, psi)
+
+    def test_rearranged_edges_same_grants(self):
+        # u assigned to the senior role vs directly to the junior one:
+        # here the senior role carries nothing extra, so the two
+        # policies grant exactly the same pairs — mutual refinement.
+        phi = Policy(ua=[(U, R)], rh=[(R, S)], pa=[(S, P)])
+        psi = Policy(ua=[(U, S)], rh=[(R, S)], pa=[(S, P)])
+        assert is_refinement(phi, psi)
+        assert is_refinement(psi, phi)
+
+    def test_rearranged_edges_senior_grants_more(self):
+        # Once the senior role carries an extra privilege, moving u up
+        # is NOT a refinement, moving u down is.
+        phi = Policy(ua=[(U, R)], rh=[(R, S)], pa=[(S, P), (R, Q)])
+        down = Policy(ua=[(U, S)], rh=[(R, S)], pa=[(S, P), (R, Q)])
+        assert is_refinement(phi, down)
+        assert not is_refinement(down, phi)
+
+    def test_refines_strictly(self, fig1):
+        smaller = without_edge(fig1, figures.DIANA, figures.STAFF)
+        assert refines_strictly(fig1, smaller)
+        assert not refines_strictly(fig1, fig1)
+
+
+class TestGrantedPairs:
+    def test_pairs_match_reachability(self):
+        policy = Policy(ua=[(U, R)], rh=[(R, S)], pa=[(S, P)])
+        pairs = granted_pairs(policy)
+        assert (U, P) in pairs
+        assert (R, P) in pairs
+        assert (S, P) in pairs
+        assert len(pairs) == 3
+
+    def test_subset_iff_refinement(self, fig1):
+        smaller = without_edge(fig1, figures.NURSE, figures.DBUSR1)
+        assert granted_pairs(smaller) <= granted_pairs(fig1)
+        assert is_refinement(fig1, smaller)
+
+
+class TestEdgeSurgery:
+    def test_without_edge_requires_presence(self, fig1):
+        with pytest.raises(PolicyError):
+            without_edge(fig1, figures.DIANA, figures.DBUSR3)
+
+    def test_replace_edge_requires_presence(self, fig1):
+        with pytest.raises(PolicyError):
+            with_replaced_edge(
+                fig1,
+                (figures.DIANA, figures.DBUSR3),
+                (figures.DIANA, figures.NURSE),
+            )
+
+    def test_example3_all_three_claims(self, fig1):
+        removed = without_edge(fig1, figures.DIANA, figures.STAFF)
+        assert is_refinement(fig1, removed)
+        moved_down = with_replaced_edge(
+            fig1,
+            (figures.DIANA, figures.STAFF),
+            (figures.DIANA, figures.NURSE),
+        )
+        assert is_refinement(fig1, moved_down)
+        moved_sideways = with_replaced_edge(
+            fig1,
+            (figures.NURSE, figures.DBUSR1),
+            (figures.NURSE, figures.DBUSR2),
+        )
+        assert not is_refinement(fig1, moved_sideways)
+
+
+class TestWeakenAssignment:
+    def test_substitution_shape(self, fig2):
+        stronger = Grant(figures.BOB, figures.STAFF)
+        weaker = Grant(figures.BOB, figures.DBUSR2)
+        psi = weaken_assignment(fig2, figures.HR, stronger, weaker)
+        assert not psi.has_edge(figures.HR, stronger)
+        assert psi.has_edge(figures.HR, weaker)
+        # Original untouched.
+        assert fig2.has_edge(figures.HR, stronger)
+
+    def test_rejects_unassigned_privilege(self, fig2):
+        with pytest.raises(PolicyError):
+            weaken_assignment(
+                fig2, figures.HR,
+                Grant(figures.BOB, figures.NURSE),
+                Grant(figures.BOB, figures.DBUSR1),
+            )
+
+    def test_rejects_non_weaker_substitute(self, fig2):
+        with pytest.raises(PrivilegeError):
+            weaken_assignment(
+                fig2, figures.HR,
+                Grant(figures.BOB, figures.STAFF),
+                Grant(figures.BOB, figures.SO),  # SO is not below staff
+            )
+
+    def test_unchecked_mode(self, fig2):
+        psi = weaken_assignment(
+            fig2, figures.HR,
+            Grant(figures.BOB, figures.STAFF),
+            Grant(figures.BOB, figures.SO),
+            check_ordering=False,
+        )
+        assert psi.has_edge(figures.HR, Grant(figures.BOB, figures.SO))
+
+
+class TestEnumerateWeakenings:
+    def test_yields_only_refinement_preserving_substitutions(self, fig2):
+        count = 0
+        for role, stronger, weaker, psi in enumerate_weakenings(fig2, max_depth=1):
+            count += 1
+            assert psi.has_edge(role, weaker)
+            assert not psi.has_edge(role, stronger) or stronger == weaker
+            # Def. 6 holds immediately (admin swap, same user grants).
+            assert is_refinement(fig2, psi)
+        assert count > 0
+
+    def test_deterministic_order(self, fig2):
+        first = [(str(r), str(s), str(w)) for r, s, w, _ in
+                 enumerate_weakenings(fig2, max_depth=1)]
+        second = [(str(r), str(s), str(w)) for r, s, w, _ in
+                  enumerate_weakenings(fig2, max_depth=1)]
+        assert first == second

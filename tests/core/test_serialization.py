@@ -1,0 +1,149 @@
+"""Unit tests for JSON serialization."""
+
+import json
+
+import pytest
+
+from repro.core.commands import CommandAction, grant_cmd, revoke_cmd
+from repro.core.entities import Role, User
+from repro.core.policy import Policy
+from repro.core.privileges import Grant, Revoke, perm
+from repro.core.serialization import (
+    command_from_dict,
+    command_to_dict,
+    entity_from_dict,
+    entity_to_dict,
+    policy_from_dict,
+    policy_from_json,
+    policy_to_dict,
+    policy_to_json,
+    privilege_from_dict,
+    privilege_to_dict,
+    queue_from_json,
+    queue_to_json,
+)
+from repro.errors import SerializationError
+
+U = User("u")
+R, S = Role("r"), Role("s")
+
+
+class TestEntities:
+    def test_roundtrip(self):
+        for entity in (U, R):
+            assert entity_from_dict(entity_to_dict(entity)) == entity
+
+    def test_bad_kind(self):
+        with pytest.raises(SerializationError):
+            entity_from_dict({"kind": "dragon", "name": "x"})
+
+    def test_missing_name(self):
+        with pytest.raises(SerializationError):
+            entity_from_dict({"kind": "user"})
+
+    def test_not_a_dict(self):
+        with pytest.raises(SerializationError):
+            entity_from_dict("user")
+
+
+class TestPrivileges:
+    CASES = [
+        perm("read", "t1"),
+        Grant(U, R),
+        Revoke(U, R),
+        Grant(R, S),
+        Grant(R, perm("read", "t1")),
+        Grant(R, Grant(U, S)),
+        Grant(R, Revoke(U, S)),
+        Grant(R, Grant(S, Grant(U, R))),
+    ]
+
+    @pytest.mark.parametrize("privilege", CASES, ids=str)
+    def test_roundtrip(self, privilege):
+        assert privilege_from_dict(privilege_to_dict(privilege)) == privilege
+
+    @pytest.mark.parametrize("privilege", CASES, ids=str)
+    def test_json_stable(self, privilege):
+        document = privilege_to_dict(privilege)
+        again = json.loads(json.dumps(document))
+        assert privilege_from_dict(again) == privilege
+
+    def test_unknown_kind(self):
+        with pytest.raises(SerializationError):
+            privilege_from_dict({"kind": "bestow"})
+
+    def test_malformed_perm(self):
+        with pytest.raises(SerializationError):
+            privilege_from_dict({"kind": "perm", "action": "read"})
+
+
+class TestPolicies:
+    def test_roundtrip_small(self):
+        policy = Policy(
+            ua=[(U, R)], rh=[(R, S)],
+            pa=[(S, perm("read", "t1")), (R, Grant(U, S))],
+        )
+        policy.add_user(User("idle"))
+        policy.add_role(Role("empty"))
+        assert policy_from_dict(policy_to_dict(policy)) == policy
+
+    def test_roundtrip_figures(self, fig1, fig2):
+        for policy in (fig1, fig2):
+            assert policy_from_json(policy_to_json(policy)) == policy
+
+    def test_isolated_vertices_survive(self):
+        policy = Policy()
+        policy.add_user(U)
+        policy.add_role(R)
+        assert policy_from_dict(policy_to_dict(policy)) == policy
+
+    def test_dict_is_json_plain(self, fig2):
+        text = policy_to_json(fig2)
+        assert isinstance(json.loads(text), dict)
+
+    def test_deterministic_output(self, fig2):
+        assert policy_to_json(fig2) == policy_to_json(fig2.copy())
+
+    def test_invalid_json(self):
+        with pytest.raises(SerializationError):
+            policy_from_json("{nope")
+
+    def test_malformed_document(self):
+        with pytest.raises(SerializationError):
+            policy_from_dict({"ua": [["u"]]})
+
+    def test_not_a_dict(self):
+        with pytest.raises(SerializationError):
+            policy_from_dict([1, 2, 3])
+
+
+class TestCommands:
+    def test_roundtrip_entity_edge(self):
+        command = grant_cmd(U, U, R)
+        assert command_from_dict(command_to_dict(command)) == command
+
+    def test_roundtrip_revoke(self):
+        command = revoke_cmd(U, U, R)
+        again = command_from_dict(command_to_dict(command))
+        assert again.action is CommandAction.REVOKE
+        assert again == command
+
+    def test_roundtrip_privilege_target(self):
+        command = grant_cmd(U, R, Grant(U, S))
+        assert command_from_dict(command_to_dict(command)) == command
+
+    def test_queue_roundtrip(self):
+        queue = [grant_cmd(U, U, R), revoke_cmd(U, U, R)]
+        assert queue_from_json(queue_to_json(queue)) == queue
+
+    def test_queue_must_be_list(self):
+        with pytest.raises(SerializationError):
+            queue_from_json('{"user": "u"}')
+
+    def test_unknown_action(self):
+        with pytest.raises(SerializationError):
+            command_from_dict(
+                {"user": "u", "action": "zap",
+                 "source": {"kind": "user", "name": "u"},
+                 "target": {"kind": "role", "name": "r"}}
+            )

@@ -1,0 +1,56 @@
+"""Unit tests for the session record."""
+
+import pytest
+
+from repro.core.entities import Role, User
+from repro.core.sessions import Session
+from repro.errors import SessionError
+
+U = User("u")
+R, S = Role("r"), Role("s")
+
+
+def test_fresh_session_has_no_active_roles():
+    session = Session(U)
+    assert session.active_roles == set()
+    assert session.user == U
+    assert not session.terminated
+
+
+def test_session_ids_unique():
+    a, b = Session(U), Session(U)
+    assert a.session_id != b.session_id
+
+
+def test_activate_and_deactivate():
+    session = Session(U)
+    session.activate(R)
+    session.activate(S)
+    assert session.active_roles == {R, S}
+    session.deactivate(R)
+    assert session.active_roles == {S}
+
+
+def test_deactivate_inactive_role_raises():
+    session = Session(U)
+    with pytest.raises(SessionError):
+        session.deactivate(R)
+
+
+def test_terminate_clears_and_blocks():
+    session = Session(U)
+    session.activate(R)
+    session.terminate()
+    assert session.terminated
+    assert session.active_roles == set()
+    with pytest.raises(SessionError):
+        session.activate(R)
+    with pytest.raises(SessionError):
+        session.require_live()
+
+
+def test_str_lists_roles():
+    session = Session(U)
+    session.activate(R)
+    text = str(session)
+    assert "u" in text and "r" in text

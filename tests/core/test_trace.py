@@ -1,0 +1,69 @@
+"""Unit tests for derivation traces and ordering statistics."""
+
+from repro.core.entities import Role, User
+from repro.core.ordering import OrderingOracle, explain_weaker
+from repro.core.policy import Policy
+from repro.core.privileges import Grant, perm
+from repro.core.trace import Derivation, OrderingStatistics, ReachPremise
+
+U = User("u")
+HIGH, LOW = Role("high"), Role("low")
+
+
+def make_policy():
+    return Policy(ua=[(U, HIGH)], rh=[(HIGH, LOW)])
+
+
+def test_reach_premise_renders_entities():
+    premise = ReachPremise(U, HIGH)
+    assert "u" in str(premise) and "high" in str(premise)
+    assert "->phi" in str(premise)
+
+
+def test_reach_premise_renders_privileges():
+    premise = ReachPremise(Grant(U, HIGH), Grant(U, LOW))
+    assert "grant(u, high)" in str(premise)
+
+
+def test_derivation_format_nests_with_indentation():
+    policy = make_policy()
+    derivation = explain_weaker(
+        policy, Grant(HIGH, Grant(U, HIGH)), Grant(HIGH, Grant(U, LOW))
+    )
+    text = derivation.format()
+    lines = text.splitlines()
+    assert lines[0].startswith("grant(high, grant(u, high))")
+    # The sub-derivation is indented.
+    assert any(line.startswith("  grant(") for line in lines)
+
+
+def test_str_equals_format():
+    policy = make_policy()
+    derivation = explain_weaker(policy, Grant(U, HIGH), Grant(U, LOW))
+    assert str(derivation) == derivation.format()
+
+
+def test_rules_used_and_depth():
+    reflexive = Derivation("reflexivity", perm("a", "b"), perm("a", "b"))
+    assert list(reflexive.rules_used()) == ["reflexivity"]
+    assert reflexive.depth() == 1
+
+
+def test_statistics_record_and_reset():
+    stats = OrderingStatistics()
+    stats.record_rule("rule2")
+    stats.record_rule("rule2")
+    stats.record_rule("custom")
+    stats.queries = 5
+    assert stats.rule_applications["rule2"] == 2
+    assert stats.rule_applications["custom"] == 1
+    stats.reset()
+    assert stats.queries == 0
+    assert stats.rule_applications["rule2"] == 0
+
+
+def test_oracle_reach_check_counter_increases():
+    policy = make_policy()
+    oracle = OrderingOracle(policy)
+    oracle.is_weaker(Grant(U, HIGH), Grant(U, LOW))
+    assert oracle.stats.reach_checks > 0

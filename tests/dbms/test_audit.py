@@ -1,0 +1,55 @@
+"""Unit tests for the audit log."""
+
+from repro.dbms.audit import AuditLog
+
+
+def test_record_and_len():
+    log = AuditLog()
+    log.record("query", "diana", "read t1", True)
+    log.record("query", "diana", "write t3", False)
+    assert len(log) == 2
+
+
+def test_sequence_increases():
+    log = AuditLog()
+    first = log.record("query", "a", "x", True)
+    second = log.record("query", "a", "y", True)
+    assert second.sequence > first.sequence
+
+
+def test_denials_filter():
+    log = AuditLog()
+    log.record("query", "diana", "read t1", True)
+    log.record("query", "bob", "write t3", False)
+    denials = log.denials()
+    assert len(denials) == 1
+    assert denials[0].subject == "bob"
+
+
+def test_by_subject_and_category():
+    log = AuditLog()
+    log.record("query", "diana", "read t1", True)
+    log.record("admin", "jane", "grant", True)
+    assert len(log.by_subject("jane")) == 1
+    assert len(log.by_category("query")) == 1
+
+
+def test_implicit_authorizations_need_detail():
+    log = AuditLog()
+    log.record("admin", "jane", "cmd", True)
+    log.record("admin", "jane", "cmd", True, detail="via grant(bob, staff)")
+    log.record("admin", "jane", "cmd", False, detail="denied anyway")
+    assert len(log.implicit_authorizations()) == 1
+
+
+def test_str_rendering():
+    log = AuditLog()
+    entry = log.record("query", "diana", "read t1", False, detail="no role")
+    text = str(entry)
+    assert "DENY" in text and "diana" in text and "no role" in text
+
+
+def test_iteration():
+    log = AuditLog()
+    log.record("query", "a", "x", True)
+    assert [entry.operation for entry in log] == ["x"]

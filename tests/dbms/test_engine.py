@@ -1,0 +1,150 @@
+"""Unit and integration tests for the guarded database engine."""
+
+import pytest
+
+from repro.core.commands import Mode, grant_cmd, revoke_cmd
+from repro.dbms.engine import GuardedDatabase, hospital_database
+from repro.errors import AccessDenied
+from repro.papercases import figures
+
+
+@pytest.fixture
+def db():
+    return hospital_database()
+
+
+class TestGuardedQueries:
+    def test_nurse_reads_ehr(self, db):
+        session = db.login(figures.DIANA, figures.NURSE)
+        assert len(db.select(session, "t1")) == 2
+        assert len(db.select(session, "t2")) == 2
+
+    def test_nurse_cannot_write_t3(self, db):
+        session = db.login(figures.DIANA, figures.NURSE)
+        with pytest.raises(AccessDenied):
+            db.insert(session, "t3", {
+                "patient": "p-003", "note": "x", "author": "diana",
+            })
+
+    def test_staff_writes_t3(self, db):
+        session = db.login(figures.DIANA, figures.STAFF)
+        db.insert(session, "t3", {
+            "patient": "p-003", "note": "discharged", "author": "diana",
+        })
+        # Note: the figure grants (write, t3) but no (read, t3) to
+        # anyone, so row counts are checked on the store directly.
+        assert len(db.store.table("t3")) == 2
+
+    def test_nobody_reads_t3(self, db):
+        # Faithful to the figure: t3 is write-only for every role.
+        session = db.login(figures.DIANA, figures.STAFF, figures.NURSE)
+        with pytest.raises(AccessDenied):
+            db.select(session, "t3")
+
+    def test_staff_updates_and_deletes(self, db):
+        session = db.login(figures.DIANA, figures.STAFF)
+        touched = db.update(
+            session, "t3", lambda row: row["patient"] == "p-001",
+            {"note": "amended"},
+        )
+        assert touched == 1
+        removed = db.delete(
+            session, "t3", lambda row: row["patient"] == "p-001"
+        )
+        assert removed == 1
+
+    def test_select_with_predicate(self, db):
+        session = db.login(figures.DIANA, figures.NURSE)
+        rows = db.select(session, "t1", lambda row: row["status"] == "stable")
+        assert [row["patient"] for row in rows] == ["p-001"]
+
+    def test_no_roles_no_access(self, db):
+        session = db.login(figures.DIANA)
+        with pytest.raises(AccessDenied):
+            db.select(session, "t1")
+
+    def test_printing(self, db):
+        nurse = db.login(figures.DIANA, figures.NURSE)
+        assert db.print_document(nurse, "black", "chart") == "[black] chart"
+        with pytest.raises(AccessDenied):
+            db.print_document(nurse, "color", "chart")
+        staff = db.login(figures.DIANA, figures.STAFF, figures.PRNTUSR)
+        assert db.print_document(staff, "color", "poster") == "[color] poster"
+
+    def test_denied_queries_are_audited(self, db):
+        session = db.login(figures.DIANA)
+        with pytest.raises(AccessDenied):
+            db.select(session, "t1")
+        denials = db.audit.denials()
+        assert denials
+        assert denials[-1].subject == "diana"
+        assert "read t1" in denials[-1].operation
+
+
+class TestAdministration:
+    def test_strict_mode_denies_flexworker_shortcut(self):
+        db = hospital_database(mode=Mode.STRICT)
+        record = db.administer(
+            grant_cmd(figures.JANE, figures.BOB, figures.DBUSR2)
+        )
+        assert not record.executed
+
+    def test_refined_mode_flexworker_end_to_end(self):
+        db = hospital_database(mode=Mode.REFINED)
+        record = db.administer(
+            grant_cmd(figures.JANE, figures.BOB, figures.DBUSR2)
+        )
+        assert record.executed and record.implicit
+        session = db.login(figures.BOB, figures.DBUSR2)
+        # Bob can maintain the records...
+        assert db.select(session, "t1")
+        db.insert(session, "t3", {
+            "patient": "p-004", "note": "migrated", "author": "bob",
+        })
+        # ... but gets no medical printing privileges.
+        with pytest.raises(AccessDenied):
+            db.print_document(session, "black", "prescription")
+
+    def test_revocation_closes_access(self):
+        # Figure 2: HR holds grant(joe, nurse) and revoke(joe, nurse).
+        db = hospital_database(mode=Mode.STRICT)
+        db.administer(grant_cmd(figures.JANE, figures.JOE, figures.NURSE))
+        session = db.login(figures.JOE, figures.NURSE)
+        assert db.select(session, "t1")
+        record = db.administer(
+            revoke_cmd(figures.JANE, figures.JOE, figures.NURSE)
+        )
+        assert record.executed
+        with pytest.raises(AccessDenied):
+            db.select(session, "t1")
+
+    def test_unauthorized_revocation_is_noop(self):
+        db = hospital_database(mode=Mode.STRICT)
+        db.administer(grant_cmd(figures.JANE, figures.BOB, figures.STAFF))
+        record = db.administer(
+            revoke_cmd(figures.JANE, figures.BOB, figures.STAFF)
+        )
+        assert not record.executed  # HR holds no revoke(bob, staff)
+
+    def test_audit_records_implicit_detail(self):
+        db = hospital_database(mode=Mode.REFINED)
+        db.administer(grant_cmd(figures.JANE, figures.BOB, figures.DBUSR2))
+        implicit = db.audit.implicit_authorizations()
+        assert implicit
+        assert "grant(bob, staff)" in implicit[0].detail
+
+
+class TestAuditLog:
+    def test_by_subject_and_category(self, db):
+        session = db.login(figures.DIANA, figures.NURSE)
+        db.select(session, "t1")
+        assert db.audit.by_subject("diana")
+        assert db.audit.by_category("query")
+        assert db.audit.by_category("session")
+
+    def test_logout(self, db):
+        session = db.login(figures.DIANA, figures.NURSE)
+        db.logout(session)
+        assert session.terminated
+        operations = [entry.operation for entry in db.audit.by_subject("diana")]
+        assert "logout" in operations

@@ -1,0 +1,174 @@
+"""Unit tests for the SQL front-end."""
+
+import pytest
+
+from repro.core.commands import Mode
+from repro.dbms.engine import hospital_database
+from repro.dbms.sql import (
+    Comparison,
+    DeleteStatement,
+    InsertStatement,
+    SelectStatement,
+    UpdateStatement,
+    execute_sql,
+    parse_sql,
+)
+from repro.errors import AccessDenied, GrammarError, TableError
+from repro.papercases import figures
+
+
+class TestParser:
+    def test_select_star(self):
+        stmt = parse_sql("SELECT * FROM t1")
+        assert stmt == SelectStatement("t1", None, ())
+
+    def test_select_columns(self):
+        stmt = parse_sql("select patient, ward from t1")
+        assert stmt.columns == ("patient", "ward")
+
+    def test_select_where(self):
+        stmt = parse_sql("SELECT * FROM t1 WHERE ward = 'cardiology'")
+        assert stmt.conditions == (Comparison("ward", "=", "cardiology"),)
+
+    def test_where_and_chain(self):
+        stmt = parse_sql(
+            "SELECT * FROM t1 WHERE ward = 'a' AND status != 'ok' AND n >= 3"
+        )
+        assert len(stmt.conditions) == 3
+        assert stmt.conditions[2] == Comparison("n", ">=", 3)
+
+    def test_numeric_literals(self):
+        stmt = parse_sql("SELECT * FROM t WHERE a = 3 AND b = 2.5 AND c = -1")
+        values = [cond.literal for cond in stmt.conditions]
+        assert values == [3, 2.5, -1]
+
+    def test_string_escape(self):
+        stmt = parse_sql("SELECT * FROM t WHERE a = 'it''s'")
+        assert stmt.conditions[0].literal == "it's"
+
+    def test_insert(self):
+        stmt = parse_sql(
+            "INSERT INTO t1 (patient, ward) VALUES ('p9', 'icu')"
+        )
+        assert stmt == InsertStatement(
+            "t1", (("patient", "p9"), ("ward", "icu"))
+        )
+
+    def test_insert_arity_mismatch(self):
+        with pytest.raises(GrammarError, match="columns but"):
+            parse_sql("INSERT INTO t1 (a, b) VALUES ('x')")
+
+    def test_update(self):
+        stmt = parse_sql("UPDATE t1 SET ward = 'icu' WHERE patient = 'p1'")
+        assert stmt == UpdateStatement(
+            "t1", (("ward", "icu"),), (Comparison("patient", "=", "p1"),)
+        )
+
+    def test_update_multiple_assignments(self):
+        stmt = parse_sql("UPDATE t SET a = 1, b = 'x'")
+        assert stmt.changes == (("a", 1), ("b", "x"))
+
+    def test_delete(self):
+        stmt = parse_sql("DELETE FROM t1 WHERE status = 'stale'")
+        assert stmt == DeleteStatement(
+            "t1", (Comparison("status", "=", "stale"),)
+        )
+
+    def test_unknown_statement(self):
+        with pytest.raises(GrammarError, match="unknown statement"):
+            parse_sql("DROP TABLE t1")
+
+    def test_keyword_as_identifier_rejected(self):
+        with pytest.raises(GrammarError):
+            parse_sql("SELECT from FROM t")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(GrammarError, match="trailing"):
+            parse_sql("SELECT * FROM t1 garbage")
+
+    def test_truncated_rejected(self):
+        with pytest.raises(GrammarError):
+            parse_sql("SELECT * FROM")
+
+    def test_bad_character(self):
+        with pytest.raises(GrammarError, match="bad SQL"):
+            parse_sql("SELECT * FROM t WHERE a = ;")
+
+
+class TestExecution:
+    @pytest.fixture
+    def db(self):
+        return hospital_database()
+
+    @pytest.fixture
+    def nurse(self, db):
+        return db.login(figures.DIANA, figures.NURSE)
+
+    @pytest.fixture
+    def staff(self, db):
+        return db.login(figures.DIANA, figures.STAFF)
+
+    def test_select_star(self, db, nurse):
+        result = execute_sql(db, nurse, "SELECT * FROM t1")
+        assert len(result.rows) == 2
+
+    def test_select_projection(self, db, nurse):
+        result = execute_sql(db, nurse, "SELECT patient FROM t1")
+        assert all(set(row) == {"patient"} for row in result.rows)
+
+    def test_select_where(self, db, nurse):
+        result = execute_sql(
+            db, nurse, "SELECT * FROM t1 WHERE status = 'critical'"
+        )
+        assert [row["patient"] for row in result.rows] == ["p-002"]
+
+    def test_select_unknown_projection_column(self, db, nurse):
+        with pytest.raises(GrammarError, match="unknown columns"):
+            execute_sql(db, nurse, "SELECT ghost FROM t1")
+
+    def test_select_unknown_table(self, db, staff):
+        # The monitor check happens first: reading an unknown table is
+        # an access question before a schema question.
+        with pytest.raises((AccessDenied, TableError)):
+            execute_sql(db, staff, "SELECT * FROM ghost")
+
+    def test_insert_requires_write(self, db, nurse, staff):
+        sql = ("INSERT INTO t3 (patient, note, author) "
+               "VALUES ('p-009', 'cleanup', 'diana')")
+        with pytest.raises(AccessDenied):
+            execute_sql(db, nurse, sql)
+        result = execute_sql(db, staff, sql)
+        assert result.affected == 1
+        assert len(db.store.table("t3")) == 2
+
+    def test_update_counts_rows(self, db, staff):
+        result = execute_sql(
+            db, staff, "UPDATE t3 SET note = 'x' WHERE author = 'diana'"
+        )
+        assert result.affected == 1
+
+    def test_delete_counts_rows(self, db, staff):
+        result = execute_sql(db, staff, "DELETE FROM t3 WHERE patient = 'p-001'")
+        assert result.affected == 1
+        assert len(db.store.table("t3")) == 0
+
+    def test_type_mismatch_comparisons_do_not_match(self, db, nurse):
+        result = execute_sql(db, nurse, "SELECT * FROM t1 WHERE ward < 5")
+        assert result.rows == ()
+
+    def test_denied_select_is_audited(self, db):
+        session = db.login(figures.DIANA)  # no roles activated
+        with pytest.raises(AccessDenied):
+            execute_sql(db, session, "SELECT * FROM t1")
+        assert db.audit.denials()
+
+    def test_refined_mode_flexworker_can_query(self):
+        from repro.core.commands import grant_cmd
+
+        db = hospital_database(mode=Mode.REFINED)
+        db.administer(grant_cmd(figures.JANE, figures.BOB, figures.DBUSR2))
+        bob = db.login(figures.BOB, figures.DBUSR2)
+        result = execute_sql(
+            db, bob, "SELECT medication FROM t2 WHERE patient = 'p-002'"
+        )
+        assert result.rows == ({"medication": "cisplatin"},)

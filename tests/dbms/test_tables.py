@@ -1,0 +1,108 @@
+"""Unit tests for the table store."""
+
+import pytest
+
+from repro.dbms.tables import Schema, Table, TableStore
+from repro.errors import TableError
+
+
+class TestSchema:
+    def test_empty_rejected(self):
+        with pytest.raises(TableError):
+            Schema(())
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(TableError):
+            Schema(("a", "a"))
+
+    def test_validate_row(self):
+        schema = Schema(("a", "b"))
+        schema.validate_row({"a": 1, "b": 2})
+        with pytest.raises(TableError, match="missing"):
+            schema.validate_row({"a": 1})
+        with pytest.raises(TableError, match="unknown"):
+            schema.validate_row({"a": 1, "b": 2, "c": 3})
+
+
+class TestTable:
+    @pytest.fixture
+    def table(self):
+        table = Table("t", ["patient", "ward"])
+        table.insert({"patient": "p1", "ward": "a"})
+        table.insert({"patient": "p2", "ward": "b"})
+        return table
+
+    def test_insert_and_len(self, table):
+        assert len(table) == 2
+
+    def test_insert_validates(self, table):
+        with pytest.raises(TableError):
+            table.insert({"patient": "p3"})
+
+    def test_select_all(self, table):
+        assert len(table.select()) == 2
+
+    def test_select_predicate(self, table):
+        rows = table.select(lambda row: row["ward"] == "a")
+        assert rows == [{"patient": "p1", "ward": "a"}]
+
+    def test_select_returns_copies(self, table):
+        rows = table.select()
+        rows[0]["ward"] = "hacked"
+        assert table.select()[0]["ward"] == "a"
+
+    def test_insert_copies_row(self, table):
+        row = {"patient": "p3", "ward": "c"}
+        table.insert(row)
+        row["ward"] = "mutated"
+        assert table.select(lambda r: r["patient"] == "p3")[0]["ward"] == "c"
+
+    def test_update(self, table):
+        touched = table.update(lambda row: row["ward"] == "a", {"ward": "z"})
+        assert touched == 1
+        assert table.select(lambda r: r["ward"] == "z")
+
+    def test_update_unknown_column(self, table):
+        with pytest.raises(TableError):
+            table.update(lambda row: True, {"ghost": 1})
+
+    def test_delete(self, table):
+        removed = table.delete(lambda row: row["ward"] == "b")
+        assert removed == 1
+        assert len(table) == 1
+
+    def test_iteration(self, table):
+        assert sorted(row["patient"] for row in table) == ["p1", "p2"]
+
+
+class TestTableStore:
+    def test_create_and_get(self):
+        store = TableStore()
+        store.create_table("t1", ["a"])
+        assert "t1" in store
+        assert store.table("t1").name == "t1"
+
+    def test_duplicate_rejected(self):
+        store = TableStore()
+        store.create_table("t1", ["a"])
+        with pytest.raises(TableError):
+            store.create_table("t1", ["b"])
+
+    def test_missing_table(self):
+        store = TableStore()
+        with pytest.raises(TableError):
+            store.table("ghost")
+
+    def test_drop(self):
+        store = TableStore()
+        store.create_table("t1", ["a"])
+        store.drop_table("t1")
+        assert "t1" not in store
+        with pytest.raises(TableError):
+            store.drop_table("t1")
+
+    def test_table_names_sorted(self):
+        store = TableStore()
+        store.create_table("b", ["x"])
+        store.create_table("a", ["x"])
+        assert store.table_names() == ["a", "b"]

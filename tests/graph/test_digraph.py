@@ -1,0 +1,135 @@
+"""Unit tests for the digraph substrate."""
+
+import pytest
+
+from repro.graph import Digraph
+
+
+def test_empty_graph():
+    graph = Digraph()
+    assert len(graph) == 0
+    assert graph.edge_count == 0
+    assert list(graph.edges()) == []
+
+
+def test_add_edge_creates_vertices():
+    graph = Digraph()
+    assert graph.add_edge("a", "b")
+    assert "a" in graph
+    assert "b" in graph
+    assert graph.has_edge("a", "b")
+    assert not graph.has_edge("b", "a")
+
+
+def test_add_edge_idempotent():
+    graph = Digraph()
+    assert graph.add_edge("a", "b")
+    assert not graph.add_edge("a", "b")
+    assert graph.edge_count == 1
+
+
+def test_add_vertex_isolated():
+    graph = Digraph()
+    assert graph.add_vertex("x")
+    assert not graph.add_vertex("x")
+    assert "x" in graph
+    assert graph.out_degree("x") == 0
+
+
+def test_remove_edge():
+    graph = Digraph([("a", "b"), ("b", "c")])
+    assert graph.remove_edge("a", "b")
+    assert not graph.remove_edge("a", "b")
+    assert not graph.has_edge("a", "b")
+    assert graph.has_edge("b", "c")
+    # Vertices survive edge removal.
+    assert "a" in graph and "b" in graph
+
+
+def test_remove_vertex_removes_incident_edges():
+    graph = Digraph([("a", "b"), ("b", "c"), ("c", "b")])
+    assert graph.remove_vertex("b")
+    assert "b" not in graph
+    assert graph.edge_count == 0
+    assert not graph.remove_vertex("b")
+
+
+def test_successors_predecessors():
+    graph = Digraph([("a", "b"), ("a", "c"), ("d", "a")])
+    assert graph.successors("a") == {"b", "c"}
+    assert graph.predecessors("a") == {"d"}
+    assert graph.successors("missing") == frozenset()
+    assert graph.predecessors("missing") == frozenset()
+
+
+def test_degrees():
+    graph = Digraph([("a", "b"), ("a", "c"), ("b", "c")])
+    assert graph.out_degree("a") == 2
+    assert graph.in_degree("c") == 2
+    assert graph.in_degree("a") == 0
+
+
+def test_version_bumps_on_mutation():
+    graph = Digraph()
+    v0 = graph.version
+    graph.add_edge("a", "b")
+    v1 = graph.version
+    assert v1 > v0
+    graph.remove_edge("a", "b")
+    assert graph.version > v1
+
+
+def test_version_not_bumped_on_noop():
+    graph = Digraph([("a", "b")])
+    version = graph.version
+    graph.add_edge("a", "b")  # already present
+    assert graph.version == version
+    graph.remove_edge("x", "y")  # never present
+    assert graph.version == version
+
+
+def test_copy_is_independent():
+    graph = Digraph([("a", "b")])
+    clone = graph.copy()
+    clone.add_edge("b", "c")
+    assert not graph.has_edge("b", "c")
+    assert clone.has_edge("a", "b")
+
+
+def test_equality_by_structure():
+    one = Digraph([("a", "b")])
+    two = Digraph([("a", "b")])
+    assert one == two
+    two.add_vertex("c")
+    assert one != two
+
+
+def test_unhashable():
+    with pytest.raises(TypeError):
+        hash(Digraph())
+
+
+def test_edge_set_snapshot():
+    graph = Digraph([("a", "b")])
+    snapshot = graph.edge_set()
+    graph.add_edge("b", "c")
+    assert snapshot == frozenset({("a", "b")})
+
+
+def test_vertices_and_edges_iteration():
+    graph = Digraph([("a", "b"), ("b", "c")])
+    graph.add_vertex("lonely")
+    assert set(graph.vertices()) == {"a", "b", "c", "lonely"}
+    assert set(graph.edges()) == {("a", "b"), ("b", "c")}
+
+
+def test_self_loop():
+    graph = Digraph([("a", "a")])
+    assert graph.has_edge("a", "a")
+    assert graph.successors("a") == {"a"}
+    assert graph.predecessors("a") == {"a"}
+
+
+def test_hashable_nonstring_vertices():
+    graph = Digraph([((1, 2), (3, 4))])
+    assert graph.has_edge((1, 2), (3, 4))

@@ -1,0 +1,44 @@
+"""Unit tests for the DOT exporter."""
+
+from repro.graph import Digraph, digraph_to_dot, policy_to_dot
+from repro.papercases import figures
+
+
+def test_digraph_to_dot_basic():
+    graph = Digraph([("a", "b")])
+    dot = digraph_to_dot(graph, name="T")
+    assert dot.startswith("digraph T {")
+    assert dot.rstrip().endswith("}")
+    assert '"a"' in dot and '"b"' in dot
+    assert "->" in dot
+
+
+def test_digraph_to_dot_escapes_quotes():
+    graph = Digraph([('say "hi"', "b")])
+    dot = digraph_to_dot(graph)
+    assert '\\"hi\\"' in dot
+
+
+def test_digraph_to_dot_deterministic():
+    graph = Digraph([("b", "c"), ("a", "b")])
+    assert digraph_to_dot(graph) == digraph_to_dot(graph.copy())
+
+
+def test_policy_to_dot_figure1_shapes():
+    dot = policy_to_dot(figures.figure1(), name="fig1")
+    assert "digraph fig1 {" in dot
+    # Users are boxes, roles ellipses, user privileges plaintext.
+    assert 'shape=box, label="diana"' in dot
+    assert 'shape=ellipse, label="nurse"' in dot
+    assert 'shape=plaintext, label="(read, t1)"' in dot
+
+
+def test_policy_to_dot_figure2_admin_privileges_are_diamonds():
+    dot = policy_to_dot(figures.figure2())
+    assert 'shape=diamond, label="grant(bob, staff)"' in dot
+
+
+def test_policy_to_dot_edge_count_matches():
+    policy = figures.figure1()
+    dot = policy_to_dot(policy)
+    assert dot.count(" -> ") == policy.graph.edge_count

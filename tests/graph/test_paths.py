@@ -1,0 +1,90 @@
+"""Unit tests for path extraction."""
+
+from repro.graph import Digraph
+from repro.graph.paths import (
+    all_simple_paths,
+    explain_reachability,
+    format_path,
+    shortest_path,
+)
+
+
+def diamond():
+    return Digraph([
+        ("t", "l"), ("t", "r"), ("l", "b"), ("r", "b"), ("b", "x"),
+    ])
+
+
+class TestShortestPath:
+    def test_reflexive(self):
+        assert shortest_path(Digraph(), "v", "v") == ("v",)
+
+    def test_direct_edge(self):
+        graph = Digraph([("a", "b")])
+        assert shortest_path(graph, "a", "b") == ("a", "b")
+
+    def test_prefers_shortest(self):
+        graph = Digraph([("a", "b"), ("b", "c"), ("a", "c")])
+        assert shortest_path(graph, "a", "c") == ("a", "c")
+
+    def test_unreachable(self):
+        graph = Digraph([("a", "b")])
+        assert shortest_path(graph, "b", "a") is None
+
+    def test_through_diamond(self):
+        path = shortest_path(diamond(), "t", "x")
+        assert path[0] == "t" and path[-1] == "x"
+        assert len(path) == 4
+
+    def test_cycle_safe(self):
+        graph = Digraph([("a", "b"), ("b", "a"), ("b", "c")])
+        assert shortest_path(graph, "a", "c") == ("a", "b", "c")
+
+
+class TestAllSimplePaths:
+    def test_both_diamond_arms(self):
+        paths = set(all_simple_paths(diamond(), "t", "b"))
+        assert paths == {("t", "l", "b"), ("t", "r", "b")}
+
+    def test_reflexive_single(self):
+        assert list(all_simple_paths(Digraph(), "v", "v")) == [("v",)]
+
+    def test_max_length_cap(self):
+        graph = Digraph([(i, i + 1) for i in range(10)])
+        assert list(all_simple_paths(graph, 0, 10, max_length=5)) == []
+        assert list(all_simple_paths(graph, 0, 10, max_length=10))
+
+    def test_cycles_do_not_loop(self):
+        graph = Digraph([("a", "b"), ("b", "a"), ("b", "c")])
+        paths = list(all_simple_paths(graph, "a", "c"))
+        assert paths == [("a", "b", "c")]
+
+
+class TestFormatting:
+    def test_format_path(self):
+        assert format_path(("a", "b", "c")) == "a -> b -> c"
+
+    def test_explain_reachable(self):
+        graph = Digraph([("a", "b"), ("b", "c")])
+        assert explain_reachability(graph, "a", "c") == "a -> b -> c"
+
+    def test_explain_reflexive(self):
+        assert "reflexivity" in explain_reachability(Digraph(), "v", "v")
+
+    def test_explain_unreachable(self):
+        assert "does not reach" in explain_reachability(Digraph(), "a", "b")
+
+
+class TestOnPolicies:
+    def test_figure2_premise_paths(self):
+        from repro.papercases import figures
+
+        policy = figures.figure2()
+        explanation = explain_reachability(
+            policy.graph, figures.STAFF, figures.DBUSR2
+        )
+        assert explanation == "staff -> dbusr2"
+        long_explanation = explain_reachability(
+            policy.graph, figures.ALICE, figures.HR
+        )
+        assert long_explanation == "alice -> SO -> HR"

@@ -1,0 +1,87 @@
+"""Unit tests for reachability and the version-checked cache."""
+
+from repro.graph import (
+    Digraph,
+    ReachabilityCache,
+    ancestors,
+    descendants,
+    reachable_from_any,
+    reaches,
+)
+
+
+def chain(n):
+    return Digraph([(i, i + 1) for i in range(n)])
+
+
+def test_reaches_is_reflexive():
+    graph = Digraph()
+    assert reaches(graph, "x", "x")  # even for unknown vertices
+
+
+def test_reaches_direct_and_transitive():
+    graph = chain(4)
+    assert reaches(graph, 0, 1)
+    assert reaches(graph, 0, 4)
+    assert not reaches(graph, 4, 0)
+
+
+def test_reaches_handles_cycles():
+    graph = Digraph([("a", "b"), ("b", "c"), ("c", "a")])
+    assert reaches(graph, "a", "c")
+    assert reaches(graph, "c", "b")
+
+
+def test_descendants_includes_self():
+    graph = chain(3)
+    assert descendants(graph, 1) == {1, 2, 3}
+    assert descendants(graph, 3) == {3}
+
+
+def test_ancestors_includes_self():
+    graph = chain(3)
+    assert ancestors(graph, 2) == {0, 1, 2}
+    assert ancestors(graph, 0) == {0}
+
+
+def test_reachable_from_any():
+    graph = Digraph([("a", "x"), ("b", "y")])
+    assert reachable_from_any(graph, ["a", "b"]) == {"a", "b", "x", "y"}
+    assert reachable_from_any(graph, []) == frozenset()
+
+
+def test_diamond():
+    graph = Digraph([("top", "l"), ("top", "r"), ("l", "bot"), ("r", "bot")])
+    assert descendants(graph, "top") == {"top", "l", "r", "bot"}
+    assert ancestors(graph, "bot") == {"top", "l", "r", "bot"}
+
+
+def test_cache_answers_match_direct_queries():
+    graph = chain(5)
+    cache = ReachabilityCache(graph)
+    for source in range(6):
+        for target in range(6):
+            assert cache.reaches(source, target) == reaches(graph, source, target)
+
+
+def test_cache_invalidates_on_mutation():
+    graph = Digraph([("a", "b")])
+    cache = ReachabilityCache(graph)
+    assert not cache.reaches("b", "c")
+    graph.add_edge("b", "c")
+    assert cache.reaches("b", "c")
+    graph.remove_edge("a", "b")
+    assert not cache.reaches("a", "b")
+
+
+def test_cache_memoizes_between_mutations():
+    graph = chain(3)
+    cache = ReachabilityCache(graph)
+    cache.descendants(0)
+    cache.descendants(0)
+    assert cache.cached_sources == 1
+    cache.descendants(1)
+    assert cache.cached_sources == 2
+    graph.add_edge(3, 4)
+    cache.descendants(0)
+    assert cache.cached_sources == 1  # cleared on version change

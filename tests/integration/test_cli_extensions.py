@@ -1,0 +1,76 @@
+"""Integration tests for the diff/flexibility/fuzz CLI subcommands."""
+
+import pytest
+
+from repro.cli import main
+from repro.core.grammar import format_policy_source
+from repro.core.privileges import Grant
+from repro.core.refinement import weaken_assignment
+from repro.papercases import figures
+
+
+@pytest.fixture
+def fig2_file(tmp_path):
+    path = tmp_path / "fig2.policy"
+    path.write_text(format_policy_source(figures.figure2()))
+    return str(path)
+
+
+@pytest.fixture
+def weakened_file(tmp_path):
+    psi = weaken_assignment(
+        figures.figure2(), figures.HR,
+        Grant(figures.BOB, figures.STAFF),
+        Grant(figures.BOB, figures.DBUSR2),
+    )
+    path = tmp_path / "psi.policy"
+    path.write_text(format_policy_source(psi))
+    return str(path)
+
+
+def test_diff_refinement_direction(fig2_file, weakened_file, capsys):
+    code = main(["diff", fig2_file, weakened_file])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "direction: equivalent" in out or "direction: refinement" in out
+    assert "removed pa-admin: HR -> grant(bob, staff)" in out
+    assert "added pa-admin: HR -> grant(bob, dbusr2)" in out
+
+
+def test_diff_coarsening_exits_nonzero(fig2_file, tmp_path, capsys):
+    policy = figures.figure2()
+    policy.assign_user(figures.BOB, figures.STAFF)
+    grown = tmp_path / "grown.policy"
+    grown.write_text(format_policy_source(policy))
+    code = main(["diff", fig2_file, str(grown)])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "direction: coarsening" in out
+    assert "gained: bob may" in out
+
+
+def test_flexibility(fig2_file, capsys):
+    assert main(["flexibility", fig2_file]) == 0
+    out = capsys.readouterr().out
+    assert "strict (Def. 5, exact match)" in out
+    assert "refined / strict" in out
+
+
+def test_fuzz_clean_run(capsys):
+    assert main(["fuzz", "--seeds", "3", "--steps", "20"]) == 0
+    out = capsys.readouterr().out
+    assert "invariants: all hold" in out
+
+
+def test_explain_access_allowed(fig2_file, capsys):
+    assert main(["explain-access", fig2_file, "diana", "(read, t1)"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("ALLOWED: diana -> ")
+    assert "(read, t1)" in out
+
+
+def test_explain_access_denied(fig2_file, capsys):
+    assert main(["explain-access", fig2_file, "bob", "(read, t1)"]) == 1
+    out = capsys.readouterr().out
+    assert "DENIED" in out
+    assert "authorized roles" in out

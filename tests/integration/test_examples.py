@@ -1,0 +1,55 @@
+"""Smoke tests: every example script must run clean and print its
+headline results."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "dana (as nurse) reads charts: True" in out
+    assert "implicitly authorized by grant(dana, doctor)" in out
+
+
+def test_hospital_flexworker():
+    out = run_example("hospital_flexworker.py")
+    assert "STRICT monitor" in out and "DENIED" in out
+    assert "REFINED monitor" in out
+    assert "rule3" in out  # Example 5's nested derivation
+    assert "no medical privileges" in out
+
+
+def test_enterprise_delegation():
+    out = run_example("enterprise_delegation.py")
+    assert "ordering decision latency" in out
+    assert "refined / strict" in out
+
+
+def test_safety_audit():
+    out = run_example("safety_audit.py")
+    assert "strengthening refuted: holds=False" in out
+    assert "HRU sees no difference; refinement does" in out
+
+
+def test_policy_evolution():
+    out = run_example("policy_evolution.py")
+    assert "direction: refinement" in out or "direction: equivalent" in out
+    assert "direction: coarsening" in out
+    assert "blocked by SSD" in out
+    assert "DENIED" in out

@@ -1,0 +1,85 @@
+"""Hypothesis strategies for policies, privileges, and commands.
+
+Entity pools are kept deliberately small (a handful of users/roles) so
+that generated policies are dense enough for reachability and the
+bounded checkers stay fast.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.core.entities import Role, User
+from repro.core.policy import Policy
+from repro.core.privileges import Grant, Revoke, perm
+
+USERS = [User(f"u{i}") for i in range(3)]
+ROLES = [Role(f"r{i}") for i in range(4)]
+USER_PRIVILEGES = [perm("read", "a"), perm("read", "b"), perm("write", "c")]
+
+users = st.sampled_from(USERS)
+roles = st.sampled_from(ROLES)
+user_privileges = st.sampled_from(USER_PRIVILEGES)
+
+
+def leaf_admin_privileges(connectives=(Grant, Revoke)):
+    """¤/♦ over entity pairs (depth-1 terms)."""
+    def build(connective, source, target):
+        return connective(source, target)
+
+    sources = st.one_of(users, roles)
+    return st.builds(
+        build,
+        st.sampled_from(connectives),
+        sources,
+        roles,
+    )
+
+
+def admin_privileges(max_depth: int = 3, connectives=(Grant, Revoke)):
+    """Well-sorted administrative privilege terms of bounded depth."""
+    base = st.one_of(leaf_admin_privileges(connectives), user_privileges)
+
+    def wrap(children):
+        def build(connective, source, target):
+            return connective(source, target)
+
+        return st.builds(build, st.sampled_from(connectives), roles, children)
+
+    return st.recursive(base, wrap, max_leaves=max_depth).filter(
+        lambda p: not isinstance(p, type(USER_PRIVILEGES[0]))
+        or True  # user privileges are fine as-is
+    )
+
+
+privileges = st.one_of(user_privileges, admin_privileges())
+
+
+@st.composite
+def policies(
+    draw,
+    max_ua: int = 4,
+    max_rh: int = 5,
+    max_pa: int = 4,
+    max_admin: int = 3,
+    admin_depth: int = 2,
+    allow_revocations: bool = True,
+):
+    """A random well-sorted policy over the shared entity pools."""
+    policy = Policy()
+    for user in USERS:
+        policy.add_user(user)
+    for role in ROLES:
+        policy.add_role(role)
+    for _ in range(draw(st.integers(0, max_ua))):
+        policy.assign_user(draw(users), draw(roles))
+    for _ in range(draw(st.integers(0, max_rh))):
+        senior, junior = draw(roles), draw(roles)
+        policy.add_inheritance(senior, junior)
+    for _ in range(draw(st.integers(0, max_pa))):
+        policy.assign_privilege(draw(roles), draw(user_privileges))
+    connectives = (Grant, Revoke) if allow_revocations else (Grant,)
+    for _ in range(draw(st.integers(0, max_admin))):
+        privilege = draw(admin_privileges(admin_depth, connectives))
+        policy.assign_privilege(draw(roles), privilege)
+    return policy

@@ -1,0 +1,82 @@
+"""Property-based tests for policy diffing."""
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.diff import apply_diff, diff_policies
+from repro.core.refinement import granted_pairs, is_refinement
+
+from .strategies import policies
+
+SETTINGS = settings(
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@SETTINGS
+@given(a=policies(), b=policies())
+def test_apply_diff_reconstructs_target_edges(a, b):
+    diff = diff_policies(a, b)
+    assert apply_diff(a, diff).edge_set() == b.edge_set()
+
+
+@SETTINGS
+@given(a=policies())
+def test_self_diff_is_noop_equivalent(a):
+    diff = diff_policies(a, a.copy())
+    assert diff.is_noop
+    assert diff.direction == "equivalent"
+
+
+@SETTINGS
+@given(a=policies(), b=policies())
+def test_direction_consistent_with_refinement(a, b):
+    diff = diff_policies(a, b)
+    forwards = is_refinement(a, b)
+    backwards = is_refinement(b, a)
+    expected = {
+        (True, True): "equivalent",
+        (True, False): "refinement",
+        (False, True): "coarsening",
+        (False, False): "incomparable",
+    }[(forwards, backwards)]
+    assert diff.direction == expected
+
+
+@SETTINGS
+@given(a=policies(), b=policies())
+def test_pair_deltas_match_direction(a, b):
+    diff = diff_policies(a, b)
+    if diff.direction == "refinement":
+        assert not diff.gained_pairs
+    if diff.direction == "coarsening":
+        assert not diff.lost_pairs
+    if diff.direction == "equivalent":
+        assert not diff.gained_pairs and not diff.lost_pairs
+    if diff.direction == "incomparable":
+        assert diff.gained_pairs and diff.lost_pairs
+
+
+@SETTINGS
+@given(a=policies(), b=policies())
+def test_diff_is_antisymmetric(a, b):
+    forward = diff_policies(a, b)
+    backward = diff_policies(b, a)
+    assert forward.added_edges == backward.removed_edges
+    assert forward.gained_pairs == backward.lost_pairs
+    flipped = {
+        "refinement": "coarsening",
+        "coarsening": "refinement",
+        "equivalent": "equivalent",
+        "incomparable": "incomparable",
+    }
+    assert backward.direction == flipped[forward.direction]
+
+
+@SETTINGS
+@given(a=policies(), b=policies())
+def test_granted_pairs_delta_is_exact(a, b):
+    diff = diff_policies(a, b)
+    assert granted_pairs(b) - granted_pairs(a) == diff.gained_pairs
+    assert granted_pairs(a) - granted_pairs(b) == diff.lost_pairs

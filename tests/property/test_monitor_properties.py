@@ -1,0 +1,101 @@
+"""Property-based tests for the monitor and command machinery."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.admin_refinement import check_mode_safety
+from repro.core.authz_index import AuthorizationIndex
+from repro.core.commands import (
+    Mode,
+    candidate_commands,
+    candidate_edges,
+    step,
+)
+from repro.core.ordering import OrderingOracle
+from repro.core.refinement import granted_pairs, is_refinement
+
+from .strategies import policies
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+SMALL = settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@SETTINGS
+@given(policy=policies(max_admin=2, admin_depth=2))
+def test_candidate_universe_complete(policy):
+    """Any executed command's edge lies in the candidate universe —
+    the finiteness argument behind every bounded analysis."""
+    universe = candidate_edges(policy, Mode.REFINED)
+    for command in candidate_commands(policy, Mode.REFINED):
+        probe = policy.copy()
+        record = step(probe, command, Mode.REFINED, OrderingOracle(probe))
+        if record.executed:
+            assert command.edge in universe
+
+
+@SETTINGS
+@given(policy=policies(max_admin=2, admin_depth=2))
+def test_strict_executions_subset_of_refined(policy):
+    """Mode monotonicity: refined mode executes everything strict
+    mode does."""
+    for command in candidate_commands(policy, Mode.STRICT):
+        strict_probe = policy.copy()
+        strict_record = step(
+            strict_probe, command, Mode.STRICT, OrderingOracle(strict_probe)
+        )
+        if not strict_record.executed:
+            continue
+        refined_probe = policy.copy()
+        refined_record = step(
+            refined_probe, command, Mode.REFINED, OrderingOracle(refined_probe)
+        )
+        assert refined_record.executed
+
+
+@SETTINGS
+@given(policy=policies(max_admin=3, admin_depth=2))
+def test_index_agrees_with_oracle_everywhere(policy):
+    index = AuthorizationIndex(policy)
+    for command in candidate_commands(policy, Mode.REFINED):
+        probe = policy.copy()
+        record = step(probe, command, Mode.REFINED, OrderingOracle(probe))
+        assert record.executed == (
+            index.authorizes(command.user, command) is not None
+        ), command
+
+
+@SETTINGS
+@given(policy=policies(max_admin=2, admin_depth=1))
+def test_grants_never_shrink_revokes_never_grow(policy):
+    for command in candidate_commands(policy, Mode.STRICT):
+        probe = policy.copy()
+        before = granted_pairs(probe)
+        record = step(probe, command, Mode.STRICT, OrderingOracle(probe))
+        after = granted_pairs(probe)
+        if not record.executed:
+            assert after == before
+        elif command.action.value == "grant":
+            assert before <= after
+            assert is_refinement(probe, policy)
+        else:
+            assert after <= before
+            assert is_refinement(policy, probe)
+
+
+@SMALL
+@given(policy=policies(max_admin=1, admin_depth=1, max_rh=3, max_ua=3,
+                       allow_revocations=False))
+def test_mode_safety_on_random_policies(policy):
+    """§4.1's safety claim on random policies: every refined-mode run
+    is dominated by a user-matched strict-mode run."""
+    result = check_mode_safety(policy, depth=1)
+    assert result.holds, result.counterexample

@@ -1,0 +1,90 @@
+"""Property-based tests for the privilege ordering (Definition 8).
+
+The paper asserts Ã is reflexive and transitive; we additionally check
+monotonicity in the policy (adding edges can only enlarge the
+relation), agreement between the backward decision procedure and the
+forward enumeration, and that derivations exist exactly when the
+decision says yes.
+"""
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.ordering import OrderingOracle, explain_weaker, is_weaker
+from repro.core.weaker import weaker_set
+
+from .strategies import ROLES, USERS, admin_privileges, policies, privileges
+
+SETTINGS = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@SETTINGS
+@given(policy=policies(), privilege=privileges)
+def test_reflexive(policy, privilege):
+    assert is_weaker(policy, privilege, privilege)
+
+
+@SETTINGS
+@given(policy=policies(), seed=admin_privileges(2))
+def test_transitive_along_enumerated_chains(policy, seed):
+    """For q in weaker(p) and s in weaker(q): s in weaker-relation of p."""
+    oracle = OrderingOracle(policy)
+    layer_one = sorted(weaker_set(policy, seed, 1), key=str)[:5]
+    for q in layer_one:
+        for s in sorted(weaker_set(policy, q, 1), key=str)[:5]:
+            assert oracle.is_weaker(seed, s), (seed, q, s)
+
+
+@SETTINGS
+@given(policy=policies(), p=privileges, q=privileges)
+def test_monotone_under_edge_addition(policy, p, q):
+    """If p Ã q holds, it still holds after adding any UA/RH edge."""
+    if not is_weaker(policy, p, q):
+        return
+    grown = policy.copy()
+    grown.assign_user(USERS[0], ROLES[0])
+    grown.add_inheritance(ROLES[0], ROLES[1])
+    grown.add_inheritance(ROLES[1], ROLES[2])
+    assert is_weaker(grown, p, q)
+
+
+@SETTINGS
+@given(policy=policies(), seed=admin_privileges(2))
+def test_forward_enumeration_sound(policy, seed):
+    """Everything the forward enumeration produces satisfies the
+    backward decision procedure."""
+    oracle = OrderingOracle(policy)
+    for term in weaker_set(policy, seed, 2):
+        assert oracle.is_weaker(seed, term), (seed, term)
+
+
+@SETTINGS
+@given(policy=policies(), p=privileges, q=privileges)
+def test_explain_agrees_with_decision(policy, p, q):
+    decided = is_weaker(policy, p, q)
+    derivation = explain_weaker(policy, p, q)
+    assert (derivation is not None) == decided
+    if derivation is not None:
+        assert derivation.stronger == p
+        assert derivation.weaker == q
+
+
+@SETTINGS
+@given(policy=policies(), p=privileges, q=privileges)
+def test_strict_rules_subsume_into_default(policy, p, q):
+    """The literal Definition-8 rules are a subrelation of the closed
+    semantics (strict yes implies default yes)."""
+    if is_weaker(policy, p, q, strict_rules=True):
+        assert is_weaker(policy, p, q)
+
+
+@SETTINGS
+@given(policy=policies(), p=privileges, q=privileges)
+def test_memoized_oracle_agrees_with_fresh(policy, p, q):
+    oracle = OrderingOracle(policy)
+    first = oracle.is_weaker(p, q)
+    second = oracle.is_weaker(p, q)
+    assert first == second == is_weaker(policy, p, q)

@@ -1,0 +1,73 @@
+"""Robustness: parsers must fail cleanly, never crash.
+
+Any text input to the privilege grammar, the policy-document parser,
+or the SQL parser must either parse or raise the library's own
+exceptions — never ``IndexError``/``RecursionError``/... leaking from
+the internals.
+"""
+
+from hypothesis import HealthCheck, example, given, settings
+from hypothesis import strategies as st
+
+from repro.core.grammar import Vocabulary, parse_policy_source, parse_privilege
+from repro.dbms.sql import parse_sql
+from repro.errors import EntityError, GrammarError, PrivilegeError
+
+SETTINGS = settings(
+    max_examples=200,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+VOCAB = Vocabulary(users={"u", "bob"}, roles={"r", "staff"})
+
+# Texts biased toward near-miss syntax: grammar tokens shuffled.
+_near_miss_alphabet = st.sampled_from(
+    ["grant", "revoke", "perm", "(", ")", ",", "bob", "staff", "u", "r",
+     "x", " ", "'", "=", "1"]
+)
+near_miss_texts = st.lists(_near_miss_alphabet, max_size=12).map("".join)
+
+
+@SETTINGS
+@given(text=st.text(max_size=60))
+@example(text="grant(")
+@example(text="((((")
+@example(text="grant(bob, grant(bob, grant(bob,")
+def test_privilege_parser_fails_cleanly(text):
+    try:
+        parse_privilege(text, VOCAB)
+    except (GrammarError, PrivilegeError, EntityError):
+        pass
+
+
+@SETTINGS
+@given(text=near_miss_texts)
+def test_privilege_parser_fails_cleanly_near_miss(text):
+    try:
+        parse_privilege(text, VOCAB)
+    except (GrammarError, PrivilegeError, EntityError):
+        pass
+
+
+@SETTINGS
+@given(text=st.text(max_size=120))
+@example(text="users a b\nuser a ->")
+@example(text="roles r\nrole r -> r\nrole r ->")
+def test_policy_document_parser_fails_cleanly(text):
+    try:
+        parse_policy_source(text)
+    except (GrammarError, PrivilegeError, EntityError):
+        pass
+
+
+@SETTINGS
+@given(text=st.text(max_size=80))
+@example(text="SELECT * FROM")
+@example(text="INSERT INTO t (a) VALUES ('")
+@example(text="UPDATE t SET a = ")
+def test_sql_parser_fails_cleanly(text):
+    try:
+        parse_sql(text)
+    except GrammarError:
+        pass

@@ -1,0 +1,75 @@
+"""Property-based tests for non-administrative refinement (Def. 6)."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.refinement import (
+    granted_pairs,
+    is_refinement,
+    refinement_counterexample,
+    without_edge,
+)
+
+from .strategies import policies
+
+SETTINGS = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@SETTINGS
+@given(policy=policies())
+def test_reflexive(policy):
+    assert is_refinement(policy, policy)
+
+
+@SETTINGS
+@given(policy=policies(), data=st.data())
+def test_edge_removal_always_refines(policy, data):
+    edges = sorted(policy.edge_set(), key=str)
+    if not edges:
+        return
+    edge = data.draw(st.sampled_from(edges))
+    smaller = without_edge(policy, *edge)
+    assert is_refinement(policy, smaller)
+
+
+@SETTINGS
+@given(policy=policies(), data=st.data())
+def test_refinement_iff_granted_pairs_subset(policy, data):
+    edges = sorted(policy.edge_set(), key=str)
+    if not edges:
+        return
+    edge = data.draw(st.sampled_from(edges))
+    other = without_edge(policy, *edge)
+    for phi, psi in [(policy, other), (other, policy)]:
+        assert is_refinement(phi, psi) == (
+            granted_pairs(psi) <= granted_pairs(phi)
+        )
+
+
+@SETTINGS
+@given(a=policies(), b=policies())
+def test_witness_is_genuine(a, b):
+    witness = refinement_counterexample(a, b)
+    if witness is None:
+        assert granted_pairs(b) <= granted_pairs(a)
+    else:
+        assert b.reaches(witness.subject, witness.privilege)
+        assert not a.reaches(witness.subject, witness.privilege)
+
+
+@SETTINGS
+@given(a=policies(), b=policies(), c=policies())
+def test_transitive(a, b, c):
+    if is_refinement(a, b) and is_refinement(b, c):
+        assert is_refinement(a, c)
+
+
+@SETTINGS
+@given(a=policies(), b=policies())
+def test_antisymmetry_up_to_granted_pairs(a, b):
+    if is_refinement(a, b) and is_refinement(b, a):
+        assert granted_pairs(a) == granted_pairs(b)

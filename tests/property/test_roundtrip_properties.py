@@ -1,0 +1,63 @@
+"""Round-trip properties: serialization and the textual grammar."""
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.grammar import Vocabulary, format_privilege, parse_privilege
+from repro.core.grammar import format_policy_source, parse_policy_source
+from repro.core.serialization import (
+    policy_from_json,
+    policy_to_json,
+    privilege_from_dict,
+    privilege_to_dict,
+)
+
+from .strategies import ROLES, USERS, policies, privileges
+
+SETTINGS = settings(
+    max_examples=80,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+VOCAB = Vocabulary(
+    users={u.name for u in USERS},
+    roles={r.name for r in ROLES},
+)
+
+
+@SETTINGS
+@given(privilege=privileges)
+def test_privilege_json_roundtrip(privilege):
+    assert privilege_from_dict(privilege_to_dict(privilege)) == privilege
+
+
+@SETTINGS
+@given(privilege=privileges)
+def test_privilege_grammar_roundtrip(privilege):
+    rendered = format_privilege(privilege)
+    assert parse_privilege(rendered, VOCAB) == privilege
+
+
+@SETTINGS
+@given(privilege=privileges)
+def test_privilege_unicode_grammar_roundtrip(privilege):
+    rendered = format_privilege(privilege, unicode_glyphs=True)
+    assert parse_privilege(rendered, VOCAB) == privilege
+
+
+@SETTINGS
+@given(policy=policies())
+def test_policy_json_roundtrip(policy):
+    assert policy_from_json(policy_to_json(policy)) == policy
+
+
+@SETTINGS
+@given(policy=policies())
+def test_policy_document_roundtrip(policy):
+    assert parse_policy_source(format_policy_source(policy)) == policy
+
+
+@SETTINGS
+@given(policy=policies())
+def test_json_deterministic(policy):
+    assert policy_to_json(policy) == policy_to_json(policy.copy())

@@ -1,0 +1,154 @@
+"""Machine-checking Theorem 1 on random instances.
+
+Theorem 1: if ``(r, p) ∈ φ`` and ``p Ãφ q``, then
+``ψ = (φ \\ (r, p)) ∪ (r, q)`` is an administrative refinement of φ.
+
+Three layers of checking:
+
+1. the *immediate* Definition-6 obligation (ψ grants no new user
+   privileges right away);
+2. the paper's proof-step obligation: executing the weaker command on
+   ψ against the stronger command on φ yields ``φ' º ψ'``;
+3. the bounded Definition-7 model checker end-to-end.
+
+A negative control confirms the machinery can refute: substituting a
+*stronger* privilege must produce counterexamples (on instances where
+the strengthening is observable).
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.admin_refinement import check_admin_refinement
+from repro.core.commands import Mode, grant_cmd, run_queue
+from repro.core.entities import User
+from repro.core.ordering import OrderingOracle
+from repro.core.privileges import Grant
+from repro.core.refinement import is_refinement, weaken_assignment
+from repro.core.weaker import weaker_set
+
+from .strategies import policies
+
+SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def draw_weakening(policy, data):
+    """Pick an assigned admin privilege and a strictly weaker term."""
+    assignments = sorted(
+        policy.admin_privileges_assigned(), key=lambda pair: str(pair)
+    )
+    if not assignments:
+        return None
+    role, stronger = data.draw(st.sampled_from(assignments))
+    candidates = sorted(weaker_set(policy, stronger, 1) - {stronger}, key=str)
+    if not candidates:
+        return None
+    weaker = data.draw(st.sampled_from(candidates))
+    return role, stronger, weaker
+
+
+@SETTINGS
+@given(policy=policies(max_admin=3, admin_depth=2), data=st.data())
+def test_weakening_preserves_definition6_immediately(policy, data):
+    drawn = draw_weakening(policy, data)
+    if drawn is None:
+        return
+    role, stronger, weaker = drawn
+    psi = weaken_assignment(policy, role, stronger, weaker,
+                            check_ordering=False)
+    assert is_refinement(policy, psi)
+
+
+@SETTINGS
+@given(policy=policies(max_admin=3, admin_depth=2), data=st.data())
+def test_proof_step_obligation(policy, data):
+    """The core of the paper's proof: for grant privileges over entity
+    pairs, run the matched command pair and compare."""
+    drawn = draw_weakening(policy, data)
+    if drawn is None:
+        return
+    role, stronger, weaker = drawn
+    if not (isinstance(stronger, Grant) and isinstance(weaker, Grant)):
+        return
+    psi = weaken_assignment(policy, role, stronger, weaker,
+                            check_ordering=False)
+    # Any user that reaches `role` may fire both commands.
+    actors = [u for u in policy.users() if policy.reaches(u, role)]
+    if not actors:
+        actor = User("external")
+        policy_with_actor = policy.copy()
+        policy_with_actor.assign_user(actor, role)
+        psi_with_actor = psi.copy()
+        psi_with_actor.assign_user(actor, role)
+        policy, psi = policy_with_actor, psi_with_actor
+    else:
+        actor = actors[0]
+    phi_after, phi_records = run_queue(
+        policy, [grant_cmd(actor, *stronger.edge)], Mode.STRICT
+    )
+    psi_after, psi_records = run_queue(
+        psi, [grant_cmd(actor, *weaker.edge)], Mode.STRICT
+    )
+    assert phi_records[0].executed
+    assert psi_records[0].executed
+    assert is_refinement(phi_after, psi_after), (stronger, weaker)
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.data_too_large])
+@given(policy=policies(max_admin=2, admin_depth=1, max_rh=4), data=st.data())
+def test_bounded_definition7_no_counterexample(policy, data):
+    drawn = draw_weakening(policy, data)
+    if drawn is None:
+        return
+    role, stronger, weaker = drawn
+    psi = weaken_assignment(policy, role, stronger, weaker,
+                            check_ordering=False)
+    result = check_admin_refinement(policy, psi, depth=1)
+    assert result.holds, result.counterexample
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.data_too_large])
+@given(policy=policies(max_admin=2, admin_depth=1, max_rh=4,
+                       allow_revocations=False),
+       data=st.data())
+def test_strengthening_never_granted_a_free_pass(policy, data):
+    """Negative control: replace an assigned grant by a *stronger* one
+    (reverse weakening).  The checker must either refute it, or the
+    instance must be genuinely harmless — verified by comparing the
+    strengthened policy's one-step obtainable pairs."""
+    from repro.analysis.reachability import obtainable_pairs
+
+    assignments = sorted(
+        ((role, privilege)
+         for role, privilege in policy.admin_privileges_assigned()
+         if isinstance(privilege, Grant)),
+        key=lambda pair: str(pair),
+    )
+    if not assignments:
+        return
+    role, weaker_priv = data.draw(st.sampled_from(assignments))
+    # Find something strictly *stronger* than the assigned privilege:
+    # search terms whose weaker-set contains it.
+    candidates = []
+    for other_role, other in assignments:
+        if other != weaker_priv and weaker_priv in weaker_set(policy, other, 1):
+            candidates.append(other)
+    if not candidates:
+        return
+    stronger_priv = candidates[0]
+    psi = policy.copy()
+    psi.remove_edge(role, weaker_priv)
+    psi.assign_privilege(role, stronger_priv)
+    result = check_admin_refinement(policy, psi, depth=1)
+    if result.holds:
+        # Must be harmless within the bound: ψ's one-step surface is
+        # contained in φ's.
+        assert obtainable_pairs(psi, 1) <= obtainable_pairs(policy, 1)

@@ -1,0 +1,67 @@
+"""Unit tests for the enterprise workload."""
+
+from repro.core.commands import Mode, grant_cmd, run_queue
+from repro.core.entities import Role, User
+from repro.core.ordering import OrderingOracle
+from repro.workloads.enterprise import (
+    EnterpriseShape,
+    delegation_targets,
+    enterprise_policy,
+)
+
+
+def test_default_builds_and_is_deterministic():
+    assert enterprise_policy(seed=1) == enterprise_policy(seed=1)
+
+
+def test_shape_scales_roles():
+    small = enterprise_policy(EnterpriseShape(departments=2))
+    large = enterprise_policy(EnterpriseShape(departments=6))
+    assert sum(1 for _ in large.roles()) > sum(1 for _ in small.roles())
+
+
+def test_department_head_reaches_resources():
+    policy = enterprise_policy(EnterpriseShape(departments=1))
+    head = Role("dept0_head")
+    assert policy.authorized_privileges(head)
+
+
+def test_delegation_targets_have_nesting():
+    policy = enterprise_policy()
+    targets = delegation_targets(policy)
+    assert targets
+    for _holder, privilege in targets:
+        assert privilege.depth >= 2
+
+
+def test_delegation_chain_executes():
+    """The CISO unrolls a delegation chain: give the head the nested
+    privilege, the head then grants the newcomer."""
+    shape = EnterpriseShape(departments=1, delegation_depth=1)
+    policy = enterprise_policy(shape)
+    ciso_admin = User("ciso_admin")
+    head = Role("dept0_head")
+    newcomer = User("dept0_newcomer")
+    target = Role("dept0_L0_r0")
+    manager = User("dept0_manager")
+
+    # The nested term: grant(head, grant(newcomer, L{last}_r0))
+    (holder, nested), = [
+        (h, p) for h, p in delegation_targets(policy)
+        if str(p.source) == "dept0_head"
+    ]
+    inner = nested.target
+    queue = [
+        grant_cmd(ciso_admin, head, inner),          # unroll one level
+        grant_cmd(manager, *inner.edge),             # head's member uses it
+    ]
+    final, records = run_queue(policy, queue, Mode.STRICT)
+    assert [r.executed for r in records] == [True, True]
+    assert final.has_edge(*inner.edge)
+
+
+def test_ordering_on_enterprise_nested_terms():
+    policy = enterprise_policy(EnterpriseShape(departments=2))
+    oracle = OrderingOracle(policy)
+    for holder, privilege in delegation_targets(policy):
+        assert oracle.is_weaker(privilege, privilege)

@@ -1,0 +1,56 @@
+"""Unit tests for the hospital workload."""
+
+from repro.core.commands import Mode, grant_cmd, run_queue
+from repro.core.entities import Role, User
+from repro.core.privileges import perm
+from repro.workloads.hospital import HospitalShape, hospital_policy
+
+
+def test_default_shape_builds():
+    policy = hospital_policy()
+    assert sum(1 for _ in policy.roles()) == 2 + 3 * 3  # SO, HR + 3 per ward
+
+
+def test_ward_structure():
+    policy = hospital_policy(HospitalShape(wards=2))
+    staff0 = Role("staff_w0")
+    nurse0 = Role("nurse_w0")
+    dbusr0 = Role("dbusr_w0")
+    assert policy.reaches(staff0, nurse0)
+    assert policy.reaches(nurse0, dbusr0)
+    assert policy.reaches(staff0, perm("read", "ehr_w0_t0"))
+    # Wards are isolated from each other.
+    assert not policy.reaches(staff0, Role("nurse_w1"))
+
+
+def test_nurses_assigned_per_ward():
+    policy = hospital_policy(HospitalShape(wards=1, nurses_per_ward=5))
+    nurse_users = [u for u in policy.users() if u.name.startswith("nurse_")]
+    assert len(nurse_users) == 5
+    for user in nurse_users:
+        assert policy.reaches(user, Role("nurse_w0"))
+
+
+def test_so_above_hr():
+    policy = hospital_policy()
+    assert policy.reaches(User("alice"), Role("HR"))
+
+
+def test_flexworker_pattern_available_in_every_ward():
+    shape = HospitalShape(wards=2, flexworkers=1)
+    policy = hospital_policy(shape)
+    hr0 = User("hr0")
+    flex = User("flex0")
+    for ward in range(2):
+        staff = Role(f"staff_w{ward}")
+        dbusr = Role(f"dbusr_w{ward}")
+        # Strict: only the staff assignment is possible.
+        _, strict = run_queue(
+            policy, [grant_cmd(hr0, flex, dbusr)], Mode.STRICT
+        )
+        assert not strict[0].executed
+        # Refined: direct least-privilege assignment works.
+        _, refined = run_queue(
+            policy, [grant_cmd(hr0, flex, dbusr)], Mode.REFINED
+        )
+        assert refined[0].executed and refined[0].implicit

@@ -1,0 +1,95 @@
+"""Tests for the university workload (ordering + SSD in a new domain)."""
+
+import pytest
+
+from repro.analysis.constraints import ConstrainedMonitor
+from repro.core.commands import Mode, grant_cmd, run_queue
+from repro.core.entities import Role, User
+from repro.core.privileges import perm
+from repro.errors import AccessDenied
+from repro.workloads.university import (
+    UniversityShape,
+    course_roles,
+    grading_ssd_constraints,
+    university_policy,
+)
+
+
+@pytest.fixture
+def policy():
+    return university_policy(UniversityShape(courses=2))
+
+
+def test_hierarchy_per_course(policy):
+    instructor, ta, grader, _student = course_roles(0)
+    assert policy.reaches(instructor, grader)
+    assert policy.reaches(ta, grader)
+    assert not policy.reaches(grader, ta)
+    # Courses are isolated.
+    assert not policy.reaches(instructor, course_roles(1)[2])
+
+
+def test_role_privileges(policy):
+    _instructor, ta, grader, student = course_roles(0)
+    assert policy.reaches(grader, perm("grade", "submissions_c0"))
+    assert policy.reaches(ta, perm("grade", "submissions_c0"))
+    assert not policy.reaches(student, perm("grade", "submissions_c0"))
+
+
+def test_least_privilege_ta_appointment(policy):
+    """Example 4's pattern in the university: the instructor may
+    appoint a candidate directly as grader under the ordering."""
+    professor = User("prof_c0")
+    candidate = User("ta_candidate_c0_0")
+    _instructor, _ta, grader, _student = course_roles(0)
+    _, strict = run_queue(
+        policy, [grant_cmd(professor, candidate, grader)], Mode.STRICT
+    )
+    assert not strict[0].executed
+    final, refined = run_queue(
+        policy, [grant_cmd(professor, candidate, grader)], Mode.REFINED
+    )
+    assert refined[0].executed and refined[0].implicit
+    assert final.reaches(candidate, perm("grade", "submissions_c0"))
+    assert not final.reaches(candidate, perm("write", "solutions_c0"))
+
+
+def test_ssd_blocks_student_graders(policy):
+    constraints = grading_ssd_constraints(UniversityShape(courses=2))
+    monitor = ConstrainedMonitor(policy, mode=Mode.REFINED, ssd=constraints)
+    professor = User("prof_c0")
+    student = User("student_c0_0")
+    _instructor, ta, grader, _student_role = course_roles(0)
+    # The instructor can appoint an outside candidate as grader...
+    outside = User("ta_candidate_c0_0")
+    assert monitor.submit(grant_cmd(professor, outside, grader)).executed
+    # ... but an enrolled student would violate SSD. First give the
+    # instructor the authority over that student, then watch the
+    # constraint (not the authorization) do the blocking.
+    from repro.core.privileges import Grant
+
+    monitor.policy.assign_privilege(
+        Role("instructor_c0"), Grant(student, ta)
+    )
+    record = monitor.submit(grant_cmd(professor, student, grader))
+    assert not record.executed
+    assert any("SSD" in entry.detail for entry in monitor.audit_trail)
+
+
+def test_registrar_cannot_touch_other_course(policy):
+    registrar = User("registrar0")
+    professor1 = User("prof_c1")
+    _instr0, ta0, _g0, _s0 = course_roles(0)
+    _, records = run_queue(
+        policy, [grant_cmd(registrar, professor1, ta0)], Mode.REFINED
+    )
+    # registrar holds grant(prof_c0, instructor_c0) etc.; prof_c1 into
+    # course-0 roles is not implied by any of them... unless prof_c1
+    # reaches prof_c0? They are distinct users: denied.
+    assert not records[0].executed
+
+
+def test_shape_scales(policy):
+    big = university_policy(UniversityShape(courses=5, students_per_course=10))
+    assert sum(1 for _ in big.roles()) == 1 + 5 * 4
+    assert sum(1 for _ in big.users()) > sum(1 for _ in policy.users())
