@@ -24,9 +24,16 @@ ordering oracle — they are the rare case, and correctness is what
 matters there.
 
 The index is versioned against the policy graph like every other
-cache, and its answers are verified against the oracle by the test
-suite (`tests/core/test_authz_index.py`) and by a differential fuzz
-harness.
+cache.  Under policy churn it repairs itself *incrementally*: the
+graph's change journal yields the edge-level deltas since the last
+validation, SCC-condensation reachability (:func:`repro.graph.dirty_region`)
+turns those into the set of dirty subjects and rectangles, and only
+those entries are rebuilt.  A full rebuild happens only when the
+journal has expired or the delta burst exceeds a size threshold
+(``incremental=False`` forces the old rebuild-everything behaviour and
+is kept as the benchmark baseline).  Its answers are verified against
+the oracle by the test suite (`tests/core/test_authz_index.py`) and by
+the differential churn harness in :mod:`repro.workloads.fuzz`.
 """
 
 from __future__ import annotations
@@ -34,11 +41,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..graph import ancestors as graph_ancestors
+from ..graph import dirty_region
 from .commands import Command, CommandAction
 from .entities import Role, User
 from .ordering import OrderingOracle
 from .policy import Policy
-from .privileges import Grant, Privilege, is_privilege
+from .privileges import Grant, Privilege, Revoke, is_privilege
 
 _Entity = (User, Role)
 
@@ -66,12 +74,37 @@ class AuthorizationIndex:
     covers the command, or None.  Exact matches and revocations are
     answered from a set; entity-target grants from the rectangles;
     nested grants fall back to the ordering oracle.
+
+    Maintenance under churn is incremental (see the module docstring):
+    a mutated edge ``(s, t)`` dirties exactly
+
+    * the users upstream of ``s`` (their reachable privilege set may
+      have changed), and
+    * the rectangles whose held privilege's source lies downstream of
+      ``t`` (its ancestor set — the rectangle's sources — may have
+      changed) or whose target lies upstream of ``s`` (its descendant
+      set — the rectangle's targets — may have changed).
+
+    Everything else is provably untouched, so per-user entries are
+    rebuilt only for the dirty set.  ``full_rebuilds`` /
+    ``partial_refreshes`` / ``users_refreshed`` expose the maintenance
+    behaviour to tests and benchmarks.
     """
 
-    __slots__ = ("policy", "_version", "_held", "_rectangles", "_oracle")
+    #: delta bursts larger than max(DELTA_LIMIT, #users) trigger a full
+    #: rebuild instead of an incremental repair.
+    DELTA_LIMIT = 64
 
-    def __init__(self, policy: Policy):
+    __slots__ = ("policy", "incremental", "full_rebuilds",
+                 "partial_refreshes", "users_refreshed",
+                 "_version", "_held", "_rectangles", "_oracle")
+
+    def __init__(self, policy: Policy, incremental: bool = True):
         self.policy = policy
+        self.incremental = incremental
+        self.full_rebuilds = 0
+        self.partial_refreshes = 0
+        self.users_refreshed = 0
         self._version = -1
         self._held: dict[User, frozenset[Privilege]] = {}
         self._rectangles: dict[User, tuple[GrantRectangle, ...]] = {}
@@ -79,11 +112,11 @@ class AuthorizationIndex:
         self._rebuild()
 
     # ------------------------------------------------------------------
-    def _rebuild(self) -> None:
-        self._held.clear()
-        self._rectangles.clear()
+    # Maintenance
+    # ------------------------------------------------------------------
+    def _build_user(self, user: User, entity_ancestors: dict) -> None:
+        """(Re)compute one user's held set and rectangles in place."""
         graph = self.policy.graph
-        entity_ancestors: dict[object, frozenset] = {}
 
         def ancestors_of(vertex) -> frozenset:
             cached = entity_ancestors.get(vertex)
@@ -95,35 +128,110 @@ class AuthorizationIndex:
                 entity_ancestors[vertex] = cached
             return cached
 
-        for user in self.policy.users():
-            held = frozenset(
-                vertex
-                for vertex in self.policy.descendants(user)
-                if is_privilege(vertex)
+        held = frozenset(
+            vertex
+            for vertex in self.policy.descendants(user)
+            if is_privilege(vertex)
+        )
+        self._held[user] = held
+        rectangles = []
+        for privilege in held:
+            if not isinstance(privilege, Grant):
+                continue
+            if not isinstance(privilege.target, _Entity):
+                continue
+            # Weaker sources: entities v with v ->phi s (rule 2
+            # premise v1 -> v2); weaker targets: entities below t.
+            sources = ancestors_of(privilege.source)
+            targets = frozenset(
+                v for v in self.policy.descendants(privilege.target)
+                if isinstance(v, Role)
             )
-            self._held[user] = held
-            rectangles = []
-            for privilege in held:
-                if not isinstance(privilege, Grant):
-                    continue
-                if not isinstance(privilege.target, _Entity):
-                    continue
-                # Weaker sources: entities v with v ->phi s (rule 2
-                # premise v1 -> v2); weaker targets: entities below t.
-                sources = ancestors_of(privilege.source)
-                targets = frozenset(
-                    v for v in self.policy.descendants(privilege.target)
-                    if isinstance(v, Role)
-                )
-                rectangles.append(
-                    GrantRectangle(privilege, sources, targets)
-                )
-            self._rectangles[user] = tuple(rectangles)
-        self._version = graph.version
+            rectangles.append(
+                GrantRectangle(privilege, sources, targets)
+            )
+        self._rectangles[user] = tuple(rectangles)
+        self.users_refreshed += 1
+
+    def _rebuild(self) -> None:
+        self._held.clear()
+        self._rectangles.clear()
+        entity_ancestors: dict[object, frozenset] = {}
+        for user in self.policy.users():
+            self._build_user(user, entity_ancestors)
+        self._version = self.policy.version
+        self.full_rebuilds += 1
 
     def _validate(self) -> None:
-        if self._version != self.policy.graph.version:
+        if self._version == self.policy.version:
+            return
+        deltas = (
+            self.policy.changes_since(self._version)
+            if self.incremental else None
+        )
+        if deltas is None:
             self._rebuild()
+            return
+        # Vertex additions only ever create per-user entries, never
+        # dirty existing ones, so only edge mutations and vertex
+        # removals count toward the full-rebuild fallback.
+        weight = sum(
+            1 for delta in deltas
+            if delta.is_edge or delta.kind == "remove-vertex"
+        )
+        if weight > max(self.DELTA_LIMIT, len(self._held)):
+            self._rebuild()
+            return
+        self._apply_deltas(deltas)
+        self._version = self.policy.version
+        self.partial_refreshes += 1
+
+    def _apply_deltas(self, deltas) -> None:
+        """Incrementally repair the index from journaled graph deltas."""
+        edge_sources = set()
+        edge_targets = set()
+        fresh_users: set[User] = set()
+        for delta in deltas:
+            if delta.is_edge:
+                edge_sources.add(delta.source)
+                edge_targets.add(delta.target)
+            elif delta.kind == "remove-vertex":
+                if isinstance(delta.source, User):
+                    self._held.pop(delta.source, None)
+                    self._rectangles.pop(delta.source, None)
+                fresh_users.discard(delta.source)
+            elif isinstance(delta.source, User):
+                if delta.source not in self._held:
+                    fresh_users.add(delta.source)
+
+        dirty: set[User] = set(fresh_users)
+        if edge_sources:
+            upstream, downstream = dirty_region(
+                self.policy.graph, edge_sources, edge_targets
+            )
+            # A held set can only gain/lose privileges lying downstream
+            # of a mutated edge's target; a privilege-free downstream
+            # region (pure membership/hierarchy shuffling below any
+            # assignment) leaves every held set intact.
+            if any(is_privilege(vertex) for vertex in downstream):
+                dirty |= self._held.keys() & upstream
+            for user, rectangles in self._rectangles.items():
+                if not rectangles or user in dirty:
+                    continue
+                for rectangle in rectangles:
+                    held = rectangle.held
+                    if held.source in downstream or held.target in upstream:
+                        dirty.add(user)
+                        break
+
+        entity_ancestors: dict[object, frozenset] = {}
+        for user in dirty:
+            self._build_user(user, entity_ancestors)
+
+    def refresh(self) -> None:
+        """Bring the index up to date with the policy now (the same
+        repair that would otherwise happen lazily on the next query)."""
+        self._validate()
 
     # ------------------------------------------------------------------
     def authorizes(self, user: User, command: Command) -> Privilege | None:
@@ -153,22 +261,48 @@ class AuthorizationIndex:
     # ------------------------------------------------------------------
     def grantable_pairs(self, user: User) -> frozenset[tuple[object, object]]:
         """All entity-pair edges ``(v, v')`` the user may currently
-        grant (the union of the rectangles plus exact entity grants).
-        This is the review-function view of implicit authorization —
-        what an administrator sees as "my effective authority"."""
+        grant: the union of the rectangles plus exact entity grants.
+        Rectangle sources are entity-filtered at build time, so every
+        rectangle pair is a legal grant as-is."""
         self._validate()
         pairs: set[tuple[object, object]] = set()
         for rectangle in self._rectangles.get(user, ()):
             for source in rectangle.sources:
                 for target in rectangle.targets:
-                    if isinstance(source, User) or isinstance(source, Role):
-                        pairs.add((source, target))
+                    pairs.add((source, target))
         for privilege in self._held.get(user, frozenset()):
             if isinstance(privilege, Grant) and isinstance(
                 privilege.target, _Entity
             ):
                 pairs.add(privilege.edge)
         return frozenset(pairs)
+
+    def revocable_pairs(self, user: User) -> frozenset[tuple[object, object]]:
+        """All entity-pair edges the user may currently revoke.
+
+        Revocations are authorized by exact match only (the ordering
+        relates ♦-privileges just reflexively), so this is simply the
+        edges of the held entity-target ♦-privileges — kept consistent
+        with :meth:`authorizes` by construction."""
+        self._validate()
+        return frozenset(
+            privilege.edge
+            for privilege in self._held.get(user, frozenset())
+            if isinstance(privilege, Revoke)
+            and isinstance(privilege.target, _Entity)
+        )
+
+    def effective_authority(
+        self, user: User
+    ) -> dict[str, frozenset[tuple[object, object]]]:
+        """The review-function view of implicit authorization — what an
+        administrator sees as "my effective authority": every entity
+        pair the user may grant and every pair they may revoke, exactly
+        the pairs :meth:`authorizes` would permit."""
+        return {
+            "grant": self.grantable_pairs(user),
+            "revoke": self.revocable_pairs(user),
+        }
 
     def statistics(self) -> dict[str, int]:
         self._validate()
@@ -180,4 +314,7 @@ class AuthorizationIndex:
                 for rects in self._rectangles.values()
                 for rect in rects
             ),
+            "full_rebuilds": self.full_rebuilds,
+            "partial_refreshes": self.partial_refreshes,
+            "users_refreshed": self.users_refreshed,
         }

@@ -54,6 +54,15 @@ class User:
     def __repr__(self) -> str:
         return f"User({self.name!r})"
 
+    def __hash__(self) -> int:
+        # Hot path: entities are hashed millions of times as graph
+        # vertices; hashing the name reuses the string's cached hash
+        # instead of building a tuple per call.  The per-sort salt
+        # keeps same-name entities of different sorts (the module
+        # docstring's "the same string could name a user and a role")
+        # out of the same hash bucket.
+        return hash(self.name) ^ 0x9E3779B1
+
 
 @dataclass(frozen=True, slots=True)
 class Role:
@@ -69,6 +78,15 @@ class Role:
 
     def __repr__(self) -> str:
         return f"Role({self.name!r})"
+
+    def __hash__(self) -> int:
+        # Hot path: entities are hashed millions of times as graph
+        # vertices; hashing the name reuses the string's cached hash
+        # instead of building a tuple per call.  The per-sort salt
+        # keeps same-name entities of different sorts (the module
+        # docstring's "the same string could name a user and a role")
+        # out of the same hash bucket.
+        return hash(self.name) ^ 0x7F4A7C15
 
 
 @dataclass(frozen=True, slots=True)
@@ -86,6 +104,15 @@ class Action:
     def __repr__(self) -> str:
         return f"Action({self.name!r})"
 
+    def __hash__(self) -> int:
+        # Hot path: entities are hashed millions of times as graph
+        # vertices; hashing the name reuses the string's cached hash
+        # instead of building a tuple per call.  The per-sort salt
+        # keeps same-name entities of different sorts (the module
+        # docstring's "the same string could name a user and a role")
+        # out of the same hash bucket.
+        return hash(self.name) ^ 0x2545F491
+
 
 @dataclass(frozen=True, slots=True)
 class Obj:
@@ -101,6 +128,15 @@ class Obj:
 
     def __repr__(self) -> str:
         return f"Obj({self.name!r})"
+
+    def __hash__(self) -> int:
+        # Hot path: entities are hashed millions of times as graph
+        # vertices; hashing the name reuses the string's cached hash
+        # instead of building a tuple per call.  The per-sort salt
+        # keeps same-name entities of different sorts (the module
+        # docstring's "the same string could name a user and a role")
+        # out of the same hash bucket.
+        return hash(self.name) ^ 0x61C88647
 
 
 Subject = User | Role

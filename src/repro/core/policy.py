@@ -148,6 +148,20 @@ class Policy:
         """The underlying graph.  Mutate only through Policy methods."""
         return self._graph
 
+    @property
+    def version(self) -> int:
+        """The graph's mutation counter — the staleness cursor every
+        policy-level cache keys on."""
+        return self._graph.version
+
+    def changes_since(self, version: int):
+        """The journaled mutations applied after ``version`` (see
+        :meth:`repro.graph.Digraph.changes_since`): the seam incremental
+        caches use to repair themselves under policy churn, rather than
+        rebuilding on every version bump.  None means the journal
+        window has passed and a full rebuild is required."""
+        return self._graph.changes_since(version)
+
     def users(self) -> Iterator[User]:
         for vertex in self._graph.vertices():
             if isinstance(vertex, User):

@@ -6,7 +6,7 @@ monitor and ordering decision procedure need cheap, cache-friendly
 reachability.
 """
 
-from .digraph import Digraph, Vertex
+from .digraph import Digraph, GraphDelta, Vertex
 from .reachability import (
     ReachabilityCache,
     ancestors,
@@ -16,6 +16,7 @@ from .reachability import (
 )
 from .closure import (
     condensation,
+    dirty_region,
     longest_chain_length,
     strongly_connected_components,
     topological_order,
@@ -31,6 +32,7 @@ from .paths import (
 
 __all__ = [
     "Digraph",
+    "GraphDelta",
     "Vertex",
     "ReachabilityCache",
     "ancestors",
@@ -38,6 +40,7 @@ __all__ = [
     "reachable_from_any",
     "reaches",
     "condensation",
+    "dirty_region",
     "longest_chain_length",
     "strongly_connected_components",
     "topological_order",

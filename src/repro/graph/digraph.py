@@ -13,9 +13,30 @@ yet) are representable.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Iterator
+from collections import deque
+from typing import Hashable, Iterable, Iterator, NamedTuple
 
 Vertex = Hashable
+
+
+class GraphDelta(NamedTuple):
+    """One journaled mutation of a :class:`Digraph`.
+
+    ``kind`` is one of ``"add-edge"``, ``"remove-edge"``,
+    ``"add-vertex"``, ``"remove-vertex"``; ``target`` is None for the
+    vertex kinds.  ``version`` is the graph version *after* the
+    mutation, so replaying all deltas with ``version > v`` transforms
+    the graph state at version ``v`` into the current state.
+    """
+
+    version: int
+    kind: str
+    source: Vertex
+    target: Vertex | None = None
+
+    @property
+    def is_edge(self) -> bool:
+        return self.kind in ("add-edge", "remove-edge")
 
 
 class Digraph:
@@ -29,21 +50,41 @@ class Digraph:
     mutation; caches layered on top (see
     :class:`repro.graph.reachability.ReachabilityCache`) use it to
     detect staleness without registering callbacks.
+
+    Mutations are additionally recorded in a bounded *change journal*
+    so that those caches can repair themselves incrementally instead of
+    discarding everything: :meth:`changes_since` returns the exact
+    delta sequence between an old version and the current one, or None
+    when the journal no longer reaches back that far (the caller must
+    then fall back to a full rebuild).  The journal keeps at most
+    ``JOURNAL_LIMIT`` entries; policy-churn bursts larger than that are
+    rare and a full rebuild amortizes them.
     """
 
-    __slots__ = ("_succ", "_pred", "_edge_count", "version")
+    JOURNAL_LIMIT = 4096
+
+    __slots__ = ("_succ", "_pred", "_edge_count", "_journal",
+                 "_journal_base", "version")
 
     def __init__(self, edges: Iterable[tuple[Vertex, Vertex]] = ()):
         self._succ: dict[Vertex, set[Vertex]] = {}
         self._pred: dict[Vertex, set[Vertex]] = {}
         self._edge_count = 0
         self.version = 0
+        self._journal: deque[GraphDelta] = deque()
+        self._journal_base = 0  # deltas with version > base are journaled
         for source, target in edges:
             self.add_edge(source, target)
 
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
+    def _record(self, kind: str, source: Vertex,
+                target: Vertex | None = None) -> None:
+        if len(self._journal) >= self.JOURNAL_LIMIT:
+            self._journal_base = self._journal.popleft().version
+        self._journal.append(GraphDelta(self.version, kind, source, target))
+
     def add_vertex(self, vertex: Vertex) -> bool:
         """Add ``vertex``; return True if it was not already present."""
         if vertex in self._succ:
@@ -51,6 +92,7 @@ class Digraph:
         self._succ[vertex] = set()
         self._pred[vertex] = set()
         self.version += 1
+        self._record("add-vertex", vertex)
         return True
 
     def add_edge(self, source: Vertex, target: Vertex) -> bool:
@@ -66,6 +108,7 @@ class Digraph:
         self._pred[target].add(source)
         self._edge_count += 1
         self.version += 1
+        self._record("add-edge", source, target)
         return True
 
     def remove_edge(self, source: Vertex, target: Vertex) -> bool:
@@ -76,6 +119,7 @@ class Digraph:
         self._pred[target].discard(source)
         self._edge_count -= 1
         self.version += 1
+        self._record("remove-edge", source, target)
         return True
 
     def remove_vertex(self, vertex: Vertex) -> bool:
@@ -89,7 +133,33 @@ class Digraph:
         del self._succ[vertex]
         del self._pred[vertex]
         self.version += 1
+        self._record("remove-vertex", vertex)
         return True
+
+    # ------------------------------------------------------------------
+    # Change journal
+    # ------------------------------------------------------------------
+    def changes_since(self, version: int) -> tuple[GraphDelta, ...] | None:
+        """The mutations applied after ``version``, oldest first.
+
+        Returns None when ``version`` predates the journal window (the
+        caller cannot reconstruct the diff and must rebuild from
+        scratch).  Returns an empty tuple when ``version`` is current.
+        """
+        if version >= self.version:
+            return ()
+        if version < self._journal_base:
+            return None
+        # Versions are monotone along the journal, so walk back from
+        # the newest entry — a typical delta burst is a tiny suffix of
+        # a journal dominated by construction history.
+        collected = []
+        for delta in reversed(self._journal):
+            if delta.version <= version:
+                break
+            collected.append(delta)
+        collected.reverse()
+        return tuple(collected)
 
     # ------------------------------------------------------------------
     # Queries

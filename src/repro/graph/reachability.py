@@ -20,7 +20,7 @@ Two entry points are provided:
 from __future__ import annotations
 
 from collections import deque
-from typing import Iterable
+from typing import Callable, Iterable
 
 from .digraph import Digraph, Vertex
 
@@ -73,9 +73,17 @@ def reaches(graph: Digraph, source: Vertex, target: Vertex) -> bool:
 
 
 def reachable_from_any(
-    graph: Digraph, sources: Iterable[Vertex]
+    graph: Digraph,
+    sources: Iterable[Vertex],
+    neighbors: Callable[[Vertex], Iterable[Vertex]] | None = None,
 ) -> frozenset[Vertex]:
-    """Union of descendant sets of all ``sources``."""
+    """Union of descendant sets of all ``sources``.
+
+    ``neighbors`` overrides the traversal direction (pass
+    ``graph.predecessors`` for the union of ancestor sets).
+    """
+    if neighbors is None:
+        neighbors = graph.successors
     seen: set[Vertex] = set()
     queue: deque[Vertex] = deque()
     for source in sources:
@@ -84,10 +92,10 @@ def reachable_from_any(
             queue.append(source)
     while queue:
         vertex = queue.popleft()
-        for successor in graph.successors(vertex):
-            if successor not in seen:
-                seen.add(successor)
-                queue.append(successor)
+        for neighbor in neighbors(vertex):
+            if neighbor not in seen:
+                seen.add(neighbor)
+                queue.append(neighbor)
     return frozenset(seen)
 
 
@@ -95,23 +103,81 @@ class ReachabilityCache:
     """Memoized descendant sets over a mutable :class:`Digraph`.
 
     The cache is *pull-based*: every query compares the graph's current
-    ``version`` against the version at which the cache was filled, and
-    drops all memoized sets when they differ.  This keeps the graph
-    itself free of observer plumbing while remaining correct under
-    arbitrary mutation.
+    ``version`` against the version at which the cache was filled.
+    When they differ it consults the graph's change journal and evicts
+    only the entries a mutation can actually have touched, instead of
+    dropping everything:
+
+    * adding or removing the edge ``(s, t)`` changes the descendant set
+      of exactly the vertices that reach ``s`` — and a cached set that
+      was accurate before the mutation contains ``s`` iff its key
+      reaches ``s`` (the ancestor set of ``s`` is invariant under
+      mutations of ``s``'s own out-edges: any path ending at ``s`` that
+      used the edge ``(s, t)`` already visited ``s`` earlier), so one
+      membership test per entry suffices;
+    * adding a vertex changes nothing (it has no edges yet);
+    * removing a vertex only evicts the entry keyed by it — its
+      incident edges were removed (and journaled) first.
+
+    When the journal no longer reaches back to the cache's version, or
+    the delta burst is larger than ``DELTA_LIMIT``, the cache falls
+    back to the old clear-everything behaviour.
     """
 
-    __slots__ = ("_graph", "_version", "_descendants")
+    DELTA_LIMIT = 64
+
+    __slots__ = ("_graph", "_version", "_descendants", "evictions",
+                 "full_invalidations")
 
     def __init__(self, graph: Digraph):
         self._graph = graph
         self._version = graph.version
         self._descendants: dict[Vertex, frozenset[Vertex]] = {}
+        #: diagnostic counters (read by benchmarks and tests)
+        self.evictions = 0
+        self.full_invalidations = 0
 
     def _validate(self) -> None:
-        if self._version != self._graph.version:
-            self._descendants.clear()
-            self._version = self._graph.version
+        if self._version == self._graph.version:
+            return
+        deltas = (
+            self._graph.changes_since(self._version)
+            if self._descendants else None
+        )
+        if deltas is not None:
+            # Vertex additions cannot touch any memoized set (a fresh
+            # vertex has no edges), so they neither count toward the
+            # fallback threshold nor need processing.
+            deltas = [
+                delta for delta in deltas
+                if delta.is_edge or delta.kind == "remove-vertex"
+            ]
+        if deltas is None or len(deltas) > self.DELTA_LIMIT:
+            if self._descendants:
+                self._descendants.clear()
+                self.full_invalidations += 1
+        else:
+            # Single pass over the batch: an entry accurate at the old
+            # version is affected by some delta iff its set intersects
+            # the delta sources — a path to a source created *mid-batch*
+            # starts with a pre-batch prefix to the first added edge's
+            # source, which is itself in the source set.
+            sources = set()
+            for delta in deltas:
+                if delta.is_edge:
+                    sources.add(delta.source)
+                else:
+                    if self._descendants.pop(delta.source, None) is not None:
+                        self.evictions += 1
+            if sources:
+                stale = [
+                    key for key, seen in self._descendants.items()
+                    if not seen.isdisjoint(sources)
+                ]
+                for key in stale:
+                    del self._descendants[key]
+                self.evictions += len(stale)
+        self._version = self._graph.version
 
     def descendants(self, source: Vertex) -> frozenset[Vertex]:
         self._validate()

@@ -1,6 +1,13 @@
-"""Workload generators: random, hospital-shaped, and enterprise-shaped
-policies for the tests and benchmarks."""
+"""Workload generators: random, hospital-shaped, enterprise-shaped,
+and churn policies/traces for the tests and benchmarks."""
 
+from .churn import (
+    ChurnShape,
+    churn_policy,
+    churn_trace,
+    differential_churn,
+    run_churn,
+)
 from .generators import (
     PolicyShape,
     layered_hierarchy,
@@ -8,7 +15,7 @@ from .generators import (
     random_policy,
 )
 from .hospital import HospitalShape, hospital_policy
-from .fuzz import FuzzReport, fuzz_many, fuzz_monitor
+from .fuzz import FuzzReport, fuzz_index_churn, fuzz_many, fuzz_monitor
 from .enterprise import (
     EnterpriseShape,
     delegation_targets,
@@ -16,13 +23,18 @@ from .enterprise import (
 )
 
 __all__ = [
+    "ChurnShape",
+    "churn_policy",
+    "churn_trace",
+    "differential_churn",
+    "run_churn",
     "PolicyShape",
     "layered_hierarchy",
     "nested_grant",
     "random_policy",
     "HospitalShape",
     "hospital_policy",
-    "FuzzReport", "fuzz_many", "fuzz_monitor",
+    "FuzzReport", "fuzz_index_churn", "fuzz_many", "fuzz_monitor",
     "EnterpriseShape",
     "delegation_targets",
     "enterprise_policy",

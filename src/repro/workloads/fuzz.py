@@ -15,6 +15,11 @@ monitor's global invariants after every step:
    entry per submitted command.
 6. **Index agreement** — the precomputed authorization index agrees
    with the oracle path on every decision.
+7. **Incremental-maintenance agreement** — under randomized policy
+   churn, the incrementally maintained authorization index stays
+   structurally and behaviourally identical to a from-scratch rebuild
+   after every mutation (:func:`fuzz_index_churn`, backed by
+   :func:`repro.workloads.churn.differential_churn`).
 
 The fuzzer is seeded and deterministic; the test suite runs it over a
 spread of seeds, and `examples/safety_audit.py`-style scripts can run
@@ -179,6 +184,23 @@ def fuzz_monitor(
                 report.implicit += 1
         else:
             report.denied += 1
+    return report
+
+
+def fuzz_index_churn(
+    seed: int,
+    steps: int = 40,
+    shape: PolicyShape = PolicyShape(),
+) -> FuzzReport:
+    """Invariant (7): differential churn campaign for the incremental
+    authorization index.  Every step applies one random policy mutation
+    and compares the incrementally repaired index against a fresh
+    ``AuthorizationIndex(policy)`` — held sets, rectangles, effective
+    authority, and sampled authorization probes must all agree."""
+    from .churn import differential_churn
+
+    report = FuzzReport(seed=seed, steps=steps)
+    report.violations.extend(differential_churn(seed, steps, shape))
     return report
 
 

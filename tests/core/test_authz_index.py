@@ -109,3 +109,121 @@ class TestDifferentialAgainstOracle:
             n_users=3, n_roles=4, n_admin_privileges=3, max_nesting=2,
         )
         self.check_policy(random_policy(seed, shape))
+
+
+class TestIncrementalMaintenance:
+    """Churn repairs only the dirty corner of the index (and agrees
+    with a from-scratch rebuild — see tests/workloads/test_churn.py
+    for the randomized differential campaigns)."""
+
+    def test_partial_refresh_not_full_rebuild(self, policy):
+        index = AuthorizationIndex(policy)
+        assert index.full_rebuilds == 1
+        policy.assign_user(U, LOW)
+        index.refresh()
+        assert index.full_rebuilds == 1
+        assert index.partial_refreshes == 1
+
+    def test_privilege_free_assignment_refreshes_nobody(self, policy):
+        # LOW holds no privileges, so no held set can change.
+        index = AuthorizationIndex(policy)
+        refreshed_before = index.users_refreshed
+        policy.assign_user(U, LOW)
+        index.refresh()
+        assert index.partial_refreshes == 1
+        assert index.users_refreshed == refreshed_before
+
+    def test_ua_churn_dirties_only_the_assigned_user(self, policy):
+        index = AuthorizationIndex(policy)
+        refreshed_before = index.users_refreshed
+        policy.assign_user(U, ADM)  # ADM holds the grant privileges
+        index.refresh()
+        assert index.users_refreshed - refreshed_before == 1
+        assert index.authorizes(U, grant_cmd(U, U, LOW)) is not None
+
+    def test_incremental_answers_track_policy(self, policy):
+        index = AuthorizationIndex(policy)
+        command = grant_cmd(ADMIN, U, LOW)
+        assert index.authorizes(ADMIN, command) is not None
+        policy.remove_edge(ADM, Grant(U, HIGH))
+        assert index.authorizes(ADMIN, command) is None
+        assert index.full_rebuilds == 1  # repaired, not rebuilt
+
+    def test_rh_churn_updates_rectangle_targets(self, policy):
+        index = AuthorizationIndex(policy)
+        deep = Role("deep")
+        assert index.authorizes(ADMIN, grant_cmd(ADMIN, U, deep)) is None
+        policy.add_role(deep)
+        policy.add_inheritance(LOW, deep)
+        assert index.authorizes(
+            ADMIN, grant_cmd(ADMIN, U, deep)
+        ) == Grant(U, HIGH)
+
+    def test_non_incremental_flag_forces_rebuilds(self, policy):
+        index = AuthorizationIndex(policy, incremental=False)
+        policy.assign_user(U, LOW)
+        index.refresh()
+        policy.assign_user(U, MID)
+        index.refresh()
+        assert index.full_rebuilds == 3
+        assert index.partial_refreshes == 0
+
+    def test_vertex_only_burst_stays_incremental(self, policy):
+        # New isolated vertices can't dirty existing entries, however
+        # many there are — no fallback.
+        index = AuthorizationIndex(policy)
+        for i in range(AuthorizationIndex.DELTA_LIMIT + 3):
+            policy.add_role(Role(f"bulk{i}"))
+        index.refresh()
+        assert index.full_rebuilds == 1
+        assert index.partial_refreshes == 1
+
+    def test_oversized_edge_burst_falls_back(self, policy):
+        index = AuthorizationIndex(policy)
+        for i in range(AuthorizationIndex.DELTA_LIMIT + 3):
+            policy.add_inheritance(Role(f"bulk{i}"), Role(f"bulk{i + 1}"))
+        index.refresh()
+        assert index.full_rebuilds == 2
+
+    def test_new_user_gets_an_entry(self, policy):
+        index = AuthorizationIndex(policy)
+        newcomer = User("newcomer")
+        policy.add_user(newcomer)
+        policy.assign_user(newcomer, ADM)
+        assert index.authorizes(
+            newcomer, grant_cmd(newcomer, U, LOW)
+        ) == Grant(U, HIGH)
+        assert index.statistics()["users"] == 3
+
+
+class TestEffectiveAuthority:
+    def test_grantable_pairs_agree_with_authorizes(self, policy):
+        index = AuthorizationIndex(policy)
+        for source, target in index.grantable_pairs(ADMIN):
+            assert index.authorizes(
+                ADMIN, grant_cmd(ADMIN, source, target)
+            ) is not None
+
+    def test_revocable_pairs_agree_with_authorizes(self, policy):
+        index = AuthorizationIndex(policy)
+        pairs = index.revocable_pairs(ADMIN)
+        assert pairs == frozenset({(U, HIGH)})
+        for source, target in pairs:
+            assert index.authorizes(
+                ADMIN, revoke_cmd(ADMIN, source, target)
+            ) is not None
+
+    def test_revoke_only_privilege_not_grantable(self, policy):
+        policy.remove_edge(ADM, Grant(U, HIGH))
+        index = AuthorizationIndex(policy)
+        assert index.grantable_pairs(ADMIN) == frozenset()
+        assert index.revocable_pairs(ADMIN) == frozenset({(U, HIGH)})
+
+    def test_effective_authority_view(self, policy):
+        index = AuthorizationIndex(policy)
+        authority = index.effective_authority(ADMIN)
+        assert authority["grant"] == index.grantable_pairs(ADMIN)
+        assert authority["revoke"] == index.revocable_pairs(ADMIN)
+        assert index.effective_authority(U) == {
+            "grant": frozenset(), "revoke": frozenset()
+        }

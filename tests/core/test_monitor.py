@@ -210,3 +210,86 @@ class TestIndexBackedMonitor:
                 == indexed.submit(command).executed
             ), command
         assert plain.policy == indexed.policy
+
+
+class TestBatchedQueue:
+    """submit_queue(batched=True): one index validation per batch,
+    authorization against the batch-entry state."""
+
+    def _refined_monitor(self):
+        policy = Policy(
+            ua=[(ADMIN, ADM)],
+            rh=[(R, S)],
+            pa=[(ADM, Grant(U, R)), (ADM, Revoke(U, R))],
+        )
+        policy.add_user(U)
+        return ReferenceMonitor(policy, mode=Mode.REFINED, use_index=True)
+
+    def test_batched_matches_sequential_on_independent_commands(self):
+        batch = [
+            grant_cmd(ADMIN, U, R),
+            grant_cmd(ADMIN, U, S),      # implicit via Grant(U, R)
+            grant_cmd(U, U, R),          # unauthorized
+            revoke_cmd(ADMIN, U, R),
+        ]
+        sequential = self._refined_monitor()
+        records_seq = sequential.submit_queue(batch)
+        batched = self._refined_monitor()
+        records_bat = batched.submit_queue(batch, batched=True)
+        assert [r.executed for r in records_seq] == [
+            r.executed for r in records_bat
+        ]
+        assert sequential.policy.edge_set() == batched.policy.edge_set()
+
+    def test_batched_authorizes_against_entry_state(self):
+        """A command depending on an edge granted earlier in the same
+        batch executes sequentially but not under snapshot semantics —
+        the documented transactional reading."""
+        grant_adm = Grant(ADM, Grant(U, S))
+        policy = Policy(ua=[(ADMIN, ADM)], pa=[(ADM, grant_adm)])
+        policy.add_user(U)
+        policy.add_role(S)
+        batch = [
+            grant_cmd(ADMIN, ADM, Grant(U, S)),  # gives ADM the privilege
+            grant_cmd(ADMIN, U, S),              # needs that privilege
+        ]
+        sequential = ReferenceMonitor(
+            policy.copy(), mode=Mode.REFINED, use_index=True
+        )
+        assert [r.executed for r in sequential.submit_queue(batch)] == [
+            True, True
+        ]
+        batched = ReferenceMonitor(
+            policy.copy(), mode=Mode.REFINED, use_index=True
+        )
+        assert [
+            r.executed for r in batched.submit_queue(batch, batched=True)
+        ] == [True, False]
+
+    def test_batched_validates_index_once(self):
+        monitor = self._refined_monitor()
+        monitor.submit(grant_cmd(ADMIN, U, R))  # warm the index
+        refreshes_before = monitor._index.partial_refreshes
+        batch = [grant_cmd(ADMIN, U, S), revoke_cmd(ADMIN, U, R)]
+        monitor.submit_queue(batch, batched=True)
+        assert (
+            monitor._index.partial_refreshes - refreshes_before
+            + monitor._index.full_rebuilds - 1
+        ) <= 1
+
+    def test_batched_audits_every_command(self):
+        monitor = self._refined_monitor()
+        before = len(monitor.audit_trail)
+        batch = [grant_cmd(ADMIN, U, R), grant_cmd(U, U, R)]
+        monitor.submit_queue(batch, batched=True)
+        entries = monitor.audit_trail[before:]
+        assert [entry.allowed for entry in entries] == [True, False]
+
+    def test_batched_without_index_falls_back_to_sequential(self):
+        policy = Policy(ua=[(ADMIN, ADM)], pa=[(ADM, Grant(U, R))])
+        policy.add_user(U)
+        monitor = ReferenceMonitor(policy, mode=Mode.REFINED)
+        records = monitor.submit_queue(
+            [grant_cmd(ADMIN, U, R)], batched=True
+        )
+        assert records[0].executed

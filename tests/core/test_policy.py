@@ -182,3 +182,39 @@ class TestValueSemantics:
         policy = Policy(ua=[(U, R)], pa=[(R, P)])
         text = repr(policy)
         assert "users=1" in text and "roles=1" in text
+
+
+class TestChurnSeam:
+    """Policy-level view of the graph change journal."""
+
+    def test_version_tracks_mutations(self):
+        policy = Policy()
+        u, r = User("u"), Role("r")
+        before = policy.version
+        policy.add_user(u)
+        policy.add_role(r)
+        policy.assign_user(u, r)
+        assert policy.version > before
+        unchanged = policy.version
+        policy.assign_user(u, r)  # no-op
+        assert policy.version == unchanged
+
+    def test_changes_since_exposes_edge_deltas(self):
+        policy = Policy()
+        u, r = User("u"), Role("r")
+        policy.add_user(u)
+        policy.add_role(r)
+        before = policy.version
+        policy.assign_user(u, r)
+        (delta,) = policy.changes_since(before)
+        assert delta.kind == "add-edge"
+        assert delta.source == u and delta.target == r
+
+    def test_privilege_gc_appears_in_journal(self):
+        u, r = User("u"), Role("r")
+        privilege = Grant(u, r)
+        policy = Policy(ua=[(u, r)], pa=[(r, privilege)])
+        before = policy.version
+        policy.remove_edge(r, privilege)
+        kinds = [d.kind for d in policy.changes_since(before)]
+        assert kinds == ["remove-edge", "remove-vertex"]

@@ -103,3 +103,37 @@ def test_longest_chain_diamond():
     graph = Digraph([("t", "l"), ("t", "r"), ("l", "b"), ("r", "b"), ("l", "r")])
     # t -> l -> r -> b is the longest.
     assert longest_chain_length(graph) == 3
+
+
+class TestDirtyRegion:
+    def test_chain_regions(self):
+        from repro.graph import dirty_region
+
+        graph = Digraph([("a", "b"), ("b", "c"), ("c", "d")])
+        upstream, downstream = dirty_region(graph, ["b"], ["c"])
+        assert upstream == frozenset({"a", "b"})
+        assert downstream == frozenset({"c", "d"})
+
+    def test_cycle_pulls_whole_component(self):
+        from repro.graph import dirty_region
+
+        graph = Digraph([("a", "b"), ("b", "a"), ("b", "c")])
+        upstream, downstream = dirty_region(graph, ["a"], ["c"])
+        assert upstream == frozenset({"a", "b"})
+        assert downstream == frozenset({"c"})
+
+    def test_deleted_seed_included_as_itself(self):
+        from repro.graph import dirty_region
+
+        graph = Digraph([("a", "b")])
+        upstream, downstream = dirty_region(graph, ["gone"], ["gone"])
+        assert upstream == frozenset({"gone"})
+        assert downstream == frozenset({"gone"})
+
+    def test_multi_seed_union(self):
+        from repro.graph import dirty_region
+
+        graph = Digraph([("a", "b"), ("c", "d")])
+        upstream, downstream = dirty_region(graph, ["b", "d"], ["b", "d"])
+        assert upstream == frozenset({"a", "b", "c", "d"})
+        assert downstream == frozenset({"b", "d"})

@@ -133,3 +133,71 @@ def test_self_loop():
 def test_hashable_nonstring_vertices():
     graph = Digraph([((1, 2), (3, 4))])
     assert graph.has_edge((1, 2), (3, 4))
+
+
+class TestChangeJournal:
+    def test_empty_when_current(self):
+        graph = Digraph([("a", "b")])
+        assert graph.changes_since(graph.version) == ()
+
+    def test_edge_add_journaled(self):
+        graph = Digraph()
+        before = graph.version
+        graph.add_edge("a", "b")
+        deltas = graph.changes_since(before)
+        assert [d.kind for d in deltas] == [
+            "add-vertex", "add-vertex", "add-edge"
+        ]
+        assert deltas[-1].source == "a" and deltas[-1].target == "b"
+
+    def test_edge_remove_journaled(self):
+        graph = Digraph([("a", "b")])
+        before = graph.version
+        graph.remove_edge("a", "b")
+        (delta,) = graph.changes_since(before)
+        assert delta.kind == "remove-edge"
+        assert delta.is_edge
+
+    def test_vertex_removal_journals_incident_edges_first(self):
+        graph = Digraph([("a", "b"), ("b", "c")])
+        before = graph.version
+        graph.remove_vertex("b")
+        kinds = [d.kind for d in graph.changes_since(before)]
+        assert kinds == ["remove-edge", "remove-edge", "remove-vertex"]
+
+    def test_noop_mutations_not_journaled(self):
+        graph = Digraph([("a", "b")])
+        before = graph.version
+        graph.add_edge("a", "b")
+        graph.remove_edge("a", "x")
+        graph.add_vertex("a")
+        assert graph.changes_since(before) == ()
+
+    def test_deltas_ordered_and_versioned(self):
+        graph = Digraph()
+        before = graph.version
+        graph.add_vertex("a")
+        graph.add_vertex("b")
+        graph.add_edge("a", "b")
+        deltas = graph.changes_since(before)
+        versions = [d.version for d in deltas]
+        assert versions == sorted(versions)
+        assert versions[-1] == graph.version
+
+    def test_expired_window_returns_none(self):
+        graph = Digraph()
+        limit = Digraph.JOURNAL_LIMIT
+        before = graph.version
+        for index in range(limit + 10):
+            graph.add_vertex(index)
+        assert graph.changes_since(before) is None
+        # A recent version is still inside the window.
+        assert graph.changes_since(graph.version - 5) is not None
+
+    def test_partial_suffix(self):
+        graph = Digraph()
+        graph.add_vertex("a")
+        middle = graph.version
+        graph.add_vertex("b")
+        deltas = graph.changes_since(middle)
+        assert [d.source for d in deltas] == ["b"]

@@ -85,3 +85,64 @@ def test_cache_memoizes_between_mutations():
     graph.add_edge(3, 4)
     cache.descendants(0)
     assert cache.cached_sources == 1  # cleared on version change
+
+
+class TestIncrementalInvalidation:
+    """The cache consults the change journal and evicts only entries a
+    mutation can have touched."""
+
+    def test_unrelated_entries_survive_mutation(self):
+        graph = Digraph([("a", "b"), ("x", "y")])
+        cache = ReachabilityCache(graph)
+        cache.descendants("a")
+        cache.descendants("x")
+        graph.add_edge("b", "c")  # only the a-chain is affected
+        assert cache.reaches("x", "y")
+        assert cache.cached_sources == 1  # "a" evicted, "x" kept
+        assert cache.evictions == 1
+        assert cache.full_invalidations == 0
+
+    def test_affected_entry_recomputed(self):
+        graph = Digraph([("a", "b")])
+        cache = ReachabilityCache(graph)
+        assert not cache.reaches("a", "c")
+        graph.add_edge("b", "c")
+        assert cache.reaches("a", "c")
+        graph.remove_edge("a", "b")
+        assert not cache.reaches("a", "c")
+
+    def test_vertex_removal_evicts_own_entry(self):
+        graph = Digraph([("a", "b")])
+        cache = ReachabilityCache(graph)
+        cache.descendants("b")
+        cache.descendants("a")
+        graph.remove_vertex("b")
+        assert cache.descendants("b") == frozenset({"b"})
+        assert not cache.reaches("a", "b")
+
+    def test_large_burst_falls_back_to_full_clear(self):
+        graph = Digraph([("a", "b")])
+        cache = ReachabilityCache(graph)
+        cache.descendants("a")
+        for index in range(ReachabilityCache.DELTA_LIMIT + 1):
+            graph.add_edge(f"s{index}", f"t{index}")
+        cache.descendants("a")
+        assert cache.full_invalidations == 1
+
+    def test_mid_batch_path_creation_is_caught(self):
+        """x gains a path to s only via an edge added earlier in the
+        same delta batch; the batched eviction must still see it."""
+        graph = Digraph([("s", "t0")])
+        cache = ReachabilityCache(graph)
+        assert cache.descendants("x") == frozenset({"x"})
+        graph.add_edge("x", "s")   # x now reaches s
+        graph.add_edge("s", "t1")  # and this must invalidate x's entry
+        assert "t1" in cache.descendants("x")
+
+    def test_cycle_members_all_evicted(self):
+        graph = Digraph([("a", "b"), ("b", "a")])
+        cache = ReachabilityCache(graph)
+        cache.descendants("a")
+        cache.descendants("b")
+        graph.add_edge("a", "c")
+        assert "c" in cache.descendants("b")  # via the cycle
