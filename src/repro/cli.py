@@ -10,6 +10,8 @@ Subcommands:
 * ``run-queue FILE QUEUE.json`` — execute a command queue (Definition 5).
 * ``export-dot FILE``           — Graphviz export (the paper's figures).
 * ``figures``                   — print the paper's Figures 1–3 as documents.
+* ``query SQL...``              — run SQL against the guarded hospital DBMS
+  (``--backend memory|sqlite|kvlog`` selects the storage engine).
 
 Policy files use the document format of :mod:`repro.core.grammar`;
 privileges are written as e.g. ``grant(bob, staff)`` or
@@ -199,6 +201,38 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_query(args: argparse.Namespace) -> int:
+    from .core.entities import Role, User
+    from .dbms import execute_sql, hospital_database
+    from .errors import AccessDenied
+
+    mode = Mode.REFINED if args.refined else Mode.STRICT
+    options = {"path": args.path} if args.path else {}
+    database = hospital_database(mode=mode, backend=args.backend, **options)
+    session = database.login(
+        User(args.user), *(Role(name) for name in args.roles)
+    )
+    exit_code = 0
+    for sql in args.sql:
+        try:
+            result = execute_sql(database, session, sql)
+        except AccessDenied as denied:
+            print(f"DENIED: {denied}")
+            exit_code = 1
+        else:
+            for row in result.rows:
+                print("  ".join(f"{column}={value}"
+                                for column, value in row.items()))
+            print(f"-- {len(result.rows)} row(s), {result.affected} affected")
+    if args.audit:
+        print(f"audit trail ({args.backend} backend, "
+              f"capabilities: {database.store.capabilities}):")
+        for entry in database.audit:
+            print(f"  {entry}")
+    database.close()
+    return exit_code
+
+
 def _cmd_figures(args: argparse.Namespace) -> int:
     from .papercases import figures
 
@@ -319,6 +353,35 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--seeds", type=int, default=10)
     fuzz.add_argument("--steps", type=int, default=50)
     fuzz.set_defaults(func=_cmd_fuzz)
+
+    query = subparsers.add_parser(
+        "query",
+        help="run SQL against the guarded hospital DBMS "
+             "(any storage backend)",
+    )
+    query.add_argument("sql", nargs="+", help="SQL statement(s) to execute")
+    query.add_argument(
+        "--backend", default="memory",
+        choices=["memory", "sqlite", "kvlog"],
+        help="storage engine behind the guarded database",
+    )
+    query.add_argument(
+        "--path", default=None,
+        help="persistence path for the sqlite/kvlog backends",
+    )
+    query.add_argument("--user", default="diana", help="session user")
+    query.add_argument(
+        "--roles", nargs="*", default=["nurse"],
+        help="roles to activate (default: nurse)",
+    )
+    query.add_argument(
+        "--refined", action="store_true",
+        help="authorize administration via the privilege ordering",
+    )
+    query.add_argument(
+        "--audit", action="store_true", help="print the audit trail"
+    )
+    query.set_defaults(func=_cmd_query)
     return parser
 
 

@@ -34,6 +34,12 @@ journal has expired or the delta burst exceeds a size threshold
 is kept as the benchmark baseline).  Its answers are verified against
 the oracle by the test suite (`tests/core/test_authz_index.py`) and by
 the differential churn harness in :mod:`repro.workloads.fuzz`.
+
+An index-backed refined monitor also unlocks *batched* command queues:
+:meth:`repro.core.monitor.ReferenceMonitor.submit_queue` with
+``batched=True`` authorizes a whole queue against its entry state with
+a single index validation — see that method's docstring for the exact
+transactional semantics.
 """
 
 from __future__ import annotations

@@ -16,7 +16,18 @@ Combines the pieces of §2–§4 into the component a system (such as the
   match exactly (the behaviour of prior administrative models); in
   :attr:`~repro.core.commands.Mode.REFINED` mode the monitor also
   accepts commands covered by a Ã-stronger privilege — the paper's
-  implicit authorization (§4.1).
+  implicit authorization (§4.1).  With ``use_index=True`` refined
+  decisions come from the precomputed
+  :class:`~repro.core.authz_index.AuthorizationIndex`, which repairs
+  itself *incrementally* from the policy graph's change journal under
+  churn (no full rebuild on the common path — see that module's
+  docstring for the dirty-region maintenance).
+* **batched queues** — ``submit_queue(commands, batched=True)`` treats
+  a queue as one transaction: every command is authorized against the
+  policy state at batch entry, the index is validated once for the
+  whole batch, and only then are the authorized mutations applied in
+  order (see :meth:`ReferenceMonitor.submit_queue` for exactly when
+  this agrees with the sequential Definition-5 reading).
 * **review functions** — ``assigned_users``, ``authorized_users``,
   ``role_privileges`` (ANSI review API, used by the examples).
 

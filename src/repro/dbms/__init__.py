@@ -1,6 +1,16 @@
-"""The paper's database substrate: an RBAC-guarded in-memory DBMS."""
+"""The paper's database substrate: an RBAC-guarded DBMS over
+pluggable storage backends (see :mod:`repro.dbms.backends`)."""
 
 from .audit import AuditEntry, AuditLog
+from .backends import (
+    BACKENDS,
+    Capability,
+    KVLogBackend,
+    MemoryBackend,
+    SqliteBackend,
+    StorageBackend,
+    create_backend,
+)
 from .engine import GuardedDatabase, hospital_database
 from .sql import QueryResult, execute_sql, parse_sql
 from .tables import Row, Schema, Table, TableStore
@@ -8,7 +18,14 @@ from .tables import Row, Schema, Table, TableStore
 __all__ = [
     "AuditEntry",
     "AuditLog",
+    "BACKENDS",
+    "Capability",
     "GuardedDatabase",
+    "KVLogBackend",
+    "MemoryBackend",
+    "SqliteBackend",
+    "StorageBackend",
+    "create_backend",
     "hospital_database",
     "QueryResult",
     "execute_sql",

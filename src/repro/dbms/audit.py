@@ -6,15 +6,19 @@ what, on which object, allowed or denied, and (for administrative
 commands in refined mode) which stronger privilege implicitly
 authorized it.  The hospital scenario of the paper is precisely a
 setting where such trails matter.
+
+The trail is storage-independent by construction: the engine records
+the decision before any :class:`~repro.dbms.backends.StorageBackend`
+method runs, and sequence numbers are per-log (not process-global), so
+two databases replaying the same workload over different backends
+produce byte-identical trails — the invariant the differential suite
+(``tests/dbms/test_backend_differential.py``) enforces.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from itertools import count
 from typing import Iterator
-
-_sequence = count(1)
 
 
 @dataclass(frozen=True)
@@ -39,6 +43,7 @@ class AuditLog:
     """An append-only audit trail with simple filters."""
 
     entries: list[AuditEntry] = field(default_factory=list)
+    _next_sequence: int = field(default=1, repr=False)
 
     def record(
         self,
@@ -49,10 +54,20 @@ class AuditLog:
         detail: str = "",
     ) -> AuditEntry:
         entry = AuditEntry(
-            next(_sequence), category, subject, operation, allowed, detail
+            self._next_sequence, category, subject, operation, allowed, detail
         )
+        self._next_sequence += 1
         self.entries.append(entry)
         return entry
+
+    def canonical(self) -> tuple[tuple, ...]:
+        """A hashable, backend-independent image of the whole trail —
+        what the differential suite compares across storage engines."""
+        return tuple(
+            (entry.sequence, entry.category, entry.subject,
+             entry.operation, entry.allowed, entry.detail)
+            for entry in self.entries
+        )
 
     def denials(self) -> list[AuditEntry]:
         return [entry for entry in self.entries if not entry.allowed]

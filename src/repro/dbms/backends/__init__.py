@@ -1,0 +1,81 @@
+"""Pluggable storage backends for the guarded DBMS.
+
+The interface and its capability contract live in
+:mod:`~repro.dbms.backends.base`; three engines ship in-tree:
+
+========  ==============================================  =======================
+name      engine                                          capabilities
+========  ==============================================  =======================
+memory    the original in-memory tables (the oracle)      —
+sqlite    ``sqlite3``, in-memory or file                  pushdown, persistent
+kvlog     append-only JSON log replayed into memory       replayable log
+                                                          (+ persistent with path)
+========  ==============================================  =======================
+
+``create_backend("sqlite", path="ehr.db")`` is the factory the engine
+and the CLI use; passing an already-constructed :class:`StorageBackend`
+returns it unchanged, so custom engines plug in without registration.
+"""
+
+from __future__ import annotations
+
+from ...errors import TableError
+from .base import (
+    PUSHDOWN_OPERATORS,
+    Capability,
+    Predicate,
+    Row,
+    StorageBackend,
+    pushable,
+)
+from .kvlog import KVLogBackend
+from .memory import MemoryBackend
+from .sqlite import SqliteBackend
+
+#: registry of in-tree engines, keyed by their CLI/`--backend` names.
+BACKENDS: dict[str, type[StorageBackend]] = {
+    MemoryBackend.name: MemoryBackend,
+    SqliteBackend.name: SqliteBackend,
+    KVLogBackend.name: KVLogBackend,
+}
+
+
+def create_backend(
+    backend: str | StorageBackend = "memory", **options
+) -> StorageBackend:
+    """Resolve a backend name (or pass through an instance).
+
+    ``options`` are forwarded to the engine's constructor (e.g.
+    ``path=...`` for sqlite and kvlog).  Unknown names raise
+    :class:`~repro.errors.TableError` listing the registry.
+    """
+    if isinstance(backend, StorageBackend):
+        if options:
+            raise TableError(
+                "backend options are only valid with a backend name, "
+                f"not an instance of {type(backend).__name__}"
+            )
+        return backend
+    try:
+        factory = BACKENDS[backend]
+    except KeyError:
+        raise TableError(
+            f"unknown storage backend {backend!r}; "
+            f"available: {', '.join(sorted(BACKENDS))}"
+        ) from None
+    return factory(**options)
+
+
+__all__ = [
+    "BACKENDS",
+    "Capability",
+    "KVLogBackend",
+    "MemoryBackend",
+    "Predicate",
+    "PUSHDOWN_OPERATORS",
+    "Row",
+    "SqliteBackend",
+    "StorageBackend",
+    "create_backend",
+    "pushable",
+]

@@ -1,0 +1,241 @@
+"""The storage-backend contract of the guarded DBMS.
+
+:class:`~repro.dbms.engine.GuardedDatabase` decides *who* may touch
+*which* table; a :class:`StorageBackend` decides *where* the rows live
+and how they are scanned.  The split is the security boundary of the
+paper's Example 1 made explicit: backends never see sessions, policies,
+or the audit log.  A denied access raises inside the engine **before**
+any backend method is called, so no storage engine — in-memory, sqlite,
+or an external store behind the same interface — can bypass
+``check_access`` or skip the audit trail.
+
+The contract has three parts:
+
+* **CRUD + scan semantics** — ``create_table`` / ``drop_table`` /
+  ``insert`` / ``scan`` / ``update`` / ``delete``, with the exact error
+  behaviour of the original in-memory tables (``TableError`` on unknown
+  tables/columns and malformed rows) and **insertion-ordered scans**:
+  ``scan`` returns rows in insertion order, updates preserve a row's
+  position.  The differential suite pins every backend to the in-memory
+  oracle row-for-row, so this ordering is normative, not cosmetic.
+
+* **Snapshot semantics** — ``snapshot()`` returns a deep, immutable
+  image of every table at the call point.  Later mutations must never
+  show through a snapshot (the engine relies on this for batch
+  isolation: a snapshot taken at batch entry stays the entry state).
+
+* **Capability flags** — a backend declares what it can do *beyond* the
+  core contract via :class:`Capability`.  The engine and the SQL layer
+  only ever exploit a capability after checking the flag; every
+  capability is optional and the fallback path (evaluate the Python
+  predicate row-by-row) must always produce identical results.
+
+Predicate pushdown
+------------------
+
+``scan`` / ``update`` / ``delete`` take an optional ``conditions``
+sequence alongside the authoritative ``predicate`` callable.  The two
+are semantically equivalent by contract (the SQL layer builds both from
+the same WHERE clause); ``conditions`` is a *structured hint* — objects
+with ``column`` / ``operator`` / ``literal`` attributes, operators
+drawn from :data:`PUSHDOWN_OPERATORS` — that a backend with
+:attr:`Capability.PREDICATE_PUSHDOWN` may compile into its native query
+language.  A backend must push **all** conditions or **none**: if any
+single condition cannot be compiled (unknown column, unsupported
+operator or literal type), the backend falls back to the predicate for
+the whole statement.  Backends without the capability ignore
+``conditions`` entirely.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Iterable, Sequence
+
+from ...errors import TableError
+
+Row = dict[str, Any]
+Predicate = Callable[[Row], bool]
+
+#: comparison operators a pushdown-capable backend must understand;
+#: anything else in a condition forces the predicate fallback.
+PUSHDOWN_OPERATORS = frozenset({"=", "!=", "<", "<=", ">", ">="})
+
+#: table and column names safe to embed in a native query.
+IDENTIFIER = re.compile(r"[A-Za-z_][A-Za-z_0-9]*\Z")
+
+
+class Capability(enum.Flag):
+    """What a backend can do beyond the core CRUD/snapshot contract."""
+
+    NONE = 0
+    #: can compile structured ``conditions`` into its native query
+    #: language instead of evaluating the Python predicate per row.
+    PREDICATE_PUSHDOWN = enum.auto()
+    #: state survives process restart when constructed with a path.
+    PERSISTENT = enum.auto()
+    #: every mutation is journaled; ``replayed()`` rebuilds the store
+    #: from the log alone (the seam for external/replicated stores).
+    REPLAYABLE_LOG = enum.auto()
+
+
+def pushable(conditions: Sequence[Any] | None, columns: Iterable[str]) -> bool:
+    """True iff *every* condition can be compiled against ``columns``.
+
+    Shared pre-flight check for pushdown-capable backends: operators
+    must come from :data:`PUSHDOWN_OPERATORS`, columns must exist, and
+    literals must be plain scalars (str/int/float, not bool).
+    """
+    if conditions is None:
+        return False
+    known = set(columns)
+    for condition in conditions:
+        operator = getattr(condition, "operator", None)
+        column = getattr(condition, "column", None)
+        literal = getattr(condition, "literal", None)
+        if operator not in PUSHDOWN_OPERATORS or column not in known:
+            return False
+        if isinstance(literal, bool) or not isinstance(
+            literal, (str, int, float)
+        ):
+            return False
+    return True
+
+
+def check_identifier(name: str, what: str = "identifier") -> str:
+    """Reject names that cannot be safely embedded in a native query."""
+    if not IDENTIFIER.match(name):
+        raise TableError(f"invalid {what} {name!r}")
+    return name
+
+
+def validate_update_columns(columns: Iterable[str], changes: Row) -> None:
+    """The oracle's ``update`` error behaviour, shared by all engines."""
+    unknown = set(changes) - set(columns)
+    if unknown:
+        raise TableError(f"update sets unknown columns {sorted(unknown)}")
+
+
+def check_scalar_values(values: Row, backend_name: str) -> None:
+    """Restrict values to str/int/float/None — what SQLite stores
+    natively and the KV log journals as JSON.  The SQL layer only
+    produces these; direct-API callers get a clear error instead of a
+    backend-specific one."""
+    for column, value in values.items():
+        if value is not None and not isinstance(value, (str, int, float)):
+            raise TableError(
+                f"backend {backend_name!r} cannot store "
+                f"{type(value).__name__} value in column {column!r}"
+            )
+
+
+class StorageBackend(ABC):
+    """Abstract storage engine behind :class:`GuardedDatabase`.
+
+    Concrete backends: :class:`~repro.dbms.backends.memory.MemoryBackend`
+    (the original in-memory tables),
+    :class:`~repro.dbms.backends.sqlite.SqliteBackend` (``sqlite3`` with
+    predicate pushdown), and
+    :class:`~repro.dbms.backends.kvlog.KVLogBackend` (append-only log
+    replayed into memory).  All three are pinned to each other by the
+    conformance suite (``tests/dbms/test_backend_conformance.py``) and
+    the differential suite (``tests/dbms/test_backend_differential.py``).
+    """
+
+    #: registry key and display name; set by each concrete backend.
+    name: str = "abstract"
+    #: optional capabilities this engine declares; see :class:`Capability`.
+    capabilities: Capability = Capability.NONE
+
+    # ------------------------------------------------------------------
+    # DDL
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def create_table(self, name: str, columns: Iterable[str]):
+        """Create a table; ``TableError`` if it exists or the schema is
+        malformed.  May return a backend-specific handle."""
+
+    @abstractmethod
+    def drop_table(self, name: str) -> None:
+        """Drop a table; ``TableError`` if it does not exist."""
+
+    @abstractmethod
+    def table_names(self) -> list[str]:
+        """Sorted names of all tables."""
+
+    @abstractmethod
+    def columns(self, name: str) -> tuple[str, ...]:
+        """Column names of ``name`` in schema order; ``TableError`` if
+        the table does not exist."""
+
+    # ------------------------------------------------------------------
+    # DML
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def scan(
+        self,
+        name: str,
+        predicate: Predicate | None = None,
+        conditions: Sequence[Any] | None = None,
+    ) -> list[Row]:
+        """Rows of ``name`` matching the predicate, in insertion order.
+
+        ``conditions`` is the optional pushdown hint (see the module
+        docstring); when both are given they are equivalent and the
+        backend may use either.
+        """
+
+    @abstractmethod
+    def insert(self, name: str, row: Row) -> None:
+        """Append one row; ``TableError`` on schema mismatch."""
+
+    @abstractmethod
+    def update(
+        self,
+        name: str,
+        predicate: Predicate,
+        changes: Row,
+        conditions: Sequence[Any] | None = None,
+    ) -> int:
+        """Apply ``changes`` to matching rows in place (positions are
+        preserved); returns the number of rows touched."""
+
+    @abstractmethod
+    def delete(
+        self,
+        name: str,
+        predicate: Predicate,
+        conditions: Sequence[Any] | None = None,
+    ) -> int:
+        """Remove matching rows; returns the number removed."""
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def snapshot(self) -> dict[str, tuple[Row, ...]]:
+        """A deep, immutable image of every table at this instant,
+        keyed by table name (sorted).  Never aliases live rows."""
+
+    # ------------------------------------------------------------------
+    # Shared conveniences
+    # ------------------------------------------------------------------
+    def supports(self, capability: Capability) -> bool:
+        return bool(self.capabilities & capability)
+
+    def count(self, name: str) -> int:
+        return len(self.scan(name))
+
+    def close(self) -> None:
+        """Release external resources (connections, file handles)."""
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.table_names()
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(tables={self.table_names()!r}, "
+            f"capabilities={self.capabilities!r})"
+        )

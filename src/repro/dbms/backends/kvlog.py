@@ -1,0 +1,220 @@
+"""An append-only log store that replays into memory.
+
+Every mutation — DDL included — is one JSON-serializable record
+appended to a log; the live table state is just the log folded left to
+right.  ``update`` and ``delete`` journal their *effects* (the row
+positions they touched), not their predicates, so a replay is
+deterministic without ever serializing a Python callable.
+
+This is the seam for future external stores: a replicated KV store, a
+WAL shipped to another process, or an event-sourced service all consume
+exactly this record stream.  With a ``path`` the records are written as
+JSON lines and the constructor replays the file, so the store is also
+persistent; without one the log lives in memory (still replayable —
+``replayed()`` rebuilds a fresh state from the records alone, and the
+conformance suite checks it matches ``snapshot()`` after every
+workload).
+
+No pushdown: conditions are ignored and the Python predicate filters a
+materialized scan, exactly like the in-memory oracle.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from ...errors import TableError
+from ..tables import Predicate, Row, Schema
+from .base import (
+    Capability,
+    StorageBackend,
+    check_scalar_values,
+    validate_update_columns,
+)
+
+_State = dict[str, list[Row]]
+_Schemas = dict[str, Schema]
+
+
+class KVLogBackend(StorageBackend):
+    """Append-only log storage behind the guarded engine.
+
+    ``path`` (optional) makes the log durable as a JSON-lines file;
+    re-opening the same path replays it.  Values are restricted to the
+    JSON scalars (str/int/float/None) so every record round-trips.
+    """
+
+    name = "kvlog"
+    capabilities = Capability.REPLAYABLE_LOG
+
+    def __init__(self, path: str | None = None):
+        self.path = str(path) if path is not None else None
+        self._records: list[dict] = []
+        self._tables: _State = {}
+        self._schemas: _Schemas = {}
+        self._log_file = None
+        if self.path is not None:
+            # a file-backed log is also persistent storage
+            self.capabilities = (
+                KVLogBackend.capabilities | Capability.PERSISTENT
+            )
+            existing = Path(self.path)
+            if existing.exists():
+                for line in existing.read_text().splitlines():
+                    if line.strip():
+                        record = json.loads(line)
+                        self._apply(record, self._tables, self._schemas)
+                        self._records.append(record)
+            # one append handle for the backend's lifetime, flushed per
+            # record so concurrent readers (and reopens) see every write
+            self._log_file = open(self.path, "a")
+
+    # ------------------------------------------------------------------
+    # The log
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _apply(record: dict, tables: _State, schemas: _Schemas) -> None:
+        """Fold one record into ``tables``/``schemas`` (pure state
+        transition — shared by live mutation and replay)."""
+        op, table = record["op"], record.get("table")
+        if op == "create":
+            schemas[table] = Schema(tuple(record["columns"]))
+            tables[table] = []
+        elif op == "drop":
+            del schemas[table], tables[table]
+        elif op == "insert":
+            tables[table].append(dict(record["row"]))
+        elif op == "update":
+            rows = tables[table]
+            for position in record["positions"]:
+                rows[position].update(record["changes"])
+        elif op == "delete":
+            doomed = set(record["positions"])
+            tables[table] = [
+                row for position, row in enumerate(tables[table])
+                if position not in doomed
+            ]
+        else:  # pragma: no cover - log corruption
+            raise TableError(f"unknown log record {op!r}")
+
+    def _append(self, record: dict) -> None:
+        self._apply(record, self._tables, self._schemas)
+        self._records.append(record)
+        if self._log_file is not None:
+            # no sort_keys: row dicts must round-trip in schema column
+            # order, and json preserves insertion order both ways
+            self._log_file.write(json.dumps(record) + "\n")
+            self._log_file.flush()
+
+    def replayed(self) -> dict[str, tuple[Row, ...]]:
+        """Materialize a *fresh* state purely from the log — the
+        invariant that the record stream alone determines the store."""
+        tables: _State = {}
+        schemas: _Schemas = {}
+        for record in self._records:
+            self._apply(record, tables, schemas)
+        return {
+            name: tuple(dict(row) for row in tables[name])
+            for name in sorted(tables)
+        }
+
+    @property
+    def records(self) -> tuple[dict, ...]:
+        """The log itself (read-only view), for tests and shipping."""
+        return tuple(self._records)
+
+    # ------------------------------------------------------------------
+    def _schema(self, name: str) -> Schema:
+        try:
+            return self._schemas[name]
+        except KeyError:
+            raise TableError(f"no such table {name!r}") from None
+
+    # -- DDL ------------------------------------------------------------
+    def create_table(self, name: str, columns: Iterable[str]) -> None:
+        if name in self._schemas:
+            raise TableError(f"table {name!r} already exists")
+        schema = Schema(tuple(columns))
+        self._append({"op": "create", "table": name,
+                      "columns": list(schema.columns)})
+
+    def drop_table(self, name: str) -> None:
+        self._schema(name)
+        self._append({"op": "drop", "table": name})
+
+    def table_names(self) -> list[str]:
+        return sorted(self._schemas)
+
+    def columns(self, name: str) -> tuple[str, ...]:
+        return self._schema(name).columns
+
+    # -- DML ------------------------------------------------------------
+    def scan(
+        self,
+        name: str,
+        predicate: Predicate | None = None,
+        conditions: Sequence[Any] | None = None,
+    ) -> list[Row]:
+        self._schema(name)
+        rows = self._tables[name]
+        if predicate is None:
+            return [dict(row) for row in rows]
+        return [dict(row) for row in rows if predicate(row)]
+
+    def insert(self, name: str, row: Row) -> None:
+        schema = self._schema(name)
+        schema.validate_row(row)
+        check_scalar_values(row, self.name)
+        # schema column order, so the journaled row round-trips with
+        # the same items() order every other backend reports
+        self._append({"op": "insert", "table": name,
+                      "row": {c: row[c] for c in schema.columns}})
+
+    def update(
+        self,
+        name: str,
+        predicate: Predicate,
+        changes: Row,
+        conditions: Sequence[Any] | None = None,
+    ) -> int:
+        schema = self._schema(name)
+        validate_update_columns(schema.columns, changes)
+        check_scalar_values(changes, self.name)
+        positions = [
+            position for position, row in enumerate(self._tables[name])
+            if predicate(row)
+        ]
+        if positions:
+            self._append({"op": "update", "table": name,
+                          "changes": dict(changes), "positions": positions})
+        return len(positions)
+
+    def delete(
+        self,
+        name: str,
+        predicate: Predicate,
+        conditions: Sequence[Any] | None = None,
+    ) -> int:
+        self._schema(name)
+        positions = [
+            position for position, row in enumerate(self._tables[name])
+            if predicate(row)
+        ]
+        if positions:
+            self._append({"op": "delete", "table": name,
+                          "positions": positions})
+        return len(positions)
+
+    # -- Snapshots ------------------------------------------------------
+    def snapshot(self) -> dict[str, tuple[Row, ...]]:
+        return {
+            name: tuple(dict(row) for row in self._tables[name])
+            for name in self.table_names()
+        }
+
+    def close(self) -> None:
+        if self._log_file is not None:
+            self._log_file.close()
+            self._log_file = None

@@ -1,0 +1,89 @@
+"""The in-memory backend: the original ``TableStore`` behind the
+:class:`~repro.dbms.backends.base.StorageBackend` interface.
+
+This is the reference implementation — the oracle the differential
+suite pins the other engines to — and the default backend of
+:class:`~repro.dbms.engine.GuardedDatabase`.  It declares no optional
+capabilities: pushdown hints are ignored (a Python list scan *is* the
+fastest plan it has) and nothing persists beyond the process.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Iterable, Sequence
+
+from ..tables import Predicate, Row, Table, TableStore
+from .base import Capability, StorageBackend
+
+
+class MemoryBackend(StorageBackend):
+    """Adapter from :class:`~repro.dbms.tables.TableStore` to the
+    backend contract.  The underlying :class:`Table` objects remain
+    reachable via :meth:`table` for callers that predate the interface
+    (tests, benchmarks poking at raw storage)."""
+
+    name = "memory"
+    capabilities = Capability.NONE
+
+    __slots__ = ("_store",)
+
+    def __init__(self):
+        self._store = TableStore()
+
+    # -- DDL ------------------------------------------------------------
+    def create_table(self, name: str, columns: Iterable[str]) -> Table:
+        return self._store.create_table(name, columns)
+
+    def drop_table(self, name: str) -> None:
+        self._store.drop_table(name)
+
+    def table_names(self) -> list[str]:
+        return self._store.table_names()
+
+    def columns(self, name: str) -> tuple[str, ...]:
+        return self._store.table(name).schema.columns
+
+    def table(self, name: str) -> Table:
+        """The live :class:`Table` object (in-memory only; not part of
+        the backend contract)."""
+        return self._store.table(name)
+
+    # -- DML ------------------------------------------------------------
+    def scan(
+        self,
+        name: str,
+        predicate: Predicate | None = None,
+        conditions: Sequence[Any] | None = None,
+    ) -> list[Row]:
+        return self._store.table(name).select(predicate)
+
+    def insert(self, name: str, row: Row) -> None:
+        self._store.table(name).insert(row)
+
+    def update(
+        self,
+        name: str,
+        predicate: Predicate,
+        changes: Row,
+        conditions: Sequence[Any] | None = None,
+    ) -> int:
+        return self._store.table(name).update(predicate, changes)
+
+    def delete(
+        self,
+        name: str,
+        predicate: Predicate,
+        conditions: Sequence[Any] | None = None,
+    ) -> int:
+        return self._store.table(name).delete(predicate)
+
+    # -- Snapshots ------------------------------------------------------
+    def snapshot(self) -> dict[str, tuple[Row, ...]]:
+        # deep copies: memory is the one backend that accepts non-scalar
+        # values, and the contract says mutations never show through a
+        # snapshot — not even via a caller-held alias to a nested value
+        return {
+            name: tuple(copy.deepcopy(row) for row in self._store.table(name))
+            for name in self.table_names()
+        }

@@ -1,0 +1,268 @@
+"""A ``sqlite3``-backed storage engine with predicate pushdown.
+
+Rows live in a SQLite database (in-memory by default, a file when a
+path is given), columns are declared without type affinity so Python
+``str`` / ``int`` / ``float`` values round-trip unchanged, and scans
+are ordered by ``rowid`` — which equals insertion order and survives
+updates, matching the in-memory oracle's ordering contract.
+
+Pushdown: when the engine hands down structured conditions (see
+:mod:`repro.dbms.backends.base`), this backend compiles them into a
+parameterized ``WHERE`` clause instead of filtering Python-side.  Two
+compilation details keep the results *identical* to the in-memory
+semantics (``Comparison.matches``: cross-type ordering comparisons are
+False, ``!=`` follows Python inequality):
+
+* ordering operators are wrapped in a ``typeof`` guard, because SQLite
+  otherwise orders values by storage class (every INTEGER sorts below
+  every TEXT) where Python raises ``TypeError`` — which the oracle maps
+  to "no match";
+* ``!=`` is compiled as ``(col IS NULL OR col <> ?)``, because SQL
+  three-valued logic drops NULL rows that Python's ``None != literal``
+  keeps.
+
+If *any* condition cannot be compiled (unknown column, unsupported
+operator or literal), the whole statement falls back to the Python
+predicate; ``pushed_statements`` / ``fallback_statements`` expose the
+split to tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Any, Iterable, Sequence
+
+from ...errors import TableError
+from ..tables import Predicate, Row, Schema
+from .base import (
+    Capability,
+    StorageBackend,
+    check_identifier,
+    check_scalar_values,
+    pushable,
+    validate_update_columns,
+)
+
+
+class SqliteBackend(StorageBackend):
+    """SQLite storage behind the guarded engine.
+
+    ``path`` defaults to ``":memory:"``; pass a filename to persist.
+    Re-opening an existing file recovers the schemas from
+    ``sqlite_master``, so a guarded database can be rebuilt over
+    yesterday's rows (the policy and audit trail are engine state and
+    are *not* stored here — storage never owns authorization).
+    """
+
+    name = "sqlite"
+    capabilities = Capability.PREDICATE_PUSHDOWN | Capability.PERSISTENT
+
+    __slots__ = ("path", "pushed_statements", "fallback_statements",
+                 "_connection", "_schemas")
+
+    def __init__(self, path: str = ":memory:"):
+        self.path = str(path)
+        self.pushed_statements = 0
+        self.fallback_statements = 0
+        self._connection = sqlite3.connect(self.path, isolation_level=None)
+        self._schemas: dict[str, Schema] = {}
+        self._recover_schemas()
+
+    def _recover_schemas(self) -> None:
+        rows = self._connection.execute(
+            "SELECT name FROM sqlite_master WHERE type = 'table'"
+        ).fetchall()
+        for (table_name,) in rows:
+            info = self._connection.execute(
+                f'PRAGMA table_info("{check_identifier(table_name)}")'
+            ).fetchall()
+            columns = tuple(column[1] for column in sorted(info))
+            self._schemas[table_name] = Schema(columns)
+
+    def _schema(self, name: str) -> Schema:
+        try:
+            return self._schemas[name]
+        except KeyError:
+            raise TableError(f"no such table {name!r}") from None
+
+    # -- DDL ------------------------------------------------------------
+    def create_table(self, name: str, columns: Iterable[str]) -> None:
+        if name in self._schemas:
+            raise TableError(f"table {name!r} already exists")
+        schema = Schema(tuple(columns))
+        check_identifier(name, "table name")
+        column_list = ", ".join(
+            f'"{check_identifier(column, "column name")}"'
+            for column in schema.columns
+        )
+        self._connection.execute(f'CREATE TABLE "{name}" ({column_list})')
+        self._schemas[name] = schema
+
+    def drop_table(self, name: str) -> None:
+        self._schema(name)
+        self._connection.execute(f'DROP TABLE "{name}"')
+        del self._schemas[name]
+
+    def table_names(self) -> list[str]:
+        return sorted(self._schemas)
+
+    def columns(self, name: str) -> tuple[str, ...]:
+        return self._schema(name).columns
+
+    # -- Pushdown compilation -------------------------------------------
+    def _compile(
+        self, schema: Schema, conditions: Sequence[Any]
+    ) -> tuple[str, list] | None:
+        """``(where_sql, params)`` for the whole condition list, or
+        None when any condition forces the predicate fallback."""
+        if not pushable(conditions, schema.columns):
+            return None
+        clauses: list[str] = []
+        params: list = []
+        for condition in conditions:
+            quoted = f'"{condition.column}"'
+            operator = condition.operator
+            if operator == "=":
+                clauses.append(f"{quoted} = ?")
+            elif operator == "!=":
+                clauses.append(f"({quoted} IS NULL OR {quoted} <> ?)")
+            elif isinstance(condition.literal, str):
+                clauses.append(
+                    f"(typeof({quoted}) = 'text' AND {quoted} {operator} ?)"
+                )
+            else:
+                clauses.append(
+                    f"(typeof({quoted}) IN ('integer', 'real') "
+                    f"AND {quoted} {operator} ?)"
+                )
+            params.append(condition.literal)
+        return " AND ".join(clauses), params
+
+    # -- DML ------------------------------------------------------------
+    def _rows(self, name: str, where: str = "", params: Sequence = ()) -> list[Row]:
+        schema = self._schema(name)
+        column_list = ", ".join(f'"{c}"' for c in schema.columns)
+        sql = f'SELECT {column_list} FROM "{name}"'
+        if where:
+            sql += f" WHERE {where}"
+        sql += " ORDER BY rowid"
+        cursor = self._connection.execute(sql, tuple(params))
+        return [dict(zip(schema.columns, values)) for values in cursor]
+
+    def _matching_rowids(self, name: str, predicate: Predicate) -> list[int]:
+        schema = self._schema(name)
+        column_list = ", ".join(f'"{c}"' for c in schema.columns)
+        cursor = self._connection.execute(
+            f'SELECT rowid, {column_list} FROM "{name}" ORDER BY rowid'
+        )
+        return [
+            values[0]
+            for values in cursor
+            if predicate(dict(zip(schema.columns, values[1:])))
+        ]
+
+    def scan(
+        self,
+        name: str,
+        predicate: Predicate | None = None,
+        conditions: Sequence[Any] | None = None,
+    ) -> list[Row]:
+        schema = self._schema(name)
+        if conditions is not None:
+            compiled = self._compile(schema, conditions)
+            if compiled is not None:
+                self.pushed_statements += 1
+                return self._rows(name, *compiled)
+            self.fallback_statements += 1
+        rows = self._rows(name)
+        if predicate is None:
+            return rows
+        return [row for row in rows if predicate(row)]
+
+    def insert(self, name: str, row: Row) -> None:
+        schema = self._schema(name)
+        schema.validate_row(row)
+        check_scalar_values(row, self.name)
+        column_list = ", ".join(f'"{c}"' for c in schema.columns)
+        placeholders = ", ".join("?" for _ in schema.columns)
+        self._connection.execute(
+            f'INSERT INTO "{name}" ({column_list}) VALUES ({placeholders})',
+            tuple(row[column] for column in schema.columns),
+        )
+
+    def update(
+        self,
+        name: str,
+        predicate: Predicate,
+        changes: Row,
+        conditions: Sequence[Any] | None = None,
+    ) -> int:
+        schema = self._schema(name)
+        validate_update_columns(schema.columns, changes)
+        check_scalar_values(changes, self.name)
+        if not changes:
+            return len(self.scan(name, predicate, conditions))
+        assignments = ", ".join(f'"{column}" = ?' for column in changes)
+        values = list(changes.values())
+        if conditions is not None:
+            compiled = self._compile(schema, conditions)
+            if compiled is not None:
+                where, params = compiled
+                self.pushed_statements += 1
+                where_clause = f" WHERE {where}" if where else ""
+                cursor = self._connection.execute(
+                    f'UPDATE "{name}" SET {assignments}{where_clause}',
+                    (*values, *params),
+                )
+                return cursor.rowcount
+            self.fallback_statements += 1
+        rowids = self._matching_rowids(name, predicate)
+        if rowids:
+            placeholders = ", ".join("?" for _ in rowids)
+            self._connection.execute(
+                f'UPDATE "{name}" SET {assignments} '
+                f"WHERE rowid IN ({placeholders})",
+                (*values, *rowids),
+            )
+        return len(rowids)
+
+    def delete(
+        self,
+        name: str,
+        predicate: Predicate,
+        conditions: Sequence[Any] | None = None,
+    ) -> int:
+        schema = self._schema(name)
+        if conditions is not None:
+            compiled = self._compile(schema, conditions)
+            if compiled is not None:
+                where, params = compiled
+                self.pushed_statements += 1
+                where_clause = f" WHERE {where}" if where else ""
+                cursor = self._connection.execute(
+                    f'DELETE FROM "{name}"{where_clause}', tuple(params)
+                )
+                return cursor.rowcount
+            self.fallback_statements += 1
+        rowids = self._matching_rowids(name, predicate)
+        if rowids:
+            placeholders = ", ".join("?" for _ in rowids)
+            self._connection.execute(
+                f'DELETE FROM "{name}" WHERE rowid IN ({placeholders})',
+                tuple(rowids),
+            )
+        return len(rowids)
+
+    # -- Snapshots ------------------------------------------------------
+    def snapshot(self) -> dict[str, tuple[Row, ...]]:
+        return {name: tuple(self._rows(name)) for name in self.table_names()}
+
+    def count(self, name: str) -> int:
+        self._schema(name)
+        (total,) = self._connection.execute(
+            f'SELECT COUNT(*) FROM "{name}"'
+        ).fetchone()
+        return total
+
+    def close(self) -> None:
+        self._connection.close()

@@ -4,11 +4,16 @@ The paper's Example 1: "the system ``dbms`` uses the RBAC policy
 depicted in Figure 1" to decide who may see or change the health
 records.  :class:`GuardedDatabase` wires the pieces together:
 
-* a :class:`~repro.dbms.tables.TableStore` holds the data;
+* a :class:`~repro.dbms.backends.StorageBackend` holds the data — the
+  in-memory oracle, ``sqlite3``, or an append-only KV log, selected by
+  name or instance (see :mod:`repro.dbms.backends`);
 * a :class:`~repro.core.monitor.ReferenceMonitor` holds the policy and
   the sessions;
 * every read/write/print goes through ``check_access`` with the
-  actions of the paper (``read``, ``write``, ``print``);
+  actions of the paper (``read``, ``write``, ``print``) and lands in
+  the :class:`~repro.dbms.audit.AuditLog` — **before** any backend
+  method runs, so no storage engine can bypass the monitor or dodge
+  the trail;
 * administrative commands are forwarded to the monitor (strict or
   refined mode) and audited.
 
@@ -16,12 +21,18 @@ The engine raises :class:`~repro.errors.AccessDenied` on denied
 queries, after recording the denial — a denied access is an expected
 runtime event, not a silent no-op (unlike Definition 5's treatment of
 administrative commands, which the monitor handles).
+
+Backends that declare
+:attr:`~repro.dbms.backends.Capability.PREDICATE_PUSHDOWN` receive the
+SQL layer's structured conditions alongside the Python predicate and
+may evaluate them natively; the access decision is identical either
+way because it is made here, on the *table*, before the plan is chosen.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Any, Callable, Sequence
 
 from ..core.commands import Command, ExecutionRecord, Mode
 from ..core.entities import User
@@ -30,24 +41,35 @@ from ..core.policy import Policy
 from ..core.sessions import Session
 from ..errors import AccessDenied
 from .audit import AuditLog
-from .tables import Row, TableStore
+from .backends import Row, StorageBackend, create_backend
 
 Predicate = Callable[[Row], bool]
 
 
 @dataclass
 class GuardedDatabase:
-    """An in-memory DBMS whose every access is mediated by RBAC."""
+    """A DBMS whose every access is mediated by RBAC, over any
+    :class:`~repro.dbms.backends.StorageBackend`."""
 
     monitor: ReferenceMonitor
-    store: TableStore
+    store: StorageBackend
     audit: AuditLog
 
     @classmethod
-    def create(cls, policy: Policy, mode: Mode = Mode.STRICT) -> "GuardedDatabase":
+    def create(
+        cls,
+        policy: Policy,
+        mode: Mode = Mode.STRICT,
+        backend: str | StorageBackend = "memory",
+        **backend_options,
+    ) -> "GuardedDatabase":
+        """Build a guarded database over ``backend`` (a registry name
+        such as ``"memory"`` / ``"sqlite"`` / ``"kvlog"``, or a
+        ready-made :class:`StorageBackend`); ``backend_options`` go to
+        the engine's constructor (e.g. ``path=...``)."""
         return cls(
             monitor=ReferenceMonitor(policy, mode=mode),
-            store=TableStore(),
+            store=create_backend(backend, **backend_options),
             audit=AuditLog(),
         )
 
@@ -81,28 +103,47 @@ class GuardedDatabase:
             raise AccessDenied(session.user.name, f"{action} on {table}")
 
     def select(
-        self, session: Session, table: str, predicate: Predicate | None = None
+        self,
+        session: Session,
+        table: str,
+        predicate: Predicate | None = None,
+        conditions: Sequence[Any] | None = None,
     ) -> list[Row]:
-        """Read rows — requires the ``(read, table)`` privilege."""
+        """Read rows — requires the ``(read, table)`` privilege.
+
+        ``conditions`` is the optional structured form of the predicate
+        for pushdown-capable backends (built by the SQL layer; see
+        :mod:`repro.dbms.backends.base`)."""
         self._guard(session, "read", table)
-        return self.store.table(table).select(predicate)
+        return self.store.scan(table, predicate, conditions)
 
     def insert(self, session: Session, table: str, row: Row) -> None:
         """Insert a row — requires ``(write, table)``."""
         self._guard(session, "write", table)
-        self.store.table(table).insert(row)
+        self.store.insert(table, row)
 
     def update(
-        self, session: Session, table: str, predicate: Predicate, changes: Row
+        self,
+        session: Session,
+        table: str,
+        predicate: Predicate,
+        changes: Row,
+        conditions: Sequence[Any] | None = None,
     ) -> int:
         """Update rows — requires ``(write, table)``."""
         self._guard(session, "write", table)
-        return self.store.table(table).update(predicate, changes)
+        return self.store.update(table, predicate, changes, conditions)
 
-    def delete(self, session: Session, table: str, predicate: Predicate) -> int:
+    def delete(
+        self,
+        session: Session,
+        table: str,
+        predicate: Predicate,
+        conditions: Sequence[Any] | None = None,
+    ) -> int:
         """Delete rows — requires ``(write, table)``."""
         self._guard(session, "write", table)
-        return self.store.table(table).delete(predicate)
+        return self.store.delete(table, predicate, conditions)
 
     def print_document(self, session: Session, printer: str, text: str) -> str:
         """Print — requires ``(print, printer)`` (the paper's
@@ -133,19 +174,36 @@ class GuardedDatabase:
         )
         return record
 
+    def close(self) -> None:
+        """Release the backend's external resources (if any)."""
+        self.store.close()
 
-def hospital_database(mode: Mode = Mode.STRICT) -> GuardedDatabase:
+
+def hospital_database(
+    mode: Mode = Mode.STRICT,
+    backend: str | StorageBackend = "memory",
+    **backend_options,
+) -> GuardedDatabase:
     """The paper's hospital DBMS: Figure 2's policy guarding EHR tables
-    t1–t3, pre-loaded with a few synthetic records."""
+    t1–t3, pre-loaded with a few synthetic records, over any backend."""
     from ..papercases import figures
 
-    database = GuardedDatabase.create(figures.figure2(), mode=mode)
-    t1 = database.store.create_table("t1", ["patient", "ward", "status"])
-    t2 = database.store.create_table("t2", ["patient", "medication", "dose"])
-    t3 = database.store.create_table("t3", ["patient", "note", "author"])
-    t1.insert({"patient": "p-001", "ward": "cardiology", "status": "stable"})
-    t1.insert({"patient": "p-002", "ward": "oncology", "status": "critical"})
-    t2.insert({"patient": "p-001", "medication": "aspirin", "dose": "75mg"})
-    t2.insert({"patient": "p-002", "medication": "cisplatin", "dose": "20mg"})
-    t3.insert({"patient": "p-001", "note": "admitted", "author": "diana"})
+    database = GuardedDatabase.create(
+        figures.figure2(), mode=mode, backend=backend, **backend_options
+    )
+    store = database.store
+    if "t1" not in store:  # a persistent backend may already hold the data
+        store.create_table("t1", ["patient", "ward", "status"])
+        store.create_table("t2", ["patient", "medication", "dose"])
+        store.create_table("t3", ["patient", "note", "author"])
+        store.insert("t1", {"patient": "p-001", "ward": "cardiology",
+                            "status": "stable"})
+        store.insert("t1", {"patient": "p-002", "ward": "oncology",
+                            "status": "critical"})
+        store.insert("t2", {"patient": "p-001", "medication": "aspirin",
+                            "dose": "75mg"})
+        store.insert("t2", {"patient": "p-002", "medication": "cisplatin",
+                            "dose": "20mg"})
+        store.insert("t3", {"patient": "p-001", "note": "admitted",
+                            "author": "diana"})
     return database

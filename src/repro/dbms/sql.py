@@ -20,6 +20,13 @@ of Figure 1.
 This is a deliberately small, fully tested subset — no joins, no
 subqueries — sufficient for the examples and benchmarks; the point is
 the mediation, not the query planner.
+
+The parsed ``WHERE`` conditions are handed down *twice*: compiled into
+a Python predicate (the authoritative filter) and passed structurally
+as a pushdown hint, so backends declaring
+:attr:`~repro.dbms.backends.Capability.PREDICATE_PUSHDOWN` (sqlite)
+can evaluate them natively.  Both paths produce identical rows by the
+backend contract, and the access check happens before either runs.
 """
 
 from __future__ import annotations
@@ -325,13 +332,14 @@ def execute_sql(
     statement = parse_sql(sql)
     if isinstance(statement, SelectStatement):
         rows = database.select(
-            session, statement.table, _predicate(statement.conditions)
+            session,
+            statement.table,
+            _predicate(statement.conditions),
+            conditions=statement.conditions,
         )
         if statement.columns is not None:
             wanted = statement.columns
-            missing = set(wanted) - set(
-                database.store.table(statement.table).schema.columns
-            )
+            missing = set(wanted) - set(database.store.columns(statement.table))
             if missing:
                 raise GrammarError(f"unknown columns {sorted(missing)}")
             rows = [{column: row[column] for column in wanted} for row in rows]
@@ -345,9 +353,13 @@ def execute_sql(
             statement.table,
             _predicate(statement.conditions),
             dict(statement.changes),
+            conditions=statement.conditions,
         )
         return QueryResult(affected=touched)
     removed = database.delete(
-        session, statement.table, _predicate(statement.conditions)
+        session,
+        statement.table,
+        _predicate(statement.conditions),
+        conditions=statement.conditions,
     )
     return QueryResult(affected=removed)

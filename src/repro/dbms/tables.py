@@ -4,7 +4,11 @@ The paper's running scenario is a hospital DBMS (``dbms``) holding
 electronic health records in tables ``t1``, ``t2``, ``t3``; the RBAC
 policy mediates who may read or write them.  This module provides the
 storage half: schemas, rows, and simple predicate queries.  The
-RBAC-guarded access path lives in :mod:`repro.dbms.engine`.
+RBAC-guarded access path lives in :mod:`repro.dbms.engine`, and these
+tables are the substrate of the default (oracle) storage engine,
+:class:`repro.dbms.backends.MemoryBackend` — the semantics implemented
+here (insertion-ordered scans, ``TableError`` behaviour) define the
+contract every other backend is differentially tested against.
 """
 
 from __future__ import annotations
@@ -51,7 +55,10 @@ class Table:
 
     def insert(self, row: Row) -> None:
         self.schema.validate_row(row)
-        self._rows.append(dict(row))
+        # Normalize column order to the schema so a row's items() are
+        # identical however the caller ordered the keys — the backend
+        # contract compares rows across engines entry-for-entry.
+        self._rows.append({column: row[column] for column in self.schema.columns})
 
     def select(self, predicate: Predicate | None = None) -> list[Row]:
         if predicate is None:

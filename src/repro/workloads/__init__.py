@@ -14,12 +14,20 @@ from .generators import (
     nested_grant,
     random_policy,
 )
-from .hospital import HospitalShape, hospital_policy
+from .dbms import Operation, TraceResult, run_trace
+from .hospital import (
+    HospitalShape,
+    guarded_hospital_database,
+    hospital_policy,
+    hospital_query_trace,
+)
 from .fuzz import FuzzReport, fuzz_index_churn, fuzz_many, fuzz_monitor
 from .enterprise import (
     EnterpriseShape,
     delegation_targets,
     enterprise_policy,
+    enterprise_query_trace,
+    guarded_enterprise_database,
 )
 
 __all__ = [
@@ -33,9 +41,14 @@ __all__ = [
     "nested_grant",
     "random_policy",
     "HospitalShape",
+    "guarded_hospital_database",
     "hospital_policy",
+    "hospital_query_trace",
+    "Operation", "TraceResult", "run_trace",
     "FuzzReport", "fuzz_index_churn", "fuzz_many", "fuzz_monitor",
     "EnterpriseShape",
     "delegation_targets",
     "enterprise_policy",
+    "enterprise_query_trace",
+    "guarded_enterprise_database",
 ]

@@ -1,0 +1,138 @@
+"""Guarded-database workload traces, runnable against any backend.
+
+A trace is a list of :class:`Operation` values — SQL statements issued
+by named users with named active roles, interleaved with administrative
+grant/revoke commands — with **no** references to live objects, so the
+same trace replays bit-for-bit against every storage backend.
+:func:`run_trace` executes one against a
+:class:`~repro.dbms.engine.GuardedDatabase` and returns a
+:class:`TraceResult` whose :meth:`~TraceResult.canonical` form (every
+row of every SELECT, every affected-count, every denial, in order) is
+what the differential suite compares across engines, alongside the
+audit trail.
+
+The hospital and enterprise trace builders live with their policy
+generators (:func:`repro.workloads.hospital.hospital_query_trace`,
+:func:`repro.workloads.enterprise.enterprise_query_trace`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.commands import grant_cmd, revoke_cmd
+from ..core.entities import Role, User
+from ..core.sessions import Session
+from ..dbms.engine import GuardedDatabase
+from ..dbms.sql import execute_sql
+from ..errors import AccessDenied
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One step of a replayable workload.
+
+    ``kind`` is ``"sql"`` (execute ``sql`` as ``user`` with ``roles``
+    active) or ``"grant"`` / ``"revoke"`` (the administrative command
+    ``cmd(user, ¤/♦, source, target)`` with ``source`` a user name and
+    ``target`` a role name).
+    """
+
+    kind: str
+    user: str
+    roles: tuple[str, ...] = ()
+    sql: str = ""
+    source: str = ""
+    target: str = ""
+
+    @classmethod
+    def query(cls, user: str, roles: tuple[str, ...], sql: str) -> "Operation":
+        return cls("sql", user, roles, sql)
+
+    @classmethod
+    def grant(cls, actor: str, source: str, target: str) -> "Operation":
+        return cls("grant", actor, source=source, target=target)
+
+    @classmethod
+    def revoke(cls, actor: str, source: str, target: str) -> "Operation":
+        return cls("revoke", actor, source=source, target=target)
+
+
+@dataclass
+class TraceResult:
+    """Everything observable from one trace replay."""
+
+    #: per-operation outcomes, in trace order:
+    #: ``("rows", <tuple of row tuples>)`` for SELECT,
+    #: ``("affected", n)`` for mutations,
+    #: ``("denied", message)`` for denials,
+    #: ``("admin", executed)`` for administrative commands.
+    outcomes: list[tuple] = field(default_factory=list)
+    rows_returned: int = 0
+    affected: int = 0
+    denials: int = 0
+    admin_executed: int = 0
+
+    def canonical(self) -> tuple[tuple, ...]:
+        """Hashable image for cross-backend comparison."""
+        return tuple(self.outcomes)
+
+
+def _frozen_rows(rows) -> tuple:
+    """Rows as nested tuples (column, value) — order-preserving and
+    hashable, so two backends' results compare exactly."""
+    return tuple(tuple(row.items()) for row in rows)
+
+
+def run_trace(
+    database: GuardedDatabase, trace: list[Operation]
+) -> TraceResult:
+    """Replay ``trace`` against ``database``.
+
+    Sessions are created lazily, one per distinct ``(user, roles)``
+    pair, at the pair's first SQL operation — deterministically, so the
+    audit trail (logins included) is identical across backends.  A
+    session opened before a revocation naturally loses access when the
+    policy edge goes (the monitor re-checks authorization per access).
+    """
+    result = TraceResult()
+    sessions: dict[tuple[str, tuple[str, ...]], Session] = {}
+    for operation in trace:
+        if operation.kind in ("grant", "revoke"):
+            builder = grant_cmd if operation.kind == "grant" else revoke_cmd
+            record = database.administer(
+                builder(
+                    User(operation.user),
+                    User(operation.source),
+                    Role(operation.target),
+                )
+            )
+            result.outcomes.append(("admin", record.executed))
+            result.admin_executed += record.executed
+            continue
+        key = (operation.user, operation.roles)
+        session = sessions.get(key)
+        if session is None:
+            try:
+                session = database.login(
+                    User(operation.user),
+                    *(Role(name) for name in operation.roles),
+                )
+            except AccessDenied as denied:  # role not (or no longer) reachable
+                result.outcomes.append(("denied", str(denied)))
+                result.denials += 1
+                continue
+            sessions[key] = session
+        try:
+            query_result = execute_sql(database, session, operation.sql)
+        except AccessDenied as denied:
+            result.outcomes.append(("denied", str(denied)))
+            result.denials += 1
+        else:
+            if query_result.rows or operation.sql.lstrip()[:6].lower() == "select":
+                result.outcomes.append(("rows", _frozen_rows(query_result.rows)))
+                result.rows_returned += len(query_result.rows)
+            else:
+                result.outcomes.append(("affected", query_result.affected))
+                result.affected += query_result.affected
+    return result

@@ -13,9 +13,12 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+from ..core.commands import Mode
 from ..core.entities import Role, User
 from ..core.policy import Policy
 from ..core.privileges import Grant, perm
+from ..dbms.engine import GuardedDatabase
+from .dbms import Operation
 
 
 @dataclass(frozen=True)
@@ -99,3 +102,84 @@ def delegation_targets(policy: Policy) -> list[tuple[Role, Grant]]:
         for holder, privilege in policy.admin_privileges_assigned()
         if isinstance(privilege, Grant) and privilege.depth >= 2
     ]
+
+
+def guarded_enterprise_database(
+    shape: EnterpriseShape = EnterpriseShape(),
+    backend="memory",
+    mode: Mode = Mode.STRICT,
+    seed: int = 0,
+    rows_per_table: int = 6,
+    **backend_options,
+) -> GuardedDatabase:
+    """The enterprise as a guarded DBMS over any backend.
+
+    Per department: one ``dept{d}_doc{i}`` table per bottom-level role
+    (matching the policy's ``(read, ...)`` objects) and one
+    ``dept{d}_wiki`` table (the shared ``(write, ...)`` object), seeded
+    deterministically.
+    """
+    database = GuardedDatabase.create(
+        enterprise_policy(shape, seed), mode=mode,
+        backend=backend, **backend_options,
+    )
+    for dept in range(shape.departments):
+        for index in range(shape.roles_per_level):
+            name = f"dept{dept}_doc{index}"
+            database.store.create_table(name, ["title", "owner", "revision"])
+            for row in range(rows_per_table):
+                database.store.insert(name, {
+                    "title": f"d{dept}-doc{index}-r{row}",
+                    "owner": f"dept{dept}_manager",
+                    "revision": row,
+                })
+        wiki = f"dept{dept}_wiki"
+        database.store.create_table(wiki, ["page", "author", "body"])
+        database.store.insert(wiki, {
+            "page": "index", "author": f"dept{dept}_manager", "body": "root",
+        })
+    return database
+
+
+def enterprise_query_trace(
+    shape: EnterpriseShape = EnterpriseShape(), operations: int = 100
+) -> list[Operation]:
+    """A deterministic enterprise workload runnable on any backend.
+
+    Department managers (assigned to the head role, which reaches every
+    bottom-level role regardless of the seed's random tree shape) read
+    the docs and write the wiki; newcomers hold no roles yet and are
+    denied.  The trace is pure data — no RNG, no policy inspection.
+    """
+    trace: list[Operation] = []
+    for step in range(operations):
+        dept = step % shape.departments
+        manager = f"dept{dept}_manager"
+        head_roles = (f"dept{dept}_head",)
+        kind = step % 4
+        if kind == 0:
+            doc = (step // shape.departments) % shape.roles_per_level
+            trace.append(Operation.query(
+                manager, head_roles,
+                f"SELECT title, revision FROM dept{dept}_doc{doc} "
+                f"WHERE revision >= {step % 4}",
+            ))
+        elif kind == 1:
+            trace.append(Operation.query(
+                manager, head_roles,
+                f"INSERT INTO dept{dept}_wiki (page, author, body) "
+                f"VALUES ('page-{step:03d}', '{manager}', 'body {step}')",
+            ))
+        elif kind == 2:
+            trace.append(Operation.query(
+                manager, head_roles,
+                f"UPDATE dept{dept}_wiki SET body = 'edited {step}' "
+                f"WHERE page != 'index'",
+            ))
+        else:
+            # Newcomers are in the policy but hold no roles: denied.
+            trace.append(Operation.query(
+                f"dept{dept}_newcomer", (),
+                f"SELECT * FROM dept{dept}_doc0",
+            ))
+    return trace

@@ -1,0 +1,300 @@
+"""Backend conformance: one suite, every storage engine.
+
+Each test runs against all registered backends via the parametrized
+fixtures, pinning the whole contract of
+:mod:`repro.dbms.backends.base`: CRUD + ordering semantics, error
+behaviour, pushdown fallback, audit-on-deny through the engine, and
+snapshot isolation of batches.
+"""
+
+import pytest
+
+from repro.core.commands import Mode, grant_cmd
+from repro.dbms.backends import (
+    BACKENDS,
+    Capability,
+    KVLogBackend,
+    SqliteBackend,
+    create_backend,
+)
+from repro.dbms.engine import GuardedDatabase, hospital_database
+from repro.dbms.sql import Comparison, execute_sql
+from repro.errors import AccessDenied, TableError
+from repro.papercases import figures
+
+
+@pytest.fixture(params=sorted(BACKENDS))
+def backend(request):
+    store = create_backend(request.param)
+    yield store
+    store.close()
+
+
+@pytest.fixture(params=sorted(BACKENDS))
+def db(request):
+    database = hospital_database(backend=request.param)
+    yield database
+    database.close()
+
+
+class TestCRUDContract:
+    def test_create_insert_scan_ordering(self, backend):
+        backend.create_table("t", ["k", "v"])
+        for index in range(5):
+            backend.insert("t", {"k": index, "v": f"row{index}"})
+        rows = backend.scan("t")
+        assert [row["k"] for row in rows] == [0, 1, 2, 3, 4]
+        assert backend.count("t") == 5
+        assert "t" in backend
+        assert backend.columns("t") == ("k", "v")
+
+    def test_update_preserves_position_and_counts(self, backend):
+        backend.create_table("t", ["k", "v"])
+        for index in range(4):
+            backend.insert("t", {"k": index, "v": "old"})
+        touched = backend.update("t", lambda row: row["k"] % 2 == 0, {"v": "new"})
+        assert touched == 2
+        assert [row["v"] for row in backend.scan("t")] == [
+            "new", "old", "new", "old",
+        ]
+
+    def test_delete_returns_removed_count(self, backend):
+        backend.create_table("t", ["k"])
+        for index in range(6):
+            backend.insert("t", {"k": index})
+        removed = backend.delete("t", lambda row: row["k"] >= 3)
+        assert removed == 3
+        assert [row["k"] for row in backend.scan("t")] == [0, 1, 2]
+
+    def test_drop_table(self, backend):
+        backend.create_table("t", ["k"])
+        backend.drop_table("t")
+        assert "t" not in backend
+        with pytest.raises(TableError):
+            backend.drop_table("t")
+
+    def test_rows_come_back_in_schema_column_order(self, backend, tmp_path):
+        """Caller key order is normalized to the schema, so row.items()
+        is identical across engines — and survives a kvlog reload
+        (where JSON round-tripping could otherwise reorder keys)."""
+        backend.create_table("t", ["a", "b", "c"])
+        backend.insert("t", {"c": 3, "a": 1, "b": 2})  # reversed key order
+        assert list(backend.scan("t")[0]) == ["a", "b", "c"]
+        if isinstance(backend, KVLogBackend):
+            path = str(tmp_path / "order.jsonl")
+            durable = KVLogBackend(path)
+            durable.create_table("t", ["a", "b", "c"])
+            durable.insert("t", {"c": 3, "a": 1, "b": 2})
+            reopened = KVLogBackend(path)
+            assert list(reopened.scan("t")[0]) == ["a", "b", "c"]
+
+    def test_scan_returns_copies(self, backend):
+        backend.create_table("t", ["k"])
+        backend.insert("t", {"k": 1})
+        backend.scan("t")[0]["k"] = 99
+        assert backend.scan("t")[0]["k"] == 1
+
+    def test_error_behaviour_matches_oracle(self, backend):
+        with pytest.raises(TableError):
+            backend.scan("ghost")
+        with pytest.raises(TableError):
+            backend.columns("ghost")
+        backend.create_table("t", ["k", "v"])
+        with pytest.raises(TableError):
+            backend.create_table("t", ["other"])
+        with pytest.raises(TableError):
+            backend.insert("t", {"k": 1})  # missing column
+        with pytest.raises(TableError):
+            backend.insert("t", {"k": 1, "v": 2, "extra": 3})
+        with pytest.raises(TableError):
+            backend.update("t", lambda row: True, {"unknown": 1})
+        with pytest.raises(TableError):
+            backend.create_table("dup", ["a", "a"])
+
+
+class TestPushdown:
+    def conditions(self, *triples):
+        return tuple(Comparison(*triple) for triple in triples)
+
+    def test_pushdown_and_fallback_agree(self, backend):
+        backend.create_table("t", ["k", "v"])
+        for index in range(10):
+            backend.insert("t", {"k": index, "v": f"row{index}"})
+        conditions = self.conditions(("k", ">=", 3), ("k", "<", 7))
+        predicate = lambda row: row["k"] >= 3 and row["k"] < 7
+        rows = backend.scan("t", predicate, conditions)
+        assert [row["k"] for row in rows] == [3, 4, 5, 6]
+
+    def test_unpushable_condition_falls_back_to_predicate(self, backend):
+        """A condition the engine cannot compile (unknown column) must
+        not break the scan — the predicate is authoritative."""
+        backend.create_table("t", ["k"])
+        for index in range(4):
+            backend.insert("t", {"k": index})
+        conditions = self.conditions(("nope", "=", 1))
+        rows = backend.scan("t", lambda row: row["k"] == 2, conditions)
+        assert [row["k"] for row in rows] == [2]
+        if backend.supports(Capability.PREDICATE_PUSHDOWN):
+            assert backend.fallback_statements >= 1
+
+    def test_sqlite_actually_pushes(self):
+        store = SqliteBackend()
+        store.create_table("t", ["k"])
+        store.insert("t", {"k": 1})
+        store.scan("t", lambda row: row["k"] == 1,
+                   self.conditions(("k", "=", 1)))
+        assert store.pushed_statements == 1
+        assert store.fallback_statements == 0
+        store.close()
+
+    def test_cross_type_ordering_matches_python_semantics(self, backend):
+        """`col < 5` on a str value is False in the oracle (TypeError
+        -> no match); pushdown must not resurrect it via SQLite's
+        storage-class ordering."""
+        backend.create_table("t", ["k"])
+        backend.insert("t", {"k": "abc"})
+        backend.insert("t", {"k": 3})
+        conditions = self.conditions(("k", ">", 5))
+        predicate = Comparison("k", ">", 5).matches
+        assert backend.scan("t", predicate, conditions) == []
+        less = self.conditions(("k", "<", 5))
+        rows = backend.scan("t", Comparison("k", "<", 5).matches, less)
+        assert [row["k"] for row in rows] == [3]
+
+    def test_no_where_update_and_delete_push_cleanly(self, db):
+        """An empty conditions tuple (a no-WHERE statement) must not
+        produce a malformed native query."""
+        staff = db.login(figures.DIANA, figures.STAFF)
+        result = execute_sql(db, staff, "UPDATE t3 SET note = 'swept'")
+        assert result.affected == 1
+        result = execute_sql(db, staff, "DELETE FROM t3")
+        assert result.affected == 1
+
+    def test_null_inequality_matches_python_semantics(self, backend):
+        """None != literal is True in Python; SQL three-valued logic
+        would drop the row without the IS NULL guard."""
+        backend.create_table("t", ["k", "v"])
+        backend.insert("t", {"k": 1, "v": None})
+        backend.insert("t", {"k": 2, "v": "x"})
+        conditions = self.conditions(("v", "!=", "x"))
+        rows = backend.scan("t", Comparison("v", "!=", "x").matches, conditions)
+        assert [row["k"] for row in rows] == [1]
+
+
+class TestGuardedAccess:
+    def test_denied_read_is_audited_before_storage(self, db):
+        session = db.login(figures.DIANA)  # no roles activated
+        before = len(db.audit)
+        with pytest.raises(AccessDenied):
+            db.select(session, "t1")
+        denials = db.audit.denials()
+        assert denials and denials[-1].operation == "read t1"
+        assert len(db.audit) == before + 1
+
+    def test_denied_write_leaves_storage_untouched(self, db):
+        session = db.login(figures.DIANA, figures.NURSE)
+        snapshot = db.store.snapshot()
+        with pytest.raises(AccessDenied):
+            db.insert(session, "t3", {
+                "patient": "p-x", "note": "n", "author": "diana",
+            })
+        assert db.store.snapshot() == snapshot
+
+    def test_sql_layer_flows_through_any_backend(self, db):
+        session = db.login(figures.DIANA, figures.NURSE)
+        result = execute_sql(
+            db, session, "SELECT patient FROM t1 WHERE ward = 'oncology'"
+        )
+        assert result.rows == ({"patient": "p-002"},)
+
+
+class TestSnapshots:
+    def test_memory_snapshot_is_deep(self):
+        """Memory accepts non-scalar values; a snapshot must not see
+        mutations made through a caller-held alias."""
+        store = create_backend("memory")
+        tags = ["a"]
+        store.create_table("t", ["tags"])
+        store.insert("t", {"tags": tags})
+        snapshot = store.snapshot()
+        tags.append("b")
+        assert snapshot["t"][0]["tags"] == ["a"]
+
+    def test_snapshot_isolated_from_later_mutations(self, db):
+        staff = db.login(figures.DIANA, figures.STAFF)
+        entry_state = db.store.snapshot()
+        db.insert(staff, "t3", {
+            "patient": "p-009", "note": "late", "author": "diana",
+        })
+        db.update(staff, "t3", lambda row: True, {"note": "edited"})
+        assert entry_state["t3"] == (
+            {"patient": "p-001", "note": "admitted", "author": "diana"},
+        )
+        assert len(db.store.snapshot()["t3"]) == 2
+
+    @pytest.mark.parametrize("backend_name", sorted(BACKENDS))
+    def test_snapshot_isolation_of_submit_queue_batches(self, backend_name):
+        """A snapshot taken at batch entry is the batch's entry state:
+        the batched queue authorizes against entry policy while the
+        storage snapshot pins entry data — neither sees the batch's own
+        effects."""
+        from repro.core.monitor import ReferenceMonitor
+        from repro.dbms.audit import AuditLog
+
+        database = GuardedDatabase(
+            monitor=ReferenceMonitor(
+                figures.figure2(), mode=Mode.REFINED, use_index=True
+            ),
+            store=create_backend(backend_name),
+            audit=AuditLog(),
+        )
+        database.store.create_table("t3", ["patient", "note", "author"])
+        database.store.insert("t3", {
+            "patient": "p-001", "note": "admitted", "author": "diana",
+        })
+        entry_snapshot = database.store.snapshot()
+        records = database.monitor.submit_queue(
+            [grant_cmd(figures.JANE, figures.BOB, figures.DBUSR2)],
+            batched=True,
+        )
+        assert [record.executed for record in records] == [True]
+        bob = database.login(figures.BOB, figures.DBUSR2)
+        database.insert(bob, "t3", {
+            "patient": "p-002", "note": "migrated", "author": "bob",
+        })
+        assert len(entry_snapshot["t3"]) == 1
+        assert len(database.store.snapshot()["t3"]) == 2
+        database.close()
+
+
+class TestPersistenceAndReplay:
+    def test_sqlite_survives_reopen(self, tmp_path):
+        path = str(tmp_path / "ehr.db")
+        database = hospital_database(backend="sqlite", path=path)
+        staff = database.login(figures.DIANA, figures.STAFF)
+        database.insert(staff, "t3", {
+            "patient": "p-xyz", "note": "persisted", "author": "diana",
+        })
+        database.close()
+        reopened = hospital_database(backend="sqlite", path=path)
+        nurse = reopened.login(figures.DIANA, figures.NURSE)
+        assert len(reopened.select(nurse, "t1")) == 2  # not re-seeded
+        assert reopened.store.count("t3") == 2
+        reopened.close()
+
+    def test_kvlog_replay_matches_snapshot(self, tmp_path):
+        path = str(tmp_path / "ehr.jsonl")
+        database = hospital_database(backend="kvlog", path=path)
+        staff = database.login(figures.DIANA, figures.STAFF)
+        database.insert(staff, "t3", {
+            "patient": "p-xyz", "note": "logged", "author": "diana",
+        })
+        database.delete(staff, "t3", lambda row: row["patient"] == "p-001")
+        assert database.store.replayed() == database.store.snapshot()
+        assert database.store.supports(Capability.PERSISTENT)
+        reopened = KVLogBackend(path)
+        assert reopened.snapshot() == database.store.snapshot()
+
+    def test_unknown_backend_is_an_error(self):
+        with pytest.raises(TableError, match="unknown storage backend"):
+            create_backend("postgres")

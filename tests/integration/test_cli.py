@@ -145,3 +145,51 @@ def test_grammar_error_reported(fig2_file, capsys):
     code = main(["check-order", fig2_file, "bogus(", "grant(bob, staff)"])
     assert code == 2
     assert "error:" in capsys.readouterr().err
+
+
+class TestQuerySubcommand:
+    def test_query_each_backend(self, capsys):
+        for backend in ("memory", "sqlite", "kvlog"):
+            code = main([
+                "query", "SELECT patient FROM t1 WHERE status = 'stable'",
+                "--backend", backend,
+            ])
+            assert code == 0
+            out = capsys.readouterr().out
+            assert "patient=p-001" in out
+            assert "1 row(s)" in out
+
+    def test_query_denied_sets_exit_code(self, capsys):
+        code = main(["query", "DELETE FROM t1", "--backend", "sqlite"])
+        assert code == 1
+        assert "DENIED" in capsys.readouterr().out
+
+    def test_query_audit_trail(self, capsys):
+        code = main([
+            "query", "SELECT * FROM t2", "--audit", "--backend", "kvlog",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "audit trail (kvlog backend" in out
+        assert "[ALLOW] diana: read t2" in out
+
+    def test_query_sqlite_persists_across_invocations(self, tmp_path, capsys):
+        path = str(tmp_path / "cli.db")
+        staff_args = ["--backend", "sqlite", "--path", path,
+                      "--user", "diana", "--roles", "staff"]
+        assert main([
+            "query",
+            "INSERT INTO t3 (patient, note, author) "
+            "VALUES ('p-cli', 'persisted', 'diana')",
+            *staff_args,
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "query", "SELECT * FROM t1", "--backend", "sqlite",
+            "--path", path,
+        ]) == 0
+        assert "2 row(s)" in capsys.readouterr().out
+
+    def test_query_unknown_backend_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["query", "SELECT * FROM t1", "--backend", "postgres"])

@@ -1,0 +1,45 @@
+"""Docs cannot rot silently: link/heading integrity in tier-1.
+
+The same checker runs standalone in the CI docs job
+(``python tools/check_docs.py``); this test keeps it in the default
+pytest run too, and pins the checker's own behaviour.
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+from check_docs import check_docs, doc_files, github_slug  # noqa: E402
+
+
+def test_docs_links_and_headings_are_clean():
+    problems = check_docs()
+    assert problems == [], "\n".join(problems)
+
+
+def test_expected_docs_exist():
+    names = {path.name for path in doc_files()}
+    assert {"README.md", "ARCHITECTURE.md", "API.md", "TUTORIAL.md"} <= names
+
+
+def test_github_slug_rules():
+    assert github_slug("Cache/version invariants") == "cacheversion-invariants"
+    assert github_slug("The storage-backend interface") == (
+        "the-storage-backend-interface"
+    )
+    assert github_slug("`code` and *emphasis*") == "code-and-emphasis"
+
+
+def test_checker_catches_broken_links(tmp_path):
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "README.md").write_text(
+        "# Title\n[missing](docs/GHOST.md)\n"
+        "[dangling](docs/REAL.md#nope)\n"
+    )
+    (tmp_path / "docs" / "REAL.md").write_text("# Real\n## Same\n## Same\n")
+    problems = check_docs(tmp_path)
+    assert any("broken link" in problem for problem in problems)
+    assert any("dangling anchor" in problem for problem in problems)
+    assert any("duplicate heading" in problem for problem in problems)

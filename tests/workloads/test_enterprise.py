@@ -65,3 +65,24 @@ def test_ordering_on_enterprise_nested_terms():
     oracle = OrderingOracle(policy)
     for holder, privilege in delegation_targets(policy):
         assert oracle.is_weaker(privilege, privilege)
+
+
+def test_guarded_enterprise_database_and_trace_are_deterministic():
+    from repro.workloads.dbms import run_trace
+    from repro.workloads.enterprise import (
+        enterprise_query_trace,
+        guarded_enterprise_database,
+    )
+
+    shape = EnterpriseShape(departments=2, employees_per_department=3)
+    assert enterprise_query_trace(shape, 20) == enterprise_query_trace(shape, 20)
+    result = run_trace(
+        guarded_enterprise_database(shape), enterprise_query_trace(shape, 20)
+    )
+    assert result.rows_returned > 0
+    assert result.affected > 0
+    assert result.denials > 0  # newcomers hold no roles
+    replay = run_trace(
+        guarded_enterprise_database(shape), enterprise_query_trace(shape, 20)
+    )
+    assert replay.canonical() == result.canonical()

@@ -54,3 +54,25 @@ def test_flexworker_pattern_available_in_every_ward():
             policy, [grant_cmd(hr0, flex, dbusr)], Mode.REFINED
         )
         assert refined[0].executed and refined[0].implicit
+
+
+def test_guarded_hospital_database_and_trace_are_deterministic():
+    from repro.workloads.hospital import (
+        guarded_hospital_database,
+        hospital_query_trace,
+    )
+    from repro.workloads.dbms import run_trace
+
+    shape = HospitalShape(wards=2, nurses_per_ward=2)
+    assert hospital_query_trace(shape, 30) == hospital_query_trace(shape, 30)
+    database = guarded_hospital_database(shape)
+    result = run_trace(database, hospital_query_trace(shape, 30))
+    # The trace mixes all four observable outcome kinds.
+    assert {outcome[0] for outcome in result.outcomes} == {
+        "rows", "affected", "denied", "admin",
+    }
+    # Replays identically on a fresh database.
+    replay = run_trace(
+        guarded_hospital_database(shape), hospital_query_trace(shape, 30)
+    )
+    assert replay.canonical() == result.canonical()

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Link and heading checker for the repository's markdown docs.
+
+Checks, for README.md and every ``docs/*.md`` file:
+
+* every relative markdown link ``[text](target)`` resolves to an
+  existing file or directory (external ``http(s)``/``mailto`` links
+  are not fetched);
+* every in-document or cross-document anchor (``#fragment``) matches a
+  real heading, using GitHub's slug rules (lowercase, punctuation
+  stripped, spaces to dashes);
+* headings within one file produce unique anchors (duplicate slugs
+  make fragment links ambiguous).
+
+Run directly (``python tools/check_docs.py``, exit code 1 on problems)
+— the CI docs job does — or through
+``tests/integration/test_docs.py``, which keeps it in tier-1.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+_LINK = re.compile(r"(?<!!)\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^(#{1,6})\s+(.*)$")
+_FENCE = re.compile(r"^\s*```")
+
+
+def doc_files(root: Path = REPO_ROOT) -> list[Path]:
+    files = [root / "README.md"]
+    files += sorted((root / "docs").glob("*.md"))
+    return [path for path in files if path.exists()]
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor algorithm, close enough for our headings:
+    strip markdown emphasis/code, lowercase, drop punctuation, dashes
+    for spaces."""
+    text = re.sub(r"[*_`]", "", heading).strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _outside_code_fences(text: str) -> list[str]:
+    kept, in_fence = [], False
+    for line in text.splitlines():
+        if _FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            kept.append(line)
+    return kept
+
+
+def headings_of(path: Path) -> list[str]:
+    return [
+        github_slug(match.group(2))
+        for line in _outside_code_fences(path.read_text())
+        if (match := _HEADING.match(line))
+    ]
+
+
+def check_docs(root: Path = REPO_ROOT) -> list[str]:
+    """All problems found, as human-readable strings (empty = clean)."""
+    problems: list[str] = []
+    anchors = {path: headings_of(path) for path in doc_files(root)}
+
+    for path, slugs in anchors.items():
+        duplicates = {slug for slug in slugs if slugs.count(slug) > 1}
+        for slug in sorted(duplicates):
+            problems.append(f"{path.relative_to(root)}: duplicate heading "
+                            f"anchor #{slug}")
+
+    for path in doc_files(root):
+        body = "\n".join(_outside_code_fences(path.read_text()))
+        for target in _LINK.findall(body):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            target_path, _, fragment = target.partition("#")
+            if target_path:
+                resolved = (path.parent / target_path).resolve()
+                if not resolved.exists():
+                    problems.append(
+                        f"{path.relative_to(root)}: broken link {target!r}"
+                    )
+                    continue
+            else:
+                resolved = path
+            if fragment:
+                resolved_slugs = anchors.get(resolved)
+                if resolved_slugs is None and resolved.suffix == ".md":
+                    resolved_slugs = headings_of(resolved)
+                if resolved_slugs is not None and fragment not in resolved_slugs:
+                    problems.append(
+                        f"{path.relative_to(root)}: dangling anchor "
+                        f"{target!r} (no heading #{fragment})"
+                    )
+    return problems
+
+
+def main() -> int:
+    problems = check_docs()
+    checked = ", ".join(str(p.relative_to(REPO_ROOT)) for p in doc_files())
+    if problems:
+        print(f"docs check FAILED ({checked}):")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(f"docs check OK: {checked}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
