@@ -18,6 +18,9 @@ import time
 from conftest import print_table
 
 from repro.core.authz_index import AuthorizationIndex
+from repro.core.commands import grant_cmd
+from repro.core.entities import Role, User
+from repro.core.privileges import Grant
 from repro.workloads.churn import (
     ChurnShape,
     churn_policy,
@@ -85,6 +88,54 @@ def test_report_incremental_vs_full_rebuild():
     )
 
 
+def test_report_memo_survives_localized_churn():
+    """Churn-aware ordering-memo eviction (regression assert).
+
+    The ordering oracle used to clear its memo wholesale on *every*
+    policy version bump, so under churn each nested-privilege decision
+    re-derived from scratch.  With dirty-region eviction, UA churn —
+    whose upstream region is just the assigned user — must leave the
+    nested-grant entries in place: no full clears, and re-queries after
+    each mutation answered from the memo.
+    """
+    policy = churn_policy(SEED, SHAPE)
+    admin_role, admin = Role("admin"), User("admin0")
+    head, deputy = Role("dept-head"), Role("dept-deputy")
+    policy.add_inheritance(head, deputy)
+    nested = Grant(admin_role, Grant(head, head))
+    policy.assign_privilege(admin_role, nested)
+    index = AuthorizationIndex(policy)
+    # A grant whose target is a (strictly weaker) privilege term falls
+    # back to the ordering oracle — the query that populates the memo.
+    probe = grant_cmd(admin, admin_role, Grant(head, deputy))
+    assert index.authorizes(admin, probe) == nested
+    oracle_stats = index._oracle.stats
+    memo_entries = len(index._oracle._memo)
+    assert memo_entries > 0
+    hits_before = oracle_stats.memo_hits
+    mutations = 60
+    for i in range(mutations):
+        policy.assign_user(User(f"u{i}"), Role(f"r{8 + i % 8}"))
+        assert index.authorizes(admin, probe) is not None
+    print_table(
+        f"Ordering memo under {mutations} UA mutations",
+        ["memo entries", "hits gained", "evictions", "full clears"],
+        [(
+            memo_entries,
+            oracle_stats.memo_hits - hits_before,
+            oracle_stats.memo_evictions,
+            oracle_stats.memo_full_clears,
+        )],
+    )
+    assert oracle_stats.memo_full_clears == 0, (
+        "localized UA churn wholesale-cleared the ordering memo"
+    )
+    assert oracle_stats.memo_hits - hits_before >= mutations, (
+        "nested decisions were re-derived instead of answered from the "
+        "churn-surviving memo"
+    )
+
+
 def test_report_decisions_identical():
     """Both maintenance strategies must produce identical decisions on
     the whole trace — the benchmark compares equal work."""
@@ -103,4 +154,5 @@ def test_report_decisions_identical():
 
 if __name__ == "__main__":
     test_report_decisions_identical()
+    test_report_memo_survives_localized_churn()
     test_report_incremental_vs_full_rebuild()

@@ -1,0 +1,235 @@
+"""Repair and query scaling of the sharded authorization index.
+
+The claim under test: with subjects partitioned across N shards, each
+with its own journal cursor, *localized* policy churn (mutations whose
+dirty region touches one shard's users) repairs only that shard —
+repair work tracks the dirty region, not the population — and the
+shared rectangle pool keeps rectangle contents deduplicated across all
+subjects holding the same grant.
+
+Three reports:
+
+* ``test_report_localized_churn_scaling`` — a churn trace whose UA
+  mutations are confined to users of shard 0 (under every benched
+  shard count — the localized users are chosen with
+  ``crc32 % 8 == 0``, so they land in shard 0 for N ∈ {2, 4, 8}),
+  replayed at N ∈ {1, 2, 8}.  Asserts that only one shard rebuilds
+  users and that total repair work is bounded by the dirty users, not
+  the population.
+* ``test_report_wide_churn_lazy_shards`` — one hierarchy mutation that
+  dirties most of the population, followed by queries confined to a
+  few subjects: the unsharded index must repair everyone before its
+  first answer; shards repair only where queries land.
+* ``test_report_rectangle_sharing`` — pool statistics at 5k users:
+  rectangles referenced per subject vs. distinct rectangles interned.
+
+Run under pytest (``pytest benchmarks/bench_shard_scaling.py -s``) or
+directly (``PYTHONPATH=src python benchmarks/bench_shard_scaling.py``).
+``SHARD_BENCH_USERS`` / ``SHARD_BENCH_MUTATIONS`` shrink the workload
+for CI smoke runs.
+"""
+
+import os
+import time
+
+from conftest import print_table
+
+from repro.core.authz_index import AuthorizationIndex
+from repro.core.authz_shard import ShardedAuthorizationIndex, shard_of
+from repro.core.entities import Role, User
+from repro.workloads.churn import (
+    ChurnShape,
+    churn_policy,
+    churn_trace,
+    run_churn,
+)
+
+USERS = int(os.environ.get("SHARD_BENCH_USERS", "5000"))
+MUTATIONS = int(os.environ.get("SHARD_BENCH_MUTATIONS", "60"))
+SHAPE = ChurnShape(
+    n_users=USERS, n_roles=32, mutations=MUTATIONS, queries_per_mutation=4
+)
+SEED = 11
+SHARD_COUNTS = (1, 2, 8)
+#: localized churn targets users hashing to shard 0 under N=8 — which
+#: is shard 0 under every divisor of 8 as well.
+LOCAL_BUCKETS = 8
+
+
+def _localized_users() -> list[User]:
+    return [
+        user
+        for user in (User(f"u{i}") for i in range(SHAPE.n_users))
+        if shard_of(user, LOCAL_BUCKETS) == 0
+    ]
+
+
+def _build_index(policy, shards: int):
+    if shards == 1:
+        return AuthorizationIndex(policy)
+    return ShardedAuthorizationIndex(policy, shards=shards)
+
+
+def _shards_repaired(index, baseline: dict) -> int:
+    """How many shards rebuilt at least one user since ``baseline``."""
+    if isinstance(index, AuthorizationIndex):
+        return int(index.users_refreshed > baseline[0])
+    return sum(
+        shard.users_refreshed > baseline[number]
+        for number, shard in enumerate(index.shards)
+    )
+
+
+def _refresh_baseline(index) -> dict:
+    if isinstance(index, AuthorizationIndex):
+        return {0: index.users_refreshed}
+    return {
+        number: shard.users_refreshed
+        for number, shard in enumerate(index.shards)
+    }
+
+
+def test_report_localized_churn_scaling():
+    local = _localized_users()
+    # Churn below the top layer: a UA edge to a non-senior role leaves
+    # the administrators' rectangle regions untouched, so the dirty
+    # region is exactly the churned users — all owned by shard 0.
+    per_layer = max(1, SHAPE.n_roles // SHAPE.layers)
+    lower_roles = [Role(f"r{i}") for i in range(per_layer, SHAPE.n_roles)]
+    trace = churn_trace(
+        SEED, SHAPE, mutation_users=local, mutation_roles=lower_roles
+    )
+    rows = []
+    outcomes = {}
+    for shards in SHARD_COUNTS:
+        policy = churn_policy(SEED, SHAPE)
+        index = _build_index(policy, shards)
+        baseline = _refresh_baseline(index)
+        refreshed_before = (
+            index.users_refreshed if shards > 1 else baseline[0]
+        )
+        started = time.perf_counter()
+        stats = run_churn(policy, index, trace)
+        elapsed = time.perf_counter() - started
+        repaired = _shards_repaired(index, baseline)
+        refreshed = index.users_refreshed - refreshed_before
+        outcomes[shards] = (stats.decisions, repaired, refreshed)
+        rows.append((
+            shards,
+            f"{elapsed * 1000:.1f}ms",
+            refreshed,
+            repaired,
+            f"{stats.queries / elapsed:,.0f}",
+        ))
+    print_table(
+        f"Localized churn ({SHAPE.n_users} users, {len(local)} churned, "
+        f"{SHAPE.mutations} mutations)",
+        ["shards", "time", "users refreshed", "shards repaired", "queries/s"],
+        rows,
+    )
+    decisions_1 = outcomes[SHARD_COUNTS[0]][0]
+    for shards in SHARD_COUNTS[1:]:
+        decisions, repaired, refreshed = outcomes[shards]
+        assert decisions == decisions_1, (
+            f"sharded ({shards}) decisions diverged from unsharded"
+        )
+        # Only the shard owning the churned users repaired anything.
+        assert repaired == 1, (
+            f"{repaired} shards repaired under churn localized to one "
+            f"shard (N={shards})"
+        )
+        # Repair work follows the dirty region, not the population: at
+        # most one rebuilt user entry per mutation (plus none for the
+        # quiet shards), where a full-rebuild index would have paid
+        # ~population per mutation.
+        assert refreshed <= SHAPE.mutations, (
+            f"repair touched {refreshed} user entries for "
+            f"{SHAPE.mutations} localized mutations (N={shards})"
+        )
+
+
+def test_report_wide_churn_lazy_shards():
+    """An RH mutation dirties most of the population; queries confined
+    to a few subjects should repair only the shards they land on."""
+    queried = [User("u1"), User("u3")]
+    rows = []
+    refreshed_by_count = {}
+    for shards in SHARD_COUNTS:
+        policy = churn_policy(SEED, SHAPE)
+        index = _build_index(policy, shards)
+        refreshed_before = index.users_refreshed
+        # Re-wire the top of the hierarchy: ancestors of r31 (most of
+        # the population's membership paths) are all dirtied.
+        policy.add_inheritance(Role("r31"), Role("r0"))
+        started = time.perf_counter()
+        from repro.core.commands import grant_cmd
+
+        for user in queried:
+            index.authorizes(user, grant_cmd(user, User("u2"), Role("r5")))
+        elapsed = time.perf_counter() - started
+        refreshed = index.users_refreshed - refreshed_before
+        refreshed_by_count[shards] = refreshed
+        rows.append((shards, f"{elapsed * 1000:.1f}ms", refreshed))
+    print_table(
+        f"Wide churn, narrow queries ({SHAPE.n_users} users)",
+        ["shards", "time to first answers", "users refreshed"],
+        rows,
+    )
+    # The unsharded index repairs every dirty user before answering;
+    # shards repair only where the queries landed.
+    assert refreshed_by_count[8] * 2 < refreshed_by_count[1], (
+        "sharded index repaired almost as much as the unsharded one "
+        f"({refreshed_by_count[8]} vs {refreshed_by_count[1]}) despite "
+        "queries touching few shards"
+    )
+
+
+def test_report_rectangle_sharing():
+    policy = churn_policy(SEED, SHAPE)
+    index = ShardedAuthorizationIndex(policy, shards=8)
+    stats = index.statistics()
+    referenced = stats["rectangles"]
+    interned = stats["pool_rectangles"]
+    print_table(
+        f"Rectangle sharing ({SHAPE.n_users} users, 8 shards)",
+        ["rectangles referenced", "distinct interned", "sharing factor"],
+        [(
+            referenced,
+            interned,
+            f"{referenced / max(1, interned):.1f}x",
+        )],
+    )
+    # Rectangle contents are per-privilege: the pool must intern far
+    # fewer rectangles than subjects reference.
+    assert interned < referenced, "rectangle pool deduplicated nothing"
+    assert stats["pool_builds"] == interned
+    assert stats["pool_hits"] == referenced - interned
+
+
+def test_report_parallel_refresh():
+    """Thread-pool repair across shards after a wide invalidation."""
+    rows = []
+    for parallel in (False, True):
+        policy = churn_policy(SEED, SHAPE)
+        index = ShardedAuthorizationIndex(policy, shards=8)
+        policy.add_inheritance(Role("r31"), Role("r0"))  # dirty everyone
+        started = time.perf_counter()
+        index.refresh(parallel=parallel)
+        elapsed = time.perf_counter() - started
+        rows.append((
+            "parallel" if parallel else "serial",
+            f"{elapsed * 1000:.1f}ms",
+            index.users_refreshed,
+        ))
+    print_table(
+        "Full repair after wide churn (8 shards)",
+        ["strategy", "time", "users refreshed"],
+        rows,
+    )
+
+
+if __name__ == "__main__":
+    test_report_localized_churn_scaling()
+    test_report_wide_churn_lazy_shards()
+    test_report_rectangle_sharing()
+    test_report_parallel_refresh()

@@ -183,7 +183,7 @@ def _cmd_flexibility(args: argparse.Namespace) -> int:
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
-    from .workloads.fuzz import fuzz_many
+    from .workloads.fuzz import fuzz_many, fuzz_sharded_index
 
     reports = fuzz_many(range(args.seeds), steps=args.steps)
     executed = sum(r.executed for r in reports)
@@ -192,6 +192,18 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     violations = [v for r in reports for v in r.violations]
     print(f"campaigns: {len(reports)}  steps/campaign: {args.steps}")
     print(f"executed: {executed} (implicit: {implicit})  denied: {denied}")
+    if args.shards > 1:
+        shard_reports = [
+            fuzz_sharded_index(
+                seed, steps=args.steps, shard_counts=(args.shards,)
+            )
+            for seed in range(args.seeds)
+        ]
+        violations += [v for r in shard_reports for v in r.violations]
+        print(
+            f"shard transparency: {len(shard_reports)} campaigns at "
+            f"{args.shards} shards"
+        )
     if violations:
         print(f"INVARIANT VIOLATIONS ({len(violations)}):")
         for violation in violations[:10]:
@@ -352,6 +364,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fuzz.add_argument("--seeds", type=int, default=10)
     fuzz.add_argument("--steps", type=int, default=50)
+    fuzz.add_argument(
+        "--shards", type=int, default=1,
+        help="additionally pin an N-shard index to the unsharded "
+             "oracle (invariant 8)",
+    )
     fuzz.set_defaults(func=_cmd_fuzz)
 
     query = subparsers.add_parser(

@@ -40,6 +40,15 @@ An index-backed refined monitor also unlocks *batched* command queues:
 ``batched=True`` authorizes a whole queue against its entry state with
 a single index validation — see that method's docstring for the exact
 transactional semantics.
+
+For large populations the index also serves as the *shard* unit of
+:class:`repro.core.authz_shard.ShardedAuthorizationIndex`: ``owns``
+restricts an instance to a subset of the subjects, ``pool`` shares
+interned :class:`GrantRectangle` contents across all shards (they are
+per-privilege, not per-user), and ``region_cache`` lets sibling shards
+repairing over the same delta window reuse one dirty-region sweep.
+All three default to off, which is exactly the original single-index
+behaviour.
 """
 
 from __future__ import annotations
@@ -47,7 +56,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..graph import ancestors as graph_ancestors
-from ..graph import dirty_region
+from ..graph import dirty_region, summarize_deltas
 from .commands import Command, CommandAction
 from .entities import Role, User
 from .ordering import OrderingOracle
@@ -101,20 +110,39 @@ class AuthorizationIndex:
     #: rebuild instead of an incremental repair.
     DELTA_LIMIT = 64
 
+    #: shared region caches are tiny: dirty regions are only reusable
+    #: across shards repairing over the same delta window, so old
+    #: windows are dead weight.
+    REGION_CACHE_LIMIT = 32
+
     __slots__ = ("policy", "incremental", "full_rebuilds",
                  "partial_refreshes", "users_refreshed",
-                 "_version", "_held", "_rectangles", "_oracle")
+                 "_cursor", "_held", "_rectangles", "_oracle",
+                 "_pool", "_owns", "_region_cache")
 
-    def __init__(self, policy: Policy, incremental: bool = True):
+    def __init__(
+        self,
+        policy: Policy,
+        incremental: bool = True,
+        pool=None,
+        owns=None,
+        region_cache: dict | None = None,
+    ):
         self.policy = policy
         self.incremental = incremental
         self.full_rebuilds = 0
         self.partial_refreshes = 0
         self.users_refreshed = 0
-        self._version = -1
+        self._cursor = policy.journal_cursor()
         self._held: dict[User, frozenset[Privilege]] = {}
         self._rectangles: dict[User, tuple[GrantRectangle, ...]] = {}
         self._oracle = OrderingOracle(policy)
+        #: rectangle-sharing pool (see repro.core.authz_shard); None
+        #: means rectangles are built privately per instance.
+        self._pool = pool
+        #: subject filter — a shard indexes only the users it owns.
+        self._owns = owns
+        self._region_cache = region_cache
         self._rebuild()
 
     # ------------------------------------------------------------------
@@ -123,6 +151,7 @@ class AuthorizationIndex:
     def _build_user(self, user: User, entity_ancestors: dict) -> None:
         """(Re)compute one user's held set and rectangles in place."""
         graph = self.policy.graph
+        pool = self._pool
 
         def ancestors_of(vertex) -> frozenset:
             cached = entity_ancestors.get(vertex)
@@ -146,6 +175,12 @@ class AuthorizationIndex:
                 continue
             if not isinstance(privilege.target, _Entity):
                 continue
+            if pool is not None:
+                # Rectangle contents are per-privilege, not per-user:
+                # every subject holding this grant shares one interned
+                # rectangle.
+                rectangles.append(pool.rectangle(privilege))
+                continue
             # Weaker sources: entities v with v ->phi s (rule 2
             # premise v1 -> v2); weaker targets: entities below t.
             sources = ancestors_of(privilege.source)
@@ -159,20 +194,30 @@ class AuthorizationIndex:
         self._rectangles[user] = tuple(rectangles)
         self.users_refreshed += 1
 
+    def _subjects(self):
+        """The users this instance indexes (all of them, unless it is a
+        shard restricted by ``owns``)."""
+        if self._owns is None:
+            return self.policy.users()
+        return (user for user in self.policy.users() if self._owns(user))
+
     def _rebuild(self) -> None:
+        if self._pool is not None:
+            self._pool.validate()
         self._held.clear()
         self._rectangles.clear()
         entity_ancestors: dict[object, frozenset] = {}
-        for user in self.policy.users():
+        for user in self._subjects():
             self._build_user(user, entity_ancestors)
-        self._version = self.policy.version
+        self._cursor.version = self.policy.version
         self.full_rebuilds += 1
 
     def _validate(self) -> None:
-        if self._version == self.policy.version:
+        if self._cursor.version == self.policy.version:
             return
+        since = self._cursor.version
         deltas = (
-            self.policy.changes_since(self._version)
+            self.policy.changes_since(since)
             if self.incremental else None
         )
         if deltas is None:
@@ -180,40 +225,64 @@ class AuthorizationIndex:
             return
         # Vertex additions only ever create per-user entries, never
         # dirty existing ones, so only edge mutations and vertex
-        # removals count toward the full-rebuild fallback.
-        weight = sum(
-            1 for delta in deltas
-            if delta.is_edge or delta.kind == "remove-vertex"
-        )
-        if weight > max(self.DELTA_LIMIT, len(self._held)):
+        # removals (the summary weight) count toward the full-rebuild
+        # fallback.
+        summary = summarize_deltas(deltas)
+        if summary.weight > max(self.DELTA_LIMIT, len(self._held)):
             self._rebuild()
             return
-        self._apply_deltas(deltas)
-        self._version = self.policy.version
+        self._apply_deltas(deltas, summary, since)
+        self._cursor.version = self.policy.version
         self.partial_refreshes += 1
 
-    def _apply_deltas(self, deltas) -> None:
-        """Incrementally repair the index from journaled graph deltas."""
-        edge_sources = set()
-        edge_targets = set()
+    def _dirty_region(self, edge_sources, edge_targets, since):
+        """The (upstream, downstream) region for this repair window,
+        shared with sibling shards via the region cache: the deltas —
+        and hence the region — are a pure function of the version
+        window, so shards repairing over the same window reuse one
+        sweep."""
+        if self._region_cache is None:
+            return dirty_region(self.policy.graph, edge_sources, edge_targets)
+        key = (since, self.policy.version)
+        region = self._region_cache.get(key)
+        if region is None:
+            region = dirty_region(
+                self.policy.graph, edge_sources, edge_targets
+            )
+            if len(self._region_cache) >= self.REGION_CACHE_LIMIT:
+                self._region_cache.clear()
+            self._region_cache[key] = region
+        return region
+
+    def _apply_deltas(self, deltas, summary, since: int) -> None:
+        """Incrementally repair the index from journaled graph deltas.
+
+        The edge endpoints come pre-classified in ``summary``; the
+        per-delta walk below only does the order-sensitive per-user
+        bookkeeping (a user removed then re-added within the burst
+        must end up fresh, not stale).
+        """
+        if self._pool is not None:
+            self._pool.validate()
         fresh_users: set[User] = set()
         for delta in deltas:
             if delta.is_edge:
-                edge_sources.add(delta.source)
-                edge_targets.add(delta.target)
-            elif delta.kind == "remove-vertex":
+                continue
+            if delta.kind == "remove-vertex":
                 if isinstance(delta.source, User):
                     self._held.pop(delta.source, None)
                     self._rectangles.pop(delta.source, None)
                 fresh_users.discard(delta.source)
             elif isinstance(delta.source, User):
-                if delta.source not in self._held:
+                if delta.source not in self._held and (
+                    self._owns is None or self._owns(delta.source)
+                ):
                     fresh_users.add(delta.source)
 
         dirty: set[User] = set(fresh_users)
-        if edge_sources:
-            upstream, downstream = dirty_region(
-                self.policy.graph, edge_sources, edge_targets
+        if summary.edge_sources:
+            upstream, downstream = self._dirty_region(
+                summary.edge_sources, summary.edge_targets, since
             )
             # A held set can only gain/lose privileges lying downstream
             # of a mutated edge's target; a privilege-free downstream

@@ -142,6 +142,12 @@ class ExecutionRecord:
     authorized_by: Privilege | None = None
     #: True when authorization used the ordering rather than an exact match.
     implicit: bool = False
+    #: True when the command executed but left the policy unchanged —
+    #: a grant of an edge already present, or a revoke of an edge
+    #: already absent (Definition 5 is a set union/difference, so both
+    #: are legal executions, not errors; duplicate commands in batched
+    #: queues hit this constantly).
+    noop: bool = False
 
 
 def _authorize(
@@ -189,10 +195,12 @@ def step(
     if authorized_by is None:
         return ExecutionRecord(command, False)
     if command.action is CommandAction.GRANT:
-        policy.add_edge(command.source, command.target)
+        changed = policy.add_edge(command.source, command.target)
     else:
-        policy.remove_edge(command.source, command.target)
-    return ExecutionRecord(command, True, authorized_by, implicit)
+        changed = policy.remove_edge(command.source, command.target)
+    return ExecutionRecord(
+        command, True, authorized_by, implicit, noop=not changed
+    )
 
 
 def run_queue(

@@ -67,12 +67,19 @@ class ReferenceMonitor:
     precomputed :class:`~repro.core.authz_index.AuthorizationIndex`
     (faster under query bursts; differentially tested against the
     oracle path — see ``tests/core/test_authz_index.py`` and the
-    monitor fuzzer).
+    monitor fuzzer).  ``shards=N`` (with ``use_index=True``) partitions
+    subjects across N index shards that repair independently under
+    churn (:class:`~repro.core.authz_shard.ShardedAuthorizationIndex`);
+    the default 1 preserves the single-index behaviour exactly.
     """
 
     policy: Policy
     mode: Mode = Mode.STRICT
     use_index: bool = False
+    #: number of authorization-index shards; the default 1 keeps the
+    #: original single AuthorizationIndex (only meaningful with
+    #: ``use_index=True`` — see repro.core.authz_shard).
+    shards: int = 1
     audit_trail: list[AccessDecision] = field(default_factory=list)
     _sessions: dict[int, Session] = field(default_factory=dict)
     _oracle: OrderingOracle | None = field(default=None, repr=False)
@@ -80,10 +87,19 @@ class ReferenceMonitor:
 
     def __post_init__(self):
         self._oracle = OrderingOracle(self.policy)
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
         if self.use_index:
-            from .authz_index import AuthorizationIndex
+            if self.shards > 1:
+                from .authz_shard import ShardedAuthorizationIndex
 
-            self._index = AuthorizationIndex(self.policy)
+                self._index = ShardedAuthorizationIndex(
+                    self.policy, shards=self.shards
+                )
+            else:
+                from .authz_index import AuthorizationIndex
+
+                self._index = AuthorizationIndex(self.policy)
 
     # ------------------------------------------------------------------
     # Session functions
@@ -210,15 +226,28 @@ class ReferenceMonitor:
     def _apply_decided(
         self, command: Command, authorized_by
     ) -> ExecutionRecord:
-        """The Definition-5 effect for an already-made decision."""
+        """The Definition-5 effect for an already-made decision.
+
+        The apply step must tolerate mutations that no longer change
+        anything: in a batched queue the decisions were all made
+        against the batch-entry state, so a duplicated grant — or a
+        revoke of an edge another command in the batch already removed
+        (possibly garbage-collecting its privilege vertex) — reaches
+        this point authorized but with nothing left to do.  Definition
+        5 is a set union/difference, so the command still *executes*;
+        the record marks it a no-op, exactly as the sequential
+        :func:`repro.core.commands.step` path does.
+        """
         if authorized_by is None:
             return ExecutionRecord(command, False)
         if command.action is CommandAction.GRANT:
-            self.policy.add_edge(command.source, command.target)
+            changed = self.policy.add_edge(command.source, command.target)
         else:
-            self.policy.remove_edge(command.source, command.target)
+            changed = self.policy.remove_edge(command.source, command.target)
         implicit = authorized_by != command.requested_privilege()
-        return ExecutionRecord(command, True, authorized_by, implicit)
+        return ExecutionRecord(
+            command, True, authorized_by, implicit, noop=not changed
+        )
 
     def _audit_admin(self, record: ExecutionRecord) -> None:
         detail = str(record.command)
@@ -243,6 +272,14 @@ class ReferenceMonitor:
 
     def role_privileges(self, role: Role) -> frozenset[UserPrivilege]:
         return self.policy.authorized_privileges(role)
+
+    # ------------------------------------------------------------------
+    def index_statistics(self) -> dict[str, int] | None:
+        """The authorization index's counters (aggregated across
+        shards when ``shards > 1``), or None for oracle-only monitors."""
+        if self._index is None:
+            return None
+        return self._index.statistics()
 
     # ------------------------------------------------------------------
     def _audit(self, kind: str, subject: User, detail: str, allowed: bool) -> None:

@@ -40,6 +40,7 @@ from __future__ import annotations
 
 from typing import Iterator
 
+from ..graph import dirty_region, summarize_deltas
 from .entities import Role, User
 from .policy import Policy
 from .privileges import (
@@ -47,19 +48,42 @@ from .privileges import (
     Grant,
     Privilege,
     UserPrivilege,
+    is_privilege,
 )
 from .trace import Derivation, OrderingStatistics, ReachPremise
 
 _Entity = (User, Role)
 
 
+def _term_footprint(privilege: Privilege) -> set:
+    """Every graph vertex a ``p Ã q`` decision can have touched through
+    this term: the term itself, its privilege subterms, and every
+    entity they mention."""
+    vertices: set = {privilege}
+    if isinstance(privilege, AdminPrivilege):
+        vertices.update(privilege.subterms())
+        vertices.update(privilege.mentioned_entities())
+    return vertices
+
+
 class OrderingOracle:
     """Decides ``p Ãφ q`` for a fixed policy, with memoization.
 
-    The memo table is invalidated automatically when the policy graph's
-    version counter changes, so an oracle may safely be kept alongside
-    a policy that the reference monitor is mutating.
+    The memo table tracks the policy graph's version counter, so an
+    oracle may safely be kept alongside a policy that the reference
+    monitor is mutating.  Invalidation is *churn-aware*: instead of
+    clearing wholesale on every version bump, the oracle consults the
+    graph's change journal and evicts only the entries whose vertices
+    fall in the mutation's dirty region (see :meth:`_validate_memo`
+    for the exact soundness argument), falling back to a full clear
+    when the journal has expired or the delta burst exceeds
+    ``MEMO_DELTA_LIMIT``.
     """
+
+    #: delta bursts larger than this clear the memo wholesale — the
+    #: per-entry footprint test costs O(memo × term size) and stops
+    #: paying for itself on big bursts.
+    MEMO_DELTA_LIMIT = 32
 
     __slots__ = ("policy", "strict_rules", "stats", "_memo", "_version")
 
@@ -84,9 +108,78 @@ class OrderingOracle:
 
     # ------------------------------------------------------------------
     def _validate_memo(self) -> None:
-        if self._version != self.policy.graph.version:
+        """Churn-aware memo maintenance.
+
+        A memoized ``p Ã q`` decision is a function of (a) reach
+        checks whose source side is always a subterm of ``q`` or whose
+        target side is always a subterm of ``p``/``q``, and (b) — in
+        the generalized rule-(2) hop — the *privilege vertices*
+        reachable from an entity target.  A journaled edge mutation
+        ``(s, t)`` can change a reach check only if its source side
+        reaches ``s`` (is in the upstream region) or its target side
+        is reached by ``t`` (downstream region), and can change a
+        hop's candidate set membership only by moving a privilege
+        vertex into or out of a descendant set — which puts that
+        privilege vertex in the downstream region.  So an entry is
+        provably unaffected when
+
+        * neither term's footprint (term, subterms, mentioned
+          entities) intersects the dirty region, and
+        * the burst cannot have changed any hop candidate set, or the
+          weaker term's target is an entity (the hop only fires while
+          recursing into privilege-sorted targets).  A hop set is
+          ``descendants(tp) ∩ privileges`` for an entity target
+          ``tp`` — by the grammar's sorts always a *role* — so it can
+          change only when the upstream region contains a role and
+          the downstream region contains a privilege vertex.  UA
+          churn (whose upstream region is just the assigned user)
+          is therefore always hop-safe.
+
+        Everything else is evicted; journal expiry or an oversized
+        burst clears wholesale, as before.
+        """
+        version = self.policy.graph.version
+        if self._version == version:
+            return
+        if not self._memo:
+            self._version = version
+            return
+        deltas = self.policy.changes_since(self._version)
+        self._version = version
+        summary = None if deltas is None else summarize_deltas(deltas)
+        if summary is not None and summary.weight == 0:
+            return  # pure vertex additions touch no reachable set
+        if summary is None or summary.weight > self.MEMO_DELTA_LIMIT:
             self._memo.clear()
-            self._version = self.policy.graph.version
+            self.stats.memo_full_clears += 1
+            return
+        removed = summary.removed_vertices
+        upstream, downstream = dirty_region(
+            self.policy.graph, summary.edge_sources, summary.edge_targets
+        )
+        dirty = upstream | downstream | removed
+        hop_unsafe = (
+            not self.strict_rules
+            and any(isinstance(vertex, Role) for vertex in upstream)
+            and any(
+                is_privilege(vertex) for vertex in (downstream | removed)
+            )
+        )
+        stale = []
+        for key in self._memo:
+            stronger, weaker = key
+            if not isinstance(stronger, Grant) or not isinstance(weaker, Grant):
+                continue  # structurally False under every policy
+            if hop_unsafe and not isinstance(weaker.target, _Entity):
+                stale.append(key)
+                continue
+            if not dirty.isdisjoint(_term_footprint(stronger)) or (
+                not dirty.isdisjoint(_term_footprint(weaker))
+            ):
+                stale.append(key)
+        for key in stale:
+            del self._memo[key]
+        self.stats.memo_evictions += len(stale)
 
     def _reaches(self, source: object, target: object) -> bool:
         self.stats.reach_checks += 1

@@ -137,6 +137,18 @@ class Policy:
             self._graph.remove_vertex(target)
         return removed
 
+    def remove_user(self, user: User) -> bool:
+        """Deprovision a user: remove the vertex and every UA edge it
+        carries; returns True if the user was registered.
+
+        A user vertex only ever has outgoing user→role edges, so no
+        privilege garbage collection can be triggered here (that is
+        :meth:`remove_edge`'s concern).
+        """
+        if not isinstance(user, User):
+            raise PolicyError(f"not a user: {user!r}")
+        return self._graph.remove_vertex(user)
+
     def has_edge(self, source: object, target: object) -> bool:
         return self._graph.has_edge(source, target)
 
@@ -161,6 +173,20 @@ class Policy:
         rebuilding on every version bump.  None means the journal
         window has passed and a full rebuild is required."""
         return self._graph.changes_since(version)
+
+    def journal_cursor(self):
+        """A registered per-consumer cursor into the change journal
+        (see :meth:`repro.graph.Digraph.journal_cursor`): while the
+        cursor is alive the journal retains what it still needs."""
+        return self._graph.journal_cursor()
+
+    def validate_caches(self) -> None:
+        """Run the reachability cache's (mutating) eviction step now.
+
+        Call before fanning reads out to worker threads: afterwards,
+        concurrent queries against an unchanged policy only add memo
+        entries, they never restructure shared state."""
+        self._cache.validate()
 
     def users(self) -> Iterator[User]:
         for vertex in self._graph.vertices():

@@ -94,6 +94,11 @@ class OrderingStatistics:
     queries: int = 0
     memo_hits: int = 0
     reach_checks: int = 0
+    #: churn-aware memo maintenance: entries evicted individually
+    #: because the dirty region touched their footprint, vs. wholesale
+    #: clears (journal expired or delta burst over the threshold).
+    memo_evictions: int = 0
+    memo_full_clears: int = 0
     rule_applications: dict[str, int] = field(
         default_factory=lambda: {
             "reflexivity": 0,
@@ -110,5 +115,7 @@ class OrderingStatistics:
         self.queries = 0
         self.memo_hits = 0
         self.reach_checks = 0
+        self.memo_evictions = 0
+        self.memo_full_clears = 0
         for key in self.rule_applications:
             self.rule_applications[key] = 0

@@ -6,7 +6,14 @@ monitor and ordering decision procedure need cheap, cache-friendly
 reachability.
 """
 
-from .digraph import Digraph, GraphDelta, Vertex
+from .digraph import (
+    DeltaSummary,
+    Digraph,
+    GraphDelta,
+    JournalCursor,
+    Vertex,
+    summarize_deltas,
+)
 from .reachability import (
     ReachabilityCache,
     ancestors,
@@ -31,9 +38,12 @@ from .paths import (
 )
 
 __all__ = [
+    "DeltaSummary",
     "Digraph",
     "GraphDelta",
+    "JournalCursor",
     "Vertex",
+    "summarize_deltas",
     "ReachabilityCache",
     "ancestors",
     "descendants",

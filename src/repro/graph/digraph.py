@@ -13,6 +13,7 @@ yet) are representable.
 
 from __future__ import annotations
 
+import weakref
 from collections import deque
 from typing import Hashable, Iterable, Iterator, NamedTuple
 
@@ -39,6 +40,91 @@ class GraphDelta(NamedTuple):
         return self.kind in ("add-edge", "remove-edge")
 
 
+class DeltaSummary(NamedTuple):
+    """Classification of a journaled delta burst (:func:`summarize_deltas`)."""
+
+    edge_sources: frozenset
+    edge_targets: frozenset
+    removed_vertices: frozenset
+    #: deltas that can change a reachable set: edge mutations and
+    #: vertex removals.  Vertex additions are free (a fresh vertex has
+    #: no edges), so they count toward no consumer's fallback
+    #: threshold.
+    weight: int
+
+
+def summarize_deltas(deltas: Iterable[GraphDelta]) -> DeltaSummary:
+    """Classify a delta burst for dirty-region cache maintenance.
+
+    Every incrementally repaired structure (reachability cache,
+    authorization index, rectangle pool, ordering memo) needs the same
+    decomposition of a burst: the mutated-edge endpoints to seed
+    :func:`repro.graph.dirty_region`, the removed vertices to evict
+    directly, and the burst *weight* to compare against its
+    full-rebuild threshold.  Centralizing it keeps those consumers
+    from drifting on which deltas count.
+    """
+    edge_sources = set()
+    edge_targets = set()
+    removed = set()
+    weight = 0
+    for delta in deltas:
+        if delta.is_edge:
+            edge_sources.add(delta.source)
+            edge_targets.add(delta.target)
+            weight += 1
+        elif delta.kind == "remove-vertex":
+            removed.add(delta.source)
+            weight += 1
+    return DeltaSummary(
+        frozenset(edge_sources),
+        frozenset(edge_targets),
+        frozenset(removed),
+        weight,
+    )
+
+
+class JournalCursor:
+    """A per-consumer staleness cursor into a graph's change journal.
+
+    Every incrementally maintained cache used to track its own
+    ``version`` integer and call :meth:`Digraph.changes_since`
+    directly; that works for a single consumer, but with several
+    independent consumers (the shards of a sharded authorization
+    index, the shared rectangle pool) the journal has no idea who is
+    still behind, and a fixed-size window silently expires under the
+    slowest reader.  A cursor makes the consumer visible: the graph
+    holds cursors weakly and, when trimming the journal, keeps the
+    entries the laggiest registered cursor still needs (up to a hard
+    cap — see :attr:`Digraph.JOURNAL_HARD_LIMIT`).
+
+    ``version`` is the graph version this consumer has fully absorbed;
+    :meth:`take` returns the pending deltas and advances the cursor.
+    """
+
+    __slots__ = ("graph", "version", "__weakref__")
+
+    def __init__(self, graph: "Digraph"):
+        self.graph = graph
+        self.version = graph.version
+
+    @property
+    def pending(self) -> bool:
+        """True iff mutations happened since this cursor last caught up."""
+        return self.version != self.graph.version
+
+    def take(self) -> tuple[GraphDelta, ...] | None:
+        """The deltas since this cursor's version (oldest first), or
+        None when the journal no longer reaches back; either way the
+        cursor advances to the current version."""
+        deltas = self.graph.changes_since(self.version)
+        self.version = self.graph.version
+        return deltas
+
+    def __repr__(self) -> str:
+        return f"JournalCursor(version={self.version}, graph={self.graph!r})"
+
+
 class Digraph:
     """A mutable directed graph over hashable vertices.
 
@@ -59,12 +145,21 @@ class Digraph:
     then fall back to a full rebuild).  The journal keeps at most
     ``JOURNAL_LIMIT`` entries; policy-churn bursts larger than that are
     rare and a full rebuild amortizes them.
+
+    Consumers that repair lazily and independently (e.g. the shards of
+    a sharded authorization index) register a :class:`JournalCursor`
+    via :meth:`journal_cursor`; trimming then preserves the entries the
+    slowest live cursor still needs, up to ``JOURNAL_HARD_LIMIT``.
     """
 
     JOURNAL_LIMIT = 4096
+    #: absolute journal cap: even with registered cursors lagging, the
+    #: journal never holds more than this many entries (a consumer that
+    #: falls further behind simply pays a full rebuild).
+    JOURNAL_HARD_LIMIT = 4 * JOURNAL_LIMIT
 
     __slots__ = ("_succ", "_pred", "_edge_count", "_journal",
-                 "_journal_base", "version")
+                 "_journal_base", "_cursors", "version")
 
     def __init__(self, edges: Iterable[tuple[Vertex, Vertex]] = ()):
         self._succ: dict[Vertex, set[Vertex]] = {}
@@ -73,6 +168,7 @@ class Digraph:
         self.version = 0
         self._journal: deque[GraphDelta] = deque()
         self._journal_base = 0  # deltas with version > base are journaled
+        self._cursors: weakref.WeakSet[JournalCursor] = weakref.WeakSet()
         for source, target in edges:
             self.add_edge(source, target)
 
@@ -82,7 +178,15 @@ class Digraph:
     def _record(self, kind: str, source: Vertex,
                 target: Vertex | None = None) -> None:
         if len(self._journal) >= self.JOURNAL_LIMIT:
-            self._journal_base = self._journal.popleft().version
+            floor = min(
+                (cursor.version for cursor in self._cursors),
+                default=self.version,
+            )
+            while len(self._journal) >= self.JOURNAL_LIMIT and (
+                self._journal[0].version <= floor
+                or len(self._journal) >= self.JOURNAL_HARD_LIMIT
+            ):
+                self._journal_base = self._journal.popleft().version
         self._journal.append(GraphDelta(self.version, kind, source, target))
 
     def add_vertex(self, vertex: Vertex) -> bool:
@@ -160,6 +264,14 @@ class Digraph:
             collected.append(delta)
         collected.reverse()
         return tuple(collected)
+
+    def journal_cursor(self) -> JournalCursor:
+        """Register (weakly) and return a new consumer cursor at the
+        current version.  While a cursor is alive the journal retains
+        the entries it still needs, up to ``JOURNAL_HARD_LIMIT``."""
+        cursor = JournalCursor(self)
+        self._cursors.add(cursor)
+        return cursor
 
     # ------------------------------------------------------------------
     # Queries

@@ -22,7 +22,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Iterable
 
-from .digraph import Digraph, Vertex
+from .digraph import Digraph, Vertex, summarize_deltas
 
 
 def descendants(graph: Digraph, source: Vertex) -> frozenset[Vertex]:
@@ -144,40 +144,40 @@ class ReachabilityCache:
             self._graph.changes_since(self._version)
             if self._descendants else None
         )
-        if deltas is not None:
-            # Vertex additions cannot touch any memoized set (a fresh
-            # vertex has no edges), so they neither count toward the
-            # fallback threshold nor need processing.
-            deltas = [
-                delta for delta in deltas
-                if delta.is_edge or delta.kind == "remove-vertex"
-            ]
-        if deltas is None or len(deltas) > self.DELTA_LIMIT:
+        summary = None if deltas is None else summarize_deltas(deltas)
+        if summary is None or summary.weight > self.DELTA_LIMIT:
             if self._descendants:
                 self._descendants.clear()
                 self.full_invalidations += 1
         else:
-            # Single pass over the batch: an entry accurate at the old
-            # version is affected by some delta iff its set intersects
-            # the delta sources — a path to a source created *mid-batch*
-            # starts with a pre-batch prefix to the first added edge's
-            # source, which is itself in the source set.
-            sources = set()
-            for delta in deltas:
-                if delta.is_edge:
-                    sources.add(delta.source)
-                else:
-                    if self._descendants.pop(delta.source, None) is not None:
-                        self.evictions += 1
-            if sources:
+            # An entry accurate at the old version is affected by some
+            # delta iff its set intersects the delta sources — a path
+            # to a source created *mid-batch* starts with a pre-batch
+            # prefix to the first added edge's source, which is itself
+            # in the source set.  Removed vertices evict their own
+            # entry (their incident edges were journaled first).
+            for vertex in summary.removed_vertices:
+                if self._descendants.pop(vertex, None) is not None:
+                    self.evictions += 1
+            if summary.edge_sources:
                 stale = [
                     key for key, seen in self._descendants.items()
-                    if not seen.isdisjoint(sources)
+                    if not seen.isdisjoint(summary.edge_sources)
                 ]
                 for key in stale:
                     del self._descendants[key]
                 self.evictions += len(stale)
         self._version = self._graph.version
+
+    def validate(self) -> None:
+        """Bring the eviction bookkeeping up to date now.
+
+        Queries validate lazily anyway; this exists so that code about
+        to share the cache across worker threads (parallel shard
+        repair) can run the single mutating validation step up front —
+        after it, concurrent readers only ever *add* memo entries.
+        """
+        self._validate()
 
     def descendants(self, source: Vertex) -> frozenset[Vertex]:
         self._validate()

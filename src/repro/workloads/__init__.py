@@ -6,6 +6,7 @@ from .churn import (
     churn_policy,
     churn_trace,
     differential_churn,
+    differential_shard_churn,
     run_churn,
 )
 from .generators import (
@@ -21,7 +22,13 @@ from .hospital import (
     hospital_policy,
     hospital_query_trace,
 )
-from .fuzz import FuzzReport, fuzz_index_churn, fuzz_many, fuzz_monitor
+from .fuzz import (
+    FuzzReport,
+    fuzz_index_churn,
+    fuzz_many,
+    fuzz_monitor,
+    fuzz_sharded_index,
+)
 from .enterprise import (
     EnterpriseShape,
     delegation_targets,
@@ -35,6 +42,7 @@ __all__ = [
     "churn_policy",
     "churn_trace",
     "differential_churn",
+    "differential_shard_churn",
     "run_churn",
     "PolicyShape",
     "layered_hierarchy",
@@ -46,6 +54,7 @@ __all__ = [
     "hospital_query_trace",
     "Operation", "TraceResult", "run_trace",
     "FuzzReport", "fuzz_index_churn", "fuzz_many", "fuzz_monitor",
+    "fuzz_sharded_index",
     "EnterpriseShape",
     "delegation_targets",
     "enterprise_policy",

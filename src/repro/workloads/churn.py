@@ -106,19 +106,37 @@ def churn_policy(seed: int, shape: ChurnShape = ChurnShape()) -> Policy:
 
 
 def churn_trace(
-    seed: int, shape: ChurnShape = ChurnShape()
+    seed: int,
+    shape: ChurnShape = ChurnShape(),
+    mutation_users: list[User] | None = None,
+    mutation_roles: list[Role] | None = None,
 ) -> list[ChurnOp]:
     """A deterministic interleaved mutate/query trace for the policy
-    built by :func:`churn_policy` with the same seed and shape."""
+    built by :func:`churn_policy` with the same seed and shape.
+
+    ``mutation_users`` restricts which users the UA mutations touch —
+    the *localized churn* case (e.g. one department re-orged while the
+    rest of the organization only issues queries), used by
+    ``benchmarks/bench_shard_scaling.py`` to show that repair work
+    follows the dirty region, not the population.  Setting it also
+    drops the occasional RH churn (whose dirty region is global by
+    nature).  ``mutation_roles`` additionally restricts which roles the
+    localized UA edges attach to (mutating below the top layer keeps
+    administrator rectangles — whose source regions are the top roles'
+    ancestor sets — out of the dirty region).  Queries still probe the
+    whole population either way.
+    """
     rng = random.Random(seed ^ 0x5EED)
     users = [User(f"u{i}") for i in range(shape.n_users)]
     admins = [User(f"admin{i}") for i in range(shape.n_admins)]
     roles = [Role(f"r{i}") for i in range(shape.n_roles)]
+    churned = users if mutation_users is None else list(mutation_users)
+    churned_roles = roles if mutation_roles is None else list(mutation_roles)
     ops: list[ChurnOp] = []
     for _ in range(shape.mutations):
         issuer = rng.choice(admins)
-        if rng.random() < shape.ua_fraction:
-            edge = (rng.choice(users), rng.choice(roles))
+        if mutation_users is not None or rng.random() < shape.ua_fraction:
+            edge = (rng.choice(churned), rng.choice(churned_roles))
         else:
             senior, junior = rng.sample(roles, 2)
             edge = (senior, junior)
@@ -218,6 +236,99 @@ def differential_churn(
                     f"step {step_number}: incremental and fresh index "
                     f"disagree on {probe}"
                 )
+    return violations
+
+
+def differential_shard_churn(
+    seed: int,
+    steps: int = 40,
+    shape: PolicyShape = PolicyShape(),
+    shard_counts: tuple[int, ...] = (2, 4, 7),
+    probes_per_step: int = 8,
+    burst_log: list[str] | None = None,
+) -> list[str]:
+    """Randomized differential check for the *sharded* index: after
+    every delta burst, a :class:`~repro.core.authz_shard.\
+ShardedAuthorizationIndex` at each shard count must answer
+    ``authorizes``, ``grantable_pairs``, ``revocable_pairs`` and
+    ``effective_authority`` identically to a from-scratch unsharded
+    ``AuthorizationIndex(policy)``.
+
+    Bursts contain one to three mutations applied back-to-back before
+    any index validates, including user deprovisioning and users
+    removed *and re-added* within the same burst — the cases where a
+    shard's journal replay must not resurrect or lose per-user
+    entries.  Returns the list of violations (empty means the
+    invariant held); ``burst_log`` (if given) collects the mutation
+    labels so callers can assert the mix was actually exercised.
+    """
+    from ..core.authz_index import AuthorizationIndex
+    from ..core.authz_shard import ShardedAuthorizationIndex
+
+    rng = random.Random(seed ^ 0x51A2D)
+    policy = random_policy(seed, shape)
+    sharded = {
+        count: ShardedAuthorizationIndex(policy, shards=count)
+        for count in shard_counts
+    }
+    violations: list[str] = []
+
+    users = sorted(policy.users(), key=str)
+    roles = sorted(policy.roles(), key=str)
+    privileges = sorted(policy.subterm_closure(), key=str)
+
+    for step_number in range(steps):
+        burst: list[str] = []
+        for _ in range(rng.randint(1, 3)):
+            if rng.random() < 0.2 and users:
+                victim = rng.choice(users)
+                policy.remove_user(victim)
+                burst.append(f"remove-user {victim}")
+                if rng.random() < 0.7:
+                    # Re-added within the same delta burst: the shard
+                    # must end up with a fresh entry, not a stale one.
+                    policy.add_user(victim)
+                    policy.assign_user(victim, rng.choice(roles))
+                    burst.append(f"re-add {victim}")
+            else:
+                burst.append(
+                    _random_mutation(rng, policy, users, roles, privileges)
+                )
+        label = "; ".join(burst)
+        if burst_log is not None:
+            burst_log.extend(burst)
+        fresh = AuthorizationIndex(policy)
+        probes = [
+            Command(
+                rng.choice(users),
+                rng.choice([CommandAction.GRANT, CommandAction.REVOKE]),
+                rng.choice(users + roles),
+                rng.choice(roles + privileges),
+            )
+            for _ in range(probes_per_step)
+        ]
+        for count, index in sharded.items():
+            for user in users:
+                for surface in (
+                    "grantable_pairs", "revocable_pairs",
+                    "effective_authority",
+                ):
+                    got = getattr(index, surface)(user)
+                    expected = getattr(fresh, surface)(user)
+                    if got != expected:
+                        violations.append(
+                            f"step {step_number} ({label}): shards={count} "
+                            f"{surface} of {user} diverged from the "
+                            "unsharded oracle"
+                        )
+            for probe in probes:
+                if index.authorizes(probe.user, probe) != fresh.authorizes(
+                    probe.user, probe
+                ):
+                    violations.append(
+                        f"step {step_number} ({label}): shards={count} "
+                        f"authorizes disagrees on {probe}"
+                    )
     return violations
 
 

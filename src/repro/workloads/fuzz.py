@@ -20,6 +20,13 @@ monitor's global invariants after every step:
    structurally and behaviourally identical to a from-scratch rebuild
    after every mutation (:func:`fuzz_index_churn`, backed by
    :func:`repro.workloads.churn.differential_churn`).
+8. **Shard transparency** — a sharded authorization index (any shard
+   count) answers ``authorizes``, ``grantable_pairs``,
+   ``revocable_pairs`` and ``effective_authority`` identically to the
+   unsharded oracle under random grant/revoke/remove-user churn,
+   including users removed and re-added within one delta burst
+   (:func:`fuzz_sharded_index`, backed by
+   :func:`repro.workloads.churn.differential_shard_churn`).
 
 The fuzzer is seeded and deterministic; the test suite runs it over a
 spread of seeds, and `examples/safety_audit.py`-style scripts can run
@@ -201,6 +208,26 @@ def fuzz_index_churn(
 
     report = FuzzReport(seed=seed, steps=steps)
     report.violations.extend(differential_churn(seed, steps, shape))
+    return report
+
+
+def fuzz_sharded_index(
+    seed: int,
+    steps: int = 40,
+    shape: PolicyShape = PolicyShape(),
+    shard_counts: tuple[int, ...] = (2, 4, 7),
+) -> FuzzReport:
+    """Invariant (8): sharding is an implementation detail — a
+    :class:`~repro.core.authz_shard.ShardedAuthorizationIndex` at every
+    shard count must be observationally identical to the unsharded
+    oracle under randomized churn (see
+    :func:`repro.workloads.churn.differential_shard_churn`)."""
+    from .churn import differential_shard_churn
+
+    report = FuzzReport(seed=seed, steps=steps)
+    report.violations.extend(
+        differential_shard_churn(seed, steps, shape, shard_counts)
+    )
     return report
 
 

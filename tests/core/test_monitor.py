@@ -293,3 +293,88 @@ class TestBatchedQueue:
             [grant_cmd(ADMIN, U, R)], batched=True
         )
         assert records[0].executed
+
+
+class TestBatchedDuplicates:
+    """The batched apply step must tolerate pre-decided mutations that
+    no longer change anything — duplicate grants, duplicate revokes,
+    revokes of edges an earlier command in the same batch already
+    removed — and stay in exact agreement with the sequential
+    Definition-5 path (which re-decides each command against the
+    current state) whenever no command's *authorization* depends on an
+    in-batch edge."""
+
+    def _refined_monitor(self):
+        policy = Policy(
+            ua=[(ADMIN, ADM)],
+            rh=[(R, S)],
+            pa=[(ADM, Grant(U, R)), (ADM, Revoke(U, R))],
+        )
+        policy.add_user(U)
+        return ReferenceMonitor(policy, mode=Mode.REFINED, use_index=True)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_differential_duplicate_heavy_traces(self, seed):
+        import random
+
+        # The batch authority (ADM's privileges) never touches the
+        # mutated edges, so sequential and batched readings must agree
+        # exactly: decisions, no-op flags, and the final policy.
+        vocabulary = [
+            grant_cmd(ADMIN, U, R),
+            grant_cmd(ADMIN, U, R),     # duplicated on purpose
+            revoke_cmd(ADMIN, U, R),
+            revoke_cmd(ADMIN, U, R),
+            grant_cmd(ADMIN, U, S),     # implicit via Grant(U, R)
+            revoke_cmd(ADMIN, U, S),    # never authorized (exact only)
+            grant_cmd(U, U, R),         # never authorized
+        ]
+        rng = random.Random(seed)
+        batch = [rng.choice(vocabulary) for _ in range(10)]
+        sequential = self._refined_monitor()
+        batched = self._refined_monitor()
+        records_seq = sequential.submit_queue(batch)
+        records_bat = batched.submit_queue(batch, batched=True)
+        assert [(r.executed, r.noop) for r in records_seq] == [
+            (r.executed, r.noop) for r in records_bat
+        ]
+        assert sequential.policy.edge_set() == batched.policy.edge_set()
+
+    def test_duplicate_revoke_after_privilege_gc(self):
+        """Revoking the same PA edge twice in one batch: the first
+        removal garbage-collects the privilege vertex; the second is
+        authorized (the ♦ term is a separate vertex) and must execute
+        as a tolerated no-op instead of diverging."""
+        doc = perm("write", "doc")
+        target_role = Role("holder")
+
+        def build():
+            policy = Policy(
+                ua=[(ADMIN, ADM)],
+                pa=[(ADM, Revoke(target_role, doc)), (target_role, doc)],
+            )
+            return ReferenceMonitor(
+                policy, mode=Mode.REFINED, use_index=True
+            )
+
+        batch = [
+            revoke_cmd(ADMIN, target_role, doc),
+            revoke_cmd(ADMIN, target_role, doc),
+        ]
+        sequential, batched = build(), build()
+        records_seq = sequential.submit_queue(batch)
+        records_bat = batched.submit_queue(batch, batched=True)
+        assert [(r.executed, r.noop) for r in records_seq] == [
+            (True, False), (True, True),
+        ]
+        assert [(r.executed, r.noop) for r in records_bat] == [
+            (True, False), (True, True),
+        ]
+        assert sequential.policy.edge_set() == batched.policy.edge_set()
+        assert doc not in batched.policy.vertex_set()  # GC'd once
+
+    def test_sequential_submit_records_noop(self, monitor):
+        first = monitor.submit(grant_cmd(ADMIN, U, S))
+        again = monitor.submit(grant_cmd(ADMIN, U, S))
+        assert first.executed and not first.noop
+        assert again.executed and again.noop

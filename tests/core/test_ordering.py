@@ -226,6 +226,68 @@ class TestOracle:
         assert oracle.stats.queries == 2
 
 
+class TestChurnAwareMemoEviction:
+    """Version bumps no longer clear the memo wholesale: only entries
+    whose vertices fall in the journaled dirty region are evicted."""
+
+    def test_unrelated_churn_preserves_entries(self, chain):
+        chain.add_role(OTHER)
+        oracle = OrderingOracle(chain)
+        assert oracle.is_weaker(Grant(U, HIGH), Grant(U, LOW))
+        entries = len(oracle._memo)
+        assert entries > 0
+        # UA churn in a disconnected corner: footprints are untouched.
+        chain.assign_user(V, OTHER)
+        before = oracle.stats.memo_hits
+        assert oracle.is_weaker(Grant(U, HIGH), Grant(U, LOW))
+        assert oracle.stats.memo_hits > before
+        assert oracle.stats.memo_full_clears == 0
+        assert oracle.stats.memo_evictions == 0
+        assert len(oracle._memo) == entries
+
+    def test_dirty_region_entries_evicted(self, chain):
+        oracle = OrderingOracle(chain)
+        assert oracle.is_weaker(Grant(U, HIGH), Grant(U, LOW))
+        chain.remove_edge(MID, LOW)
+        # The mutated edge's region covers LOW/HIGH: entry evicted,
+        # and the re-derived answer reflects the new graph.
+        assert not oracle.is_weaker(Grant(U, HIGH), Grant(U, LOW))
+        assert oracle.stats.memo_evictions > 0
+        assert oracle.stats.memo_full_clears == 0
+
+    def test_oversized_burst_clears_wholesale(self, chain):
+        oracle = OrderingOracle(chain)
+        assert oracle.is_weaker(Grant(U, HIGH), Grant(U, LOW))
+        for i in range(OrderingOracle.MEMO_DELTA_LIMIT + 2):
+            chain.add_inheritance(Role(f"bulk{i}"), Role(f"bulk{i + 1}"))
+        assert oracle.is_weaker(Grant(U, HIGH), Grant(U, LOW))
+        assert oracle.stats.memo_full_clears == 1
+
+    def test_vertex_only_churn_is_free(self, chain):
+        oracle = OrderingOracle(chain)
+        assert oracle.is_weaker(Grant(U, HIGH), Grant(U, LOW))
+        entries = len(oracle._memo)
+        for i in range(OrderingOracle.MEMO_DELTA_LIMIT + 5):
+            chain.add_role(Role(f"isolated{i}"))
+        assert oracle.is_weaker(Grant(U, HIGH), Grant(U, LOW))
+        assert oracle.stats.memo_full_clears == 0
+        assert len(oracle._memo) == entries
+
+    def test_hop_entries_evicted_when_hierarchy_churns(self, chain):
+        """A nested decision via the generalized rule-(2) hop depends
+        on which privilege vertices the target reaches — hierarchy
+        churn that moves a privilege vertex into a descendant set must
+        invalidate it (the refined hop-safety test: a role upstream
+        AND a privilege downstream)."""
+        inner = Grant(U, MID)
+        chain.assign_privilege(LOW, inner)
+        oracle = OrderingOracle(chain)
+        nested = Grant(HIGH, inner)
+        assert oracle.is_weaker(Grant(HIGH, LOW), nested)  # hop via LOW
+        chain.remove_edge(LOW, inner)
+        assert not oracle.is_weaker(Grant(HIGH, LOW), nested)
+
+
 class TestExplain:
     def test_explain_matches_decision(self, chain):
         cases = [

@@ -201,3 +201,57 @@ class TestChangeJournal:
         graph.add_vertex("b")
         deltas = graph.changes_since(middle)
         assert [d.source for d in deltas] == ["b"]
+
+
+class TestJournalCursors:
+    def test_take_advances_and_returns_pending(self):
+        graph = Digraph()
+        cursor = graph.journal_cursor()
+        assert not cursor.pending
+        assert cursor.take() == ()
+        graph.add_edge("a", "b")
+        assert cursor.pending
+        deltas = cursor.take()
+        assert [d.kind for d in deltas] == ["add-vertex", "add-vertex", "add-edge"]
+        assert not cursor.pending
+        assert cursor.take() == ()
+
+    def test_journal_retained_for_lagging_cursor(self):
+        """Without a cursor this burst expires the window (see
+        test_expired_window_returns_none); a registered cursor keeps
+        the entries it still needs."""
+        graph = Digraph()
+        cursor = graph.journal_cursor()
+        for index in range(Digraph.JOURNAL_LIMIT + 10):
+            graph.add_vertex(index)
+        deltas = cursor.take()
+        assert deltas is not None
+        assert len(deltas) == Digraph.JOURNAL_LIMIT + 10
+
+    def test_hard_limit_bounds_retention(self):
+        graph = Digraph()
+        cursor = graph.journal_cursor()
+        for index in range(Digraph.JOURNAL_HARD_LIMIT + 10):
+            graph.add_vertex(index)
+        assert cursor.take() is None  # laggard pays the full rebuild
+        assert len(graph._journal) <= Digraph.JOURNAL_HARD_LIMIT
+
+    def test_dead_cursors_do_not_pin_the_journal(self):
+        graph = Digraph()
+        cursor = graph.journal_cursor()
+        base = cursor.version
+        del cursor
+        for index in range(Digraph.JOURNAL_LIMIT + 10):
+            graph.add_vertex(index)
+        assert graph.changes_since(base) is None  # window moved on
+
+    def test_caught_up_cursors_allow_trimming(self):
+        graph = Digraph()
+        cursor = graph.journal_cursor()
+        for index in range(Digraph.JOURNAL_LIMIT):
+            graph.add_vertex(("a", index))
+        cursor.take()
+        for index in range(10):
+            graph.add_vertex(("b", index))
+        assert len(graph._journal) <= Digraph.JOURNAL_LIMIT
+        assert cursor.take() is not None

@@ -62,6 +62,15 @@ def test_fuzz_clean_run(capsys):
     assert "invariants: all hold" in out
 
 
+def test_fuzz_with_shard_transparency(capsys):
+    assert main(
+        ["fuzz", "--seeds", "2", "--steps", "15", "--shards", "3"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "shard transparency: 2 campaigns at 3 shards" in out
+    assert "invariants: all hold" in out
+
+
 def test_explain_access_allowed(fig2_file, capsys):
     assert main(["explain-access", fig2_file, "diana", "(read, t1)"]) == 0
     out = capsys.readouterr().out

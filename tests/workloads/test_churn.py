@@ -80,3 +80,37 @@ def test_differential_exercises_structural_churn():
         11, steps=40, shape=PolicyShape(n_users=3, n_roles=4)
     )
     assert violations == []
+
+
+def test_localized_trace_confines_mutations():
+    from repro.core.entities import Role, User
+
+    local_users = [User("u0"), User("u1")]
+    local_roles = [Role("r5"), Role("r6")]
+    trace = churn_trace(
+        9, SMALL, mutation_users=local_users, mutation_roles=local_roles
+    )
+    mutated = [op.command for op in trace if op.kind == "mutate"]
+    assert mutated
+    assert {cmd.source for cmd in mutated} <= set(local_users)
+    assert {cmd.target for cmd in mutated} <= set(local_roles)
+    # Queries still roam the whole population.
+    probed = {op.command.source for op in trace if op.kind == "query"}
+    assert not probed <= set(local_users)
+
+
+def test_shard_differential_exercises_user_removal():
+    """The shard campaign's burst generator must actually remove and
+    re-add users, otherwise the re-add half of the invariant is
+    vacuous."""
+    from repro.workloads.churn import differential_shard_churn
+    from repro.workloads.generators import PolicyShape
+
+    burst_log: list[str] = []
+    violations = differential_shard_churn(
+        3, steps=30, shape=PolicyShape(n_users=4, n_roles=5),
+        shard_counts=(3,), burst_log=burst_log,
+    )
+    assert violations == []
+    assert any(label.startswith("remove-user") for label in burst_log)
+    assert any(label.startswith("re-add") for label in burst_log)

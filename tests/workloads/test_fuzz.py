@@ -44,3 +44,17 @@ def test_deterministic_in_seed():
     assert (first.executed, first.denied, first.implicit) == (
         second.executed, second.denied, second.implicit
     )
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_sharded_index_campaigns(seed):
+    """Invariant 8: a sharded index (N in {2, 4, 7}) is observationally
+    identical to the unsharded oracle under randomized churn, including
+    users removed and re-added inside one delta burst."""
+    from repro.workloads.fuzz import fuzz_sharded_index
+
+    shape = PolicyShape(
+        n_users=4, n_roles=5, n_admin_privileges=3, max_nesting=2
+    )
+    report = fuzz_sharded_index(seed, steps=25, shape=shape)
+    assert report.ok, report.violations[:5]
