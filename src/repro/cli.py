@@ -183,19 +183,27 @@ def _cmd_flexibility(args: argparse.Namespace) -> int:
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
-    from .workloads.fuzz import fuzz_many, fuzz_sharded_index
+    from .workloads.fuzz import (
+        fuzz_compiled_kernel,
+        fuzz_many,
+        fuzz_sharded_index,
+    )
 
-    reports = fuzz_many(range(args.seeds), steps=args.steps)
+    compiled = not args.frozenset
+    reports = fuzz_many(range(args.seeds), steps=args.steps,
+                        compiled=compiled)
     executed = sum(r.executed for r in reports)
     implicit = sum(r.implicit for r in reports)
     denied = sum(r.denied for r in reports)
     violations = [v for r in reports for v in r.violations]
-    print(f"campaigns: {len(reports)}  steps/campaign: {args.steps}")
+    print(f"campaigns: {len(reports)}  steps/campaign: {args.steps}  "
+          f"kernel: {'compiled' if compiled else 'frozenset'}")
     print(f"executed: {executed} (implicit: {implicit})  denied: {denied}")
     if args.shards > 1:
         shard_reports = [
             fuzz_sharded_index(
-                seed, steps=args.steps, shard_counts=(args.shards,)
+                seed, steps=args.steps, shard_counts=(args.shards,),
+                compiled=compiled,
             )
             for seed in range(args.seeds)
         ]
@@ -203,6 +211,16 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         print(
             f"shard transparency: {len(shard_reports)} campaigns at "
             f"{args.shards} shards"
+        )
+    if args.kernel_diff:
+        kernel_reports = [
+            fuzz_compiled_kernel(seed, steps=args.steps)
+            for seed in range(args.seeds)
+        ]
+        violations += [v for r in kernel_reports for v in r.violations]
+        print(
+            f"compiled-kernel agreement: {len(kernel_reports)} campaigns "
+            "at shards (1, 2, 4)"
         )
     if violations:
         print(f"INVARIANT VIOLATIONS ({len(violations)}):")
@@ -368,6 +386,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--shards", type=int, default=1,
         help="additionally pin an N-shard index to the unsharded "
              "oracle (invariant 8)",
+    )
+    fuzz.add_argument(
+        "--frozenset", action="store_true",
+        help="run the campaigns on the frozenset (non-compiled) kernel "
+             "— the differential baseline",
+    )
+    fuzz.add_argument(
+        "--kernel-diff", action="store_true",
+        help="additionally pin the compiled bitset kernel to the "
+             "frozenset oracle under churn (invariant 9)",
     )
     fuzz.set_defaults(func=_cmd_fuzz)
 

@@ -49,6 +49,16 @@ per-privilege, not per-user), and ``region_cache`` lets sibling shards
 repairing over the same delta window reuse one dirty-region sweep.
 All three default to off, which is exactly the original single-index
 behaviour.
+
+``compiled=True`` (the default) runs the whole index on the *bitset
+kernel*: held sets are big-int bitmasks over the policy graph's
+interned vertex IDs, rectangles are :class:`BitGrantRectangle` masks
+whose :meth:`~BitGrantRectangle.covers` is two bit-tests, and the
+dirty-subject sweep under churn is a mask intersection.
+``compiled=False`` keeps the frozenset representation as the
+differential oracle — `benchmarks/bench_bitset_kernel.py` pins the
+speedup and :func:`repro.workloads.fuzz.fuzz_compiled_kernel`
+(invariant 9) pins observational equality under churn.
 """
 
 from __future__ import annotations
@@ -56,7 +66,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..graph import ancestors as graph_ancestors
-from ..graph import dirty_region, summarize_deltas
+from ..graph import (
+    ancestors_bits,
+    dirty_region,
+    dirty_region_bits,
+    iter_bits,
+    summarize_deltas,
+)
 from .commands import Command, CommandAction
 from .entities import Role, User
 from .ordering import OrderingOracle
@@ -64,6 +80,8 @@ from .policy import Policy
 from .privileges import Grant, Privilege, Revoke, is_privilege
 
 _Entity = (User, Role)
+
+_EMPTY = frozenset()
 
 
 @dataclass(frozen=True)
@@ -80,6 +98,148 @@ class GrantRectangle:
 
     def pair_count(self) -> int:
         return len(self.sources) * len(self.targets)
+
+    def thaw(self) -> "GrantRectangle":
+        """Representation-normalized view (identity here; the compiled
+        rectangle decodes itself into this class)."""
+        return self
+
+
+class BitGrantRectangle:
+    """The compiled representation of a grant rectangle: ``sources`` /
+    ``targets`` as bitmasks over the policy graph's interned vertex
+    IDs, so :meth:`covers` is two bit-tests and a pool's dirty-region
+    intersection is a single ``&``.
+
+    A rectangle may cover entities that are not graph vertices: the
+    held grant's own endpoints appear in their region reflexively even
+    when unregistered or deprovisioned (``ancestors(s) ∋ s`` holds
+    off-graph).  Those carry no ID and live in ``extra_sources`` /
+    ``extra_targets`` — by construction at most the held privilege's
+    two endpoints — which the slow-path :meth:`covers` consults; the
+    index's hot path skips them because a query naming an in-graph
+    vertex can never equal an off-graph extra.
+    """
+
+    __slots__ = ("held", "source_bits", "target_bits",
+                 "extra_sources", "extra_targets", "_graph")
+
+    def __init__(self, held, source_bits, target_bits,
+                 extra_sources=_EMPTY, extra_targets=_EMPTY, graph=None):
+        self.held = held
+        self.source_bits = source_bits
+        self.target_bits = target_bits
+        self.extra_sources = extra_sources
+        self.extra_targets = extra_targets
+        self._graph = graph
+
+    def covers(self, source: object, target: object) -> bool:
+        vid = self._graph._vid
+        source_id = vid.get(source)
+        if source_id is None:
+            if source not in self.extra_sources:
+                return False
+        elif not self.source_bits >> source_id & 1:
+            return False
+        target_id = vid.get(target)
+        if target_id is None:
+            return target in self.extra_targets
+        return bool(self.target_bits >> target_id & 1)
+
+    def pair_count(self) -> int:
+        return (
+            (self.source_bits.bit_count() + len(self.extra_sources))
+            * (self.target_bits.bit_count() + len(self.extra_targets))
+        )
+
+    @property
+    def sources(self) -> frozenset:
+        """Decoded source set (mask bits plus off-graph extras)."""
+        vertex_of = self._graph._vertex_of
+        return frozenset(
+            vertex_of[index] for index in iter_bits(self.source_bits)
+        ) | self.extra_sources
+
+    @property
+    def targets(self) -> frozenset:
+        """Decoded target set (mask bits plus off-graph extras)."""
+        vertex_of = self._graph._vertex_of
+        return frozenset(
+            vertex_of[index] for index in iter_bits(self.target_bits)
+        ) | self.extra_targets
+
+    def thaw(self) -> GrantRectangle:
+        """Decode into the frozenset representation (for differential
+        comparison against the oracle)."""
+        return GrantRectangle(self.held, self.sources, self.targets)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BitGrantRectangle):
+            return NotImplemented
+        return (
+            self.held == other.held
+            and self.source_bits == other.source_bits
+            and self.target_bits == other.target_bits
+            and self.extra_sources == other.extra_sources
+            and self.extra_targets == other.extra_targets
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.held, self.source_bits, self.target_bits))
+
+    def __repr__(self) -> str:
+        return (
+            f"BitGrantRectangle({self.held!r}, "
+            f"sources={self.source_bits.bit_count()}, "
+            f"targets={self.target_bits.bit_count()})"
+        )
+
+
+def compile_sources(policy: Policy, source) -> tuple[int, frozenset]:
+    """The rectangle source region of a held grant, compiled: entity
+    ancestors of ``source`` as ``(mask, off-graph extras)``."""
+    graph = policy.graph
+    if source in graph:
+        return (
+            ancestors_bits(graph, source) & policy.bits.entities_mask,
+            _EMPTY,
+        )
+    return 0, frozenset((source,))
+
+
+def compile_targets(policy: Policy, target) -> tuple[int, frozenset]:
+    """The rectangle target region of a held grant, compiled: role
+    descendants of ``target`` as ``(mask, off-graph extras)``."""
+    graph = policy.graph
+    if target in graph:
+        return (
+            policy.descendants_bits(target) & policy.bits.roles_mask,
+            _EMPTY,
+        )
+    if isinstance(target, Role):
+        return 0, frozenset((target,))
+    return 0, _EMPTY
+
+
+def compile_rectangle(
+    policy: Policy, privilege: Grant, ancestor_memo: dict | None = None
+) -> BitGrantRectangle:
+    """Build one compiled rectangle; ``ancestor_memo`` shares source
+    regions across rectangles held over the same grantor."""
+    cached = (
+        ancestor_memo.get(privilege.source)
+        if ancestor_memo is not None else None
+    )
+    if cached is None:
+        cached = compile_sources(policy, privilege.source)
+        if ancestor_memo is not None:
+            ancestor_memo[privilege.source] = cached
+    source_bits, extra_sources = cached
+    target_bits, extra_targets = compile_targets(policy, privilege.target)
+    return BitGrantRectangle(
+        privilege, source_bits, target_bits,
+        extra_sources, extra_targets, policy.graph,
+    )
 
 
 class AuthorizationIndex:
@@ -115,34 +275,54 @@ class AuthorizationIndex:
     #: windows are dead weight.
     REGION_CACHE_LIMIT = 32
 
-    __slots__ = ("policy", "incremental", "full_rebuilds",
+    __slots__ = ("policy", "incremental", "compiled", "full_rebuilds",
                  "partial_refreshes", "users_refreshed",
-                 "_cursor", "_held", "_rectangles", "_oracle",
-                 "_pool", "_owns", "_region_cache")
+                 "_cursor", "_held", "_rectangles", "_rect_rows",
+                 "_extras_users", "_oracle", "_pool", "_owns",
+                 "_region_cache", "_snapshot")
 
     def __init__(
         self,
         policy: Policy,
         incremental: bool = True,
+        compiled: bool = True,
         pool=None,
         owns=None,
         region_cache: dict | None = None,
     ):
         self.policy = policy
         self.incremental = incremental
+        #: True: bitset kernel (held sets and rectangles are bitmasks
+        #: over interned vertex IDs).  False: the frozenset
+        #: representation — kept as the differential oracle, exactly
+        #: like ``incremental=False`` keeps the rebuild baseline.
+        self.compiled = compiled
         self.full_rebuilds = 0
         self.partial_refreshes = 0
         self.users_refreshed = 0
         self._cursor = policy.journal_cursor()
-        self._held: dict[User, frozenset[Privilege]] = {}
-        self._rectangles: dict[User, tuple[GrantRectangle, ...]] = {}
-        self._oracle = OrderingOracle(policy)
+        #: per-subject held privileges: frozenset[Privilege] when
+        #: ``compiled=False``, an int bitmask over privilege vertex IDs
+        #: when compiled (use :meth:`held_privileges` for a
+        #: representation-independent view).
+        self._held: dict[User, object] = {}
+        self._rectangles: dict[User, tuple] = {}
+        #: compiled fast path per subject: (union_source_bits,
+        #: union_target_bits, ((source_bits, target_bits, held), ...))
+        #: — the union masks reject most misses with two bit-tests.
+        self._rect_rows: dict[User, tuple] = {}
+        #: compiled bookkeeping: subjects holding at least one
+        #: rectangle with off-graph extras — usually empty, and the
+        #: only subjects an add-vertex burst can force to migrate.
+        self._extras_users: set[User] = set()
+        self._oracle = OrderingOracle(policy, compiled=compiled)
         #: rectangle-sharing pool (see repro.core.authz_shard); None
         #: means rectangles are built privately per instance.
         self._pool = pool
         #: subject filter — a shard indexes only the users it owns.
         self._owns = owns
         self._region_cache = region_cache
+        self._snapshot: ReviewSnapshot | None = None
         self._rebuild()
 
     # ------------------------------------------------------------------
@@ -194,6 +374,51 @@ class AuthorizationIndex:
         self._rectangles[user] = tuple(rectangles)
         self.users_refreshed += 1
 
+    def _build_user_bits(
+        self, user: User, ancestor_memo: dict, rectangle_memo: dict
+    ) -> None:
+        """Compiled :meth:`_build_user`: the held set is one BFS mask
+        intersected with the privilege sort mask, and rectangles come
+        from the pool or a per-repair memo (their contents are
+        per-privilege, never per-user)."""
+        policy = self.policy
+        bits = policy.bits
+        held = policy.descendants_bits(user) & bits.privileges_mask
+        self._held[user] = held
+        pool = self._pool
+        vertex_of = policy.graph._vertex_of
+        rectangles = []
+        for index in iter_bits(held & bits.grant_entity_mask):
+            privilege = vertex_of[index]
+            if pool is not None:
+                rectangles.append(pool.rectangle(privilege))
+                continue
+            rectangle = rectangle_memo.get(privilege)
+            if rectangle is None:
+                rectangle = compile_rectangle(policy, privilege, ancestor_memo)
+                rectangle_memo[privilege] = rectangle
+            rectangles.append(rectangle)
+        self._rectangles[user] = tuple(rectangles)
+        union_sources = union_targets = 0
+        rows = []
+        for rectangle in rectangles:
+            union_sources |= rectangle.source_bits
+            union_targets |= rectangle.target_bits
+            rows.append((
+                rectangle.source_bits, rectangle.target_bits, rectangle.held
+            ))
+        self._rect_rows[user] = (
+            held, union_sources, union_targets, tuple(rows)
+        )
+        if any(
+            rectangle.extra_sources or rectangle.extra_targets
+            for rectangle in rectangles
+        ):
+            self._extras_users.add(user)
+        else:
+            self._extras_users.discard(user)
+        self.users_refreshed += 1
+
     def _subjects(self):
         """The users this instance indexes (all of them, unless it is a
         shard restricted by ``owns``)."""
@@ -206,9 +431,17 @@ class AuthorizationIndex:
             self._pool.validate()
         self._held.clear()
         self._rectangles.clear()
-        entity_ancestors: dict[object, frozenset] = {}
-        for user in self._subjects():
-            self._build_user(user, entity_ancestors)
+        self._rect_rows.clear()
+        self._extras_users.clear()
+        if self.compiled:
+            ancestor_memo: dict = {}
+            rectangle_memo: dict = {}
+            for user in self._subjects():
+                self._build_user_bits(user, ancestor_memo, rectangle_memo)
+        else:
+            entity_ancestors: dict[object, frozenset] = {}
+            for user in self._subjects():
+                self._build_user(user, entity_ancestors)
         self._cursor.version = self.policy.version
         self.full_rebuilds += 1
 
@@ -236,19 +469,31 @@ class AuthorizationIndex:
         self.partial_refreshes += 1
 
     def _dirty_region(self, edge_sources, edge_targets, since):
-        """The (upstream, downstream) region for this repair window,
-        shared with sibling shards via the region cache: the deltas —
-        and hence the region — are a pure function of the version
-        window, so shards repairing over the same window reuse one
-        sweep."""
+        """The (upstream, downstream) frozenset region for this repair
+        window (see :meth:`_cached_region`)."""
+        return self._cached_region(
+            dirty_region, edge_sources, edge_targets, since
+        )
+
+    def _dirty_region_bits(self, edge_sources, edge_targets, since):
+        """Compiled :meth:`_dirty_region` (shards sharing a region
+        cache all run the same representation, so cached values are
+        homogeneous)."""
+        return self._cached_region(
+            dirty_region_bits, edge_sources, edge_targets, since
+        )
+
+    def _cached_region(self, sweep, edge_sources, edge_targets, since):
+        """Run one dirty-region ``sweep``, shared with sibling shards
+        via the region cache: the deltas — and hence the region — are
+        a pure function of the version window, so shards repairing
+        over the same window reuse one sweep."""
         if self._region_cache is None:
-            return dirty_region(self.policy.graph, edge_sources, edge_targets)
+            return sweep(self.policy.graph, edge_sources, edge_targets)
         key = (since, self.policy.version)
         region = self._region_cache.get(key)
         if region is None:
-            region = dirty_region(
-                self.policy.graph, edge_sources, edge_targets
-            )
+            region = sweep(self.policy.graph, edge_sources, edge_targets)
             if len(self._region_cache) >= self.REGION_CACHE_LIMIT:
                 self._region_cache.clear()
             self._region_cache[key] = region
@@ -272,6 +517,8 @@ class AuthorizationIndex:
                 if isinstance(delta.source, User):
                     self._held.pop(delta.source, None)
                     self._rectangles.pop(delta.source, None)
+                    self._rect_rows.pop(delta.source, None)
+                    self._extras_users.discard(delta.source)
                 fresh_users.discard(delta.source)
             elif isinstance(delta.source, User):
                 if delta.source not in self._held and (
@@ -280,28 +527,130 @@ class AuthorizationIndex:
                     fresh_users.add(delta.source)
 
         dirty: set[User] = set(fresh_users)
-        if summary.edge_sources:
-            upstream, downstream = self._dirty_region(
-                summary.edge_sources, summary.edge_targets, since
-            )
-            # A held set can only gain/lose privileges lying downstream
-            # of a mutated edge's target; a privilege-free downstream
-            # region (pure membership/hierarchy shuffling below any
-            # assignment) leaves every held set intact.
-            if any(is_privilege(vertex) for vertex in downstream):
-                dirty |= self._held.keys() & upstream
-            for user, rectangles in self._rectangles.items():
-                if not rectangles or user in dirty:
+        removed = summary.removed_vertices
+        added = summary.added_vertices
+        if self.compiled and (removed or added):
+            # A vertex that is a rectangle's *own endpoint* can leave
+            # or rejoin the graph with the region staying
+            # set-identical (ancestors(s) ∋ s holds off-graph too), so
+            # the frozenset representation needs no repair — but the
+            # compiled rectangle must migrate the endpoint between its
+            # bitmask (freed/assigned ID) and its extras, in both
+            # directions: on removal unconditionally (the mask bit is
+            # freed), on (re-)addition only when the endpoint actually
+            # sits in the extras.  Any *other* region member's removal
+            # journals edge deltas that dirty the rectangle through
+            # the region sweep below.  Removals (rare) scan every
+            # subject; an addition-only burst — every provisioning
+            # load — scans just the subjects known to hold extras.
+            if removed:
+                candidates = self._rectangles.items()
+            elif self._extras_users:
+                candidates = [
+                    (user, self._rectangles[user])
+                    for user in self._extras_users
+                ]
+            else:
+                candidates = ()
+            for user, rectangles in candidates:
+                if user in dirty:
                     continue
                 for rectangle in rectangles:
                     held = rectangle.held
-                    if held.source in downstream or held.target in upstream:
+                    if held.source in removed or held.target in removed:
                         dirty.add(user)
                         break
+                    if added and (
+                        (
+                            held.source in added
+                            and held.source in rectangle.extra_sources
+                        )
+                        or (
+                            held.target in added
+                            and held.target in rectangle.extra_targets
+                        )
+                    ):
+                        dirty.add(user)
+                        break
+        if summary.edge_sources:
+            if self.compiled:
+                self._collect_dirty_bits(summary, since, dirty)
+            else:
+                self._collect_dirty(summary, since, dirty)
 
-        entity_ancestors: dict[object, frozenset] = {}
-        for user in dirty:
-            self._build_user(user, entity_ancestors)
+        if self.compiled:
+            ancestor_memo: dict = {}
+            rectangle_memo: dict = {}
+            for user in dirty:
+                self._build_user_bits(user, ancestor_memo, rectangle_memo)
+        else:
+            entity_ancestors: dict[object, frozenset] = {}
+            for user in dirty:
+                self._build_user(user, entity_ancestors)
+
+    def _collect_dirty(self, summary, since: int, dirty: set) -> None:
+        """Frozenset dirty-subject sweep for one repair window."""
+        upstream, downstream = self._dirty_region(
+            summary.edge_sources, summary.edge_targets, since
+        )
+        # A held set can only gain/lose privileges lying downstream
+        # of a mutated edge's target; a privilege-free downstream
+        # region (pure membership/hierarchy shuffling below any
+        # assignment) leaves every held set intact.
+        if any(is_privilege(vertex) for vertex in downstream):
+            dirty |= self._held.keys() & upstream
+        for user, rectangles in self._rectangles.items():
+            if not rectangles or user in dirty:
+                continue
+            for rectangle in rectangles:
+                held = rectangle.held
+                if held.source in downstream or held.target in upstream:
+                    dirty.add(user)
+                    break
+
+    def _collect_dirty_bits(self, summary, since: int, dirty: set) -> None:
+        """Compiled dirty-subject sweep: the dirty users are one
+        ``upstream & users_mask`` intersection, and rectangle dirtiness
+        is a bit-test per held endpoint.  Off-graph region members
+        (seeds removed within the window) are checked against the
+        region's absent sets, preserving the frozenset semantics."""
+        policy = self.policy
+        graph = policy.graph
+        bits = policy.bits
+        upstream, downstream, absent_sources, absent_targets = (
+            self._dirty_region_bits(
+                summary.edge_sources, summary.edge_targets, since
+            )
+        )
+        held_map = self._held
+        if downstream & bits.privileges_mask or any(
+            is_privilege(vertex) for vertex in absent_targets
+        ):
+            vertex_of = graph._vertex_of
+            for index in iter_bits(upstream & bits.users_mask):
+                user = vertex_of[index]
+                if user in held_map:
+                    dirty.add(user)
+        vid = graph._vid
+        for user, rectangles in self._rectangles.items():
+            if not rectangles or user in dirty:
+                continue
+            for rectangle in rectangles:
+                held = rectangle.held
+                source_id = vid.get(held.source)
+                if (
+                    downstream >> source_id & 1 if source_id is not None
+                    else held.source in absent_targets
+                ):
+                    dirty.add(user)
+                    break
+                target_id = vid.get(held.target)
+                if (
+                    upstream >> target_id & 1 if target_id is not None
+                    else held.target in absent_sources
+                ):
+                    dirty.add(user)
+                    break
 
     def refresh(self) -> None:
         """Bring the index up to date with the policy now (the same
@@ -313,10 +662,12 @@ class AuthorizationIndex:
         """The held privilege covering ``command`` under refined-mode
         semantics, or None."""
         self._validate()
-        held = self._held.get(user, frozenset())
         wanted = command.requested_privilege()
         if wanted is None:
             return None
+        if self.compiled:
+            return self._authorizes_bits(user, command, wanted)
+        held = self._held.get(user, frozenset())
         if wanted in held:
             return wanted
         if command.action is CommandAction.REVOKE:
@@ -333,51 +684,157 @@ class AuthorizationIndex:
                 return privilege
         return None
 
+    def _authorizes_bits(
+        self, user: User, command: Command, wanted: Privilege
+    ) -> Privilege | None:
+        """Compiled decision path: exact match is one bit-test, the
+        rectangle scan is rejected by two union-mask bit-tests on a
+        miss, and only confirmed hits walk the per-rectangle rows."""
+        row = self._rect_rows.get(user)
+        if row is None:
+            return None  # not an indexed subject: holds nothing
+        graph = self.policy.graph
+        vid = graph._vid
+        held, union_sources, union_targets, rows = row
+        if held:
+            wanted_id = vid.get(wanted)
+            if wanted_id is not None and held >> wanted_id & 1:
+                return wanted
+        if command.action is CommandAction.REVOKE:
+            return None  # revocations: exact match only
+        source, target = command.source, command.target
+        if isinstance(target, _Entity):
+            source_id = vid.get(source)
+            target_id = vid.get(target)
+            if source_id is not None and target_id is not None:
+                if (
+                    union_sources >> source_id & 1
+                    and union_targets >> target_id & 1
+                ):
+                    for source_bits, target_bits, held_by in rows:
+                        if (
+                            source_bits >> source_id & 1
+                            and target_bits >> target_id & 1
+                        ):
+                            return held_by
+                return None
+            # Off-graph source or target: the rare slow path through
+            # the rectangles' extras.
+            for rectangle in self._rectangles.get(user, ()):
+                if rectangle.covers(source, target):
+                    return rectangle.held
+            return None
+        if not held:
+            return None
+        # Nested-privilege grant targets: fall back to the oracle.
+        vertex_of = graph._vertex_of
+        for index in iter_bits(held):
+            privilege = vertex_of[index]
+            if self._oracle.is_weaker(privilege, wanted):
+                return privilege
+        return None
+
     # ------------------------------------------------------------------
-    def grantable_pairs(self, user: User) -> frozenset[tuple[object, object]]:
+    def held_privileges(self, user: User) -> frozenset[Privilege]:
+        """The user's held privilege set in representation-independent
+        form (decodes the bitmask under ``compiled=True``) — the view
+        the differential harnesses compare across kernels."""
+        self._validate()
+        held = self._held.get(user)
+        if held is None:
+            return frozenset()
+        if not self.compiled:
+            return held
+        vertex_of = self.policy.graph._vertex_of
+        return frozenset(vertex_of[index] for index in iter_bits(held))
+
+    def _entity_grant_edges(self, user: User, connective) -> set:
+        """Edges of held entity-target ¤/♦ privileges (both kernels)."""
+        held = self._held.get(user)
+        if held is None:
+            return set()
+        if self.compiled:
+            bits = self.policy.bits
+            mask = (
+                bits.grant_entity_mask if connective is Grant
+                else bits.revoke_entity_mask
+            )
+            vertex_of = self.policy.graph._vertex_of
+            return {
+                vertex_of[index].edge for index in iter_bits(held & mask)
+            }
+        return {
+            privilege.edge
+            for privilege in held
+            if isinstance(privilege, connective)
+            and isinstance(privilege.target, _Entity)
+        }
+
+    def grantable_pairs(
+        self, user: User, at_version: int | None = None
+    ) -> frozenset[tuple[object, object]]:
         """All entity-pair edges ``(v, v')`` the user may currently
         grant: the union of the rectangles plus exact entity grants.
         Rectangle sources are entity-filtered at build time, so every
-        rectangle pair is a legal grant as-is."""
+        rectangle pair is a legal grant as-is.
+
+        ``at_version`` answers from the retained
+        :class:`ReviewSnapshot` captured at that policy version (see
+        :meth:`snapshot`) instead of the live policy, so an audit
+        burst interleaved with mutations sees one consistent version;
+        a version with no retained snapshot raises ValueError."""
+        if at_version is not None:
+            return self._snapshot_at(at_version).grantable_pairs(user)
         self._validate()
         pairs: set[tuple[object, object]] = set()
         for rectangle in self._rectangles.get(user, ()):
             for source in rectangle.sources:
                 for target in rectangle.targets:
                     pairs.add((source, target))
-        for privilege in self._held.get(user, frozenset()):
-            if isinstance(privilege, Grant) and isinstance(
-                privilege.target, _Entity
-            ):
-                pairs.add(privilege.edge)
+        pairs |= self._entity_grant_edges(user, Grant)
         return frozenset(pairs)
 
-    def revocable_pairs(self, user: User) -> frozenset[tuple[object, object]]:
+    def revocable_pairs(
+        self, user: User, at_version: int | None = None
+    ) -> frozenset[tuple[object, object]]:
         """All entity-pair edges the user may currently revoke.
 
         Revocations are authorized by exact match only (the ordering
         relates ♦-privileges just reflexively), so this is simply the
         edges of the held entity-target ♦-privileges — kept consistent
-        with :meth:`authorizes` by construction."""
+        with :meth:`authorizes` by construction.  ``at_version``
+        answers from the retained snapshot, as in
+        :meth:`grantable_pairs`."""
+        if at_version is not None:
+            return self._snapshot_at(at_version).revocable_pairs(user)
         self._validate()
-        return frozenset(
-            privilege.edge
-            for privilege in self._held.get(user, frozenset())
-            if isinstance(privilege, Revoke)
-            and isinstance(privilege.target, _Entity)
-        )
+        return frozenset(self._entity_grant_edges(user, Revoke))
 
     def effective_authority(
-        self, user: User
+        self, user: User, at_version: int | None = None
     ) -> dict[str, frozenset[tuple[object, object]]]:
         """The review-function view of implicit authorization — what an
         administrator sees as "my effective authority": every entity
         pair the user may grant and every pair they may revoke, exactly
         the pairs :meth:`authorizes` would permit."""
         return {
-            "grant": self.grantable_pairs(user),
-            "revoke": self.revocable_pairs(user),
+            "grant": self.grantable_pairs(user, at_version=at_version),
+            "revoke": self.revocable_pairs(user, at_version=at_version),
         }
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> "ReviewSnapshot":
+        """Capture and retain a review snapshot at the current policy
+        version.  Subsequent ``grantable_pairs(..., at_version=v)``
+        calls answer from it while mutations continue on the live
+        policy; only the most recent snapshot is retained (the batched
+        submit-queue path captures one per audited batch)."""
+        snapshot = ReviewSnapshot(self.policy, compiled=self.compiled)
+        self._snapshot = snapshot
+        return snapshot
+
+    def _snapshot_at(self, version: int) -> "ReviewSnapshot":
+        return retained_snapshot(self._snapshot, version)
 
     def statistics(self) -> dict[str, int]:
         self._validate()
@@ -393,3 +850,62 @@ class AuthorizationIndex:
             "partial_refreshes": self.partial_refreshes,
             "users_refreshed": self.users_refreshed,
         }
+
+
+def retained_snapshot(
+    snapshot: "ReviewSnapshot | None", version: int
+) -> "ReviewSnapshot":
+    """The retained snapshot if it matches ``version``, else a
+    ValueError telling the auditor what is actually retained (shared
+    by the plain and sharded indexes)."""
+    if snapshot is None or snapshot.version != version:
+        retained = "none" if snapshot is None else snapshot.version
+        raise ValueError(
+            f"no review snapshot retained at version {version} "
+            f"(retained: {retained}); call snapshot() at the version "
+            "the audit should see"
+        )
+    return snapshot
+
+
+class ReviewSnapshot:
+    """A frozen review-function view of the policy at one version.
+
+    Captures a :meth:`Policy.copy` eagerly (O(V+E), the cost of
+    consistency) and builds an index over it lazily on the first
+    review query — in the retaining index's kernel representation, so
+    a frozenset-oracle index stays frozenset end to end — so a
+    batched submit-queue that retains a snapshot per audited batch
+    pays for the index only if an audit actually reads it.  Answers
+    are immutable: every ``grantable_pairs`` / ``revocable_pairs`` /
+    ``effective_authority`` call sees exactly the captured version,
+    regardless of how far the live policy has moved on.
+    """
+
+    __slots__ = ("version", "compiled", "_policy", "_index")
+
+    def __init__(self, policy: Policy, compiled: bool = True):
+        self.version = policy.version
+        self.compiled = compiled
+        self._policy = policy.copy()
+        self._index: AuthorizationIndex | None = None
+
+    def _ensure_index(self) -> AuthorizationIndex:
+        index = self._index
+        if index is None:
+            index = self._index = AuthorizationIndex(
+                self._policy, compiled=self.compiled
+            )
+        return index
+
+    def grantable_pairs(self, user: User) -> frozenset:
+        return self._ensure_index().grantable_pairs(user)
+
+    def revocable_pairs(self, user: User) -> frozenset:
+        return self._ensure_index().revocable_pairs(user)
+
+    def effective_authority(self, user: User) -> dict[str, frozenset]:
+        return self._ensure_index().effective_authority(user)
+
+    def __repr__(self) -> str:
+        return f"ReviewSnapshot(version={self.version})"

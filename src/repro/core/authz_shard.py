@@ -55,8 +55,16 @@ import zlib
 from concurrent.futures import ThreadPoolExecutor
 
 from ..graph import ancestors as graph_ancestors
-from ..graph import dirty_region, summarize_deltas
-from .authz_index import AuthorizationIndex, GrantRectangle
+from ..graph import dirty_region, dirty_region_bits, summarize_deltas
+from .authz_index import (
+    AuthorizationIndex,
+    BitGrantRectangle,
+    GrantRectangle,
+    ReviewSnapshot,
+    compile_sources,
+    compile_targets,
+    retained_snapshot,
+)
 from .commands import Command
 from .entities import Role, User
 from .policy import Policy
@@ -88,24 +96,33 @@ class RectanglePool:
 
     All entry points take the pool lock, so shards may build and look
     up rectangles from worker threads.
+
+    ``compiled=True`` (the default) interns
+    :class:`~repro.core.authz_index.BitGrantRectangle` bitmasks instead
+    of frozensets — the eviction sweep becomes a bit-test per held
+    endpoint — and must match the ``compiled`` flag of the indexes
+    drawing from the pool.
     """
 
     DELTA_LIMIT = 256
 
-    __slots__ = ("policy", "hits", "builds", "evictions", "full_clears",
-                 "_cursor", "_rectangles", "_ancestors", "_lock")
+    __slots__ = ("policy", "compiled", "hits", "builds", "evictions",
+                 "full_clears", "_cursor", "_rectangles", "_ancestors",
+                 "_lock")
 
-    def __init__(self, policy: Policy):
+    def __init__(self, policy: Policy, compiled: bool = True):
         self.policy = policy
+        self.compiled = compiled
         self.hits = 0
         self.builds = 0
         self.evictions = 0
         self.full_clears = 0
         self._cursor = policy.journal_cursor()
-        self._rectangles: dict[Grant, GrantRectangle] = {}
-        #: entity-ancestor sets shared between rectangles whose held
-        #: privileges have the same source.
-        self._ancestors: dict[object, frozenset] = {}
+        self._rectangles: dict[Grant, object] = {}
+        #: entity-ancestor regions shared between rectangles whose held
+        #: privileges have the same source: frozensets, or
+        #: ``(mask, extras)`` pairs when compiled.
+        self._ancestors: dict[object, object] = {}
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -121,9 +138,17 @@ class RectanglePool:
             if summary is None or summary.weight > self.DELTA_LIMIT:
                 self._drop_all()
                 return
-            if summary.weight == 0:
-                return  # pure vertex additions touch no reachable set
+            if summary.weight == 0 and not (
+                self.compiled and summary.added_vertices
+            ):
+                # Pure vertex additions touch no reachable set — but
+                # the compiled pool still migrates extras-held
+                # endpoints of re-provisioned vertices (see below).
+                return
             removed = summary.removed_vertices
+            if self.compiled:
+                self._evict_stale_bits(summary, removed)
+                return
             upstream, downstream = dirty_region(
                 self.policy.graph, summary.edge_sources, summary.edge_targets
             )
@@ -142,6 +167,71 @@ class RectanglePool:
             for vertex in [v for v in self._ancestors if v in sources_dirty]:
                 del self._ancestors[vertex]
 
+    def _evict_stale_bits(self, summary, removed) -> None:
+        """Compiled eviction (caller holds the lock): the dirty-region
+        membership tests are single bit-tests against the two region
+        masks; vertices without an ID fall back to the removed set
+        (every absent region member was removed inside this window).
+
+        Added vertices additionally evict the rectangles (and cached
+        ancestor regions) whose *own endpoint* they are: a rectangle
+        built while its endpoint was off-graph carries it in the
+        extras, and the hot path only tests the mask once the vertex
+        has an ID again — re-provisioning must migrate the
+        representation even though the region is set-identical (the
+        frozenset pool correctly keeps such entries)."""
+        graph = self.policy.graph
+        upstream, downstream, absent_sources, absent_targets = (
+            dirty_region_bits(
+                graph, summary.edge_sources, summary.edge_targets
+            )
+        )
+        added = summary.added_vertices
+        sources_extra = absent_targets | removed
+        targets_extra = absent_sources | removed
+        vid = graph._vid
+
+        def source_dirty(vertex) -> bool:
+            index = vid.get(vertex)
+            if index is not None and downstream >> index & 1:
+                return True
+            return bool(sources_extra) and vertex in sources_extra
+
+        def target_dirty(vertex) -> bool:
+            index = vid.get(vertex)
+            if index is not None and upstream >> index & 1:
+                return True
+            return bool(targets_extra) and vertex in targets_extra
+
+        def needs_migration(privilege, rectangle) -> bool:
+            return bool(added) and (
+                (
+                    privilege.source in added
+                    and privilege.source in rectangle.extra_sources
+                )
+                or (
+                    privilege.target in added
+                    and privilege.target in rectangle.extra_targets
+                )
+            )
+
+        stale = [
+            privilege
+            for privilege, rectangle in self._rectangles.items()
+            if source_dirty(privilege.source)
+            or target_dirty(privilege.target)
+            or privilege in removed
+            or needs_migration(privilege, rectangle)
+        ]
+        for privilege in stale:
+            del self._rectangles[privilege]
+        self.evictions += len(stale)
+        for vertex in [
+            v for v, region in self._ancestors.items()
+            if source_dirty(v) or (v in added and v in region[1])
+        ]:
+            del self._ancestors[vertex]
+
     def _drop_all(self) -> None:
         if self._rectangles or self._ancestors:
             self._rectangles.clear()
@@ -149,7 +239,7 @@ class RectanglePool:
             self.full_clears += 1
 
     # ------------------------------------------------------------------
-    def rectangle(self, privilege: Grant) -> GrantRectangle:
+    def rectangle(self, privilege: Grant):
         """The interned rectangle for an entity-target grant (built on
         first demand, shared by every holder afterwards).
 
@@ -164,16 +254,30 @@ class RectanglePool:
                 self.hits += 1
                 return rectangle
             sources = self._ancestors.get(privilege.source)
-        if sources is None:
-            sources = frozenset(
-                v for v in graph_ancestors(self.policy.graph, privilege.source)
-                if isinstance(v, _Entity)
+        if self.compiled:
+            if sources is None:
+                sources = compile_sources(self.policy, privilege.source)
+            source_bits, extra_sources = sources
+            target_bits, extra_targets = compile_targets(
+                self.policy, privilege.target
             )
-        targets = frozenset(
-            v for v in self.policy.descendants(privilege.target)
-            if isinstance(v, Role)
-        )
-        built = GrantRectangle(privilege, sources, targets)
+            built = BitGrantRectangle(
+                privilege, source_bits, target_bits,
+                extra_sources, extra_targets, self.policy.graph,
+            )
+        else:
+            if sources is None:
+                sources = frozenset(
+                    v for v in graph_ancestors(
+                        self.policy.graph, privilege.source
+                    )
+                    if isinstance(v, _Entity)
+                )
+            targets = frozenset(
+                v for v in self.policy.descendants(privilege.target)
+                if isinstance(v, Role)
+            )
+            built = GrantRectangle(privilege, sources, targets)
         with self._lock:
             rectangle = self._rectangles.get(privilege)
             if rectangle is not None:
@@ -206,17 +310,26 @@ class ShardedAuthorizationIndex:
     """
 
     def __init__(
-        self, policy: Policy, shards: int = 4, incremental: bool = True
+        self,
+        policy: Policy,
+        shards: int = 4,
+        incremental: bool = True,
+        compiled: bool = True,
     ):
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
         self.policy = policy
-        self.pool = RectanglePool(policy)
+        #: one representation across the façade: the pool, every shard
+        #: and the shared region cache must agree on the kernel.
+        self.compiled = compiled
+        self.pool = RectanglePool(policy, compiled=compiled)
         self._region_cache: dict = {}
+        self._snapshot: ReviewSnapshot | None = None
         self._shards = tuple(
             AuthorizationIndex(
                 policy,
                 incremental=incremental,
+                compiled=compiled,
                 pool=self.pool,
                 owns=(lambda u, i=i, n=shards: shard_of(u, n) == i),
                 region_cache=self._region_cache,
@@ -244,14 +357,41 @@ class ShardedAuthorizationIndex:
     def authorizes(self, user: User, command: Command) -> Privilege | None:
         return self.shard_for(user).authorizes(user, command)
 
-    def grantable_pairs(self, user: User) -> frozenset:
+    def grantable_pairs(
+        self, user: User, at_version: int | None = None
+    ) -> frozenset:
+        if at_version is not None:
+            return self._snapshot_at(at_version).grantable_pairs(user)
         return self.shard_for(user).grantable_pairs(user)
 
-    def revocable_pairs(self, user: User) -> frozenset:
+    def revocable_pairs(
+        self, user: User, at_version: int | None = None
+    ) -> frozenset:
+        if at_version is not None:
+            return self._snapshot_at(at_version).revocable_pairs(user)
         return self.shard_for(user).revocable_pairs(user)
 
-    def effective_authority(self, user: User) -> dict[str, frozenset]:
+    def effective_authority(
+        self, user: User, at_version: int | None = None
+    ) -> dict[str, frozenset]:
+        if at_version is not None:
+            return self._snapshot_at(at_version).effective_authority(user)
         return self.shard_for(user).effective_authority(user)
+
+    # ------------------------------------------------------------------
+    # Snapshot-consistent review reads
+    # ------------------------------------------------------------------
+    def snapshot(self) -> ReviewSnapshot:
+        """Capture and retain a review snapshot at the current policy
+        version — one snapshot for the whole façade, answered by an
+        (unsharded) index over the frozen copy; shard layout is
+        invisible to review reads either way."""
+        snapshot = ReviewSnapshot(self.policy, compiled=self.compiled)
+        self._snapshot = snapshot
+        return snapshot
+
+    def _snapshot_at(self, version: int) -> ReviewSnapshot:
+        return retained_snapshot(self._snapshot, version)
 
     # ------------------------------------------------------------------
     # Maintenance

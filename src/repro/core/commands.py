@@ -104,14 +104,28 @@ class Command:
 
     def requested_privilege(self) -> Privilege | None:
         """The privilege term that exactly authorizes this command, or
-        None when the edge is ill-sorted (no privilege can exist)."""
+        None when the edge is ill-sorted (no privilege can exist).
+
+        Memoized per command: a command object is typically asked for
+        its privilege several times on one decision path (authorize,
+        re-check, audit), and term construction pays sort checks plus
+        a structural hash every time.
+        """
+        try:
+            return self._requested
+        except AttributeError:
+            pass
         try:
             check_edge_sorts(self.source, self.target)
         except PolicyError:
-            return None
-        if self.action is CommandAction.GRANT:
-            return Grant(self.source, self.target)
-        return Revoke(self.source, self.target)
+            requested = None
+        else:
+            connective = (
+                Grant if self.action is CommandAction.GRANT else Revoke
+            )
+            requested = connective(self.source, self.target)
+        object.__setattr__(self, "_requested", requested)
+        return requested
 
     def __str__(self) -> str:
         glyph = "grant" if self.action is CommandAction.GRANT else "revoke"

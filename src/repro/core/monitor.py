@@ -80,13 +80,24 @@ class ReferenceMonitor:
     #: original single AuthorizationIndex (only meaningful with
     #: ``use_index=True`` — see repro.core.authz_shard).
     shards: int = 1
+    #: True (default): run the authorization index, rectangle pool and
+    #: ordering-memo maintenance on the bitset-compiled kernel
+    #: (bitmasks over interned vertex IDs).  False: the frozenset
+    #: representation — the differential oracle, and the baseline the
+    #: kernel benchmark compares against.
+    compiled: bool = True
     audit_trail: list[AccessDecision] = field(default_factory=list)
+    #: review snapshot captured by the most recent
+    #: ``submit_queue(..., batched=True, snapshot=True)`` — pass its
+    #: ``.version`` as ``at_version=`` to the index's review functions
+    #: so an audit burst sees the batch-entry state.
+    last_snapshot: object = field(default=None, repr=False)
     _sessions: dict[int, Session] = field(default_factory=dict)
     _oracle: OrderingOracle | None = field(default=None, repr=False)
     _index: object = field(default=None, repr=False)
 
     def __post_init__(self):
-        self._oracle = OrderingOracle(self.policy)
+        self._oracle = OrderingOracle(self.policy, compiled=self.compiled)
         if self.shards < 1:
             raise ValueError(f"shards must be >= 1, got {self.shards}")
         if self.use_index:
@@ -94,12 +105,14 @@ class ReferenceMonitor:
                 from .authz_shard import ShardedAuthorizationIndex
 
                 self._index = ShardedAuthorizationIndex(
-                    self.policy, shards=self.shards
+                    self.policy, shards=self.shards, compiled=self.compiled
                 )
             else:
                 from .authz_index import AuthorizationIndex
 
-                self._index = AuthorizationIndex(self.policy)
+                self._index = AuthorizationIndex(
+                    self.policy, compiled=self.compiled
+                )
 
     # ------------------------------------------------------------------
     # Session functions
@@ -183,7 +196,10 @@ class ReferenceMonitor:
         return record
 
     def submit_queue(
-        self, queue: Iterable[Command], batched: bool = False
+        self,
+        queue: Iterable[Command],
+        batched: bool = False,
+        snapshot: bool = False,
     ) -> list[ExecutionRecord]:
         """Execute a command queue.
 
@@ -203,10 +219,29 @@ class ReferenceMonitor:
         provisioning loads — and the batched reading is the natural one
         for a monitor fronting a transactional DBMS.  Monitors without
         an index (or in strict mode) fall back to the sequential path.
+
+        ``snapshot=True`` (batched path only) additionally captures a
+        review snapshot of the batch-entry state — the same state every
+        command was authorized against — and retains it on the index
+        and as :attr:`last_snapshot`: an audit burst run while or after
+        the batch applies can pass ``at_version=last_snapshot.version``
+        to ``grantable_pairs``/``revocable_pairs`` and see one
+        consistent version.  Costs one policy copy per batch, which is
+        why it is opt-in.
         """
         commands = list(queue)
         if not batched or self._index is None or self.mode is not Mode.REFINED:
+            if snapshot:
+                # Never silently hand an auditor a stale last_snapshot:
+                # the sequential path has no single entry state to
+                # capture.
+                raise ValueError(
+                    "snapshot=True requires the batched path (an "
+                    "index-backed refined monitor with batched=True)"
+                )
             return [self.submit(command) for command in commands]
+        if snapshot:
+            self.last_snapshot = self._index.snapshot()
         decisions = [
             (command, self._index.authorizes(command.user, command))
             for command in commands

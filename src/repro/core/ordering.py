@@ -40,7 +40,7 @@ from __future__ import annotations
 
 from typing import Iterator
 
-from ..graph import dirty_region, summarize_deltas
+from ..graph import dirty_region, dirty_region_bits, summarize_deltas
 from .entities import Role, User
 from .policy import Policy
 from .privileges import (
@@ -85,11 +85,22 @@ class OrderingOracle:
     #: paying for itself on big bursts.
     MEMO_DELTA_LIMIT = 32
 
-    __slots__ = ("policy", "strict_rules", "stats", "_memo", "_version")
+    __slots__ = ("policy", "strict_rules", "compiled", "stats", "_memo",
+                 "_version")
 
-    def __init__(self, policy: Policy, strict_rules: bool = False):
+    def __init__(
+        self,
+        policy: Policy,
+        strict_rules: bool = False,
+        compiled: bool = True,
+    ):
         self.policy = policy
         self.strict_rules = strict_rules
+        #: True: memo eviction tests term footprints against the dirty
+        #: region as interned-ID bitmasks (one shift per footprint
+        #: vertex); False: the frozenset footprint test, kept as the
+        #: differential baseline.  Decisions are identical either way.
+        self.compiled = compiled
         self.stats = OrderingStatistics()
         self._memo: dict[tuple[Privilege, Privilege], bool] = {}
         self._version = policy.graph.version
@@ -153,6 +164,9 @@ class OrderingOracle:
             self._memo.clear()
             self.stats.memo_full_clears += 1
             return
+        if self.compiled:
+            self._evict_stale_bits(summary)
+            return
         removed = summary.removed_vertices
         upstream, downstream = dirty_region(
             self.policy.graph, summary.edge_sources, summary.edge_targets
@@ -176,6 +190,72 @@ class OrderingOracle:
             if not dirty.isdisjoint(_term_footprint(stronger)) or (
                 not dirty.isdisjoint(_term_footprint(weaker))
             ):
+                stale.append(key)
+        for key in stale:
+            del self._memo[key]
+        self.stats.memo_evictions += len(stale)
+
+    def _evict_stale_bits(self, summary) -> None:
+        """Compiled footprint eviction: the dirty region is two masks
+        over interned vertex IDs, so testing an entry's footprint is
+        one shift per footprint vertex instead of two frozenset
+        intersections.  Vertices without an ID (removed within the
+        burst, hence in the summary, or mentioned by a term but never
+        registered) fall back to membership in the small ``dirty_extra``
+        set, preserving the frozenset semantics exactly."""
+        graph = self.policy.graph
+        removed = summary.removed_vertices
+        upstream, downstream, absent_sources, absent_targets = (
+            dirty_region_bits(
+                graph, summary.edge_sources, summary.edge_targets
+            )
+        )
+        bits = self.policy.bits
+        dirty_mask = upstream | downstream
+        dirty_extra = absent_sources | absent_targets | removed
+        hop_unsafe = (
+            not self.strict_rules
+            and bool(
+                upstream & bits.roles_mask
+                or any(isinstance(v, Role) for v in absent_sources)
+            )
+            and bool(
+                downstream & bits.privileges_mask
+                or any(
+                    is_privilege(v)
+                    for v in (absent_targets | removed)
+                )
+            )
+        )
+        vid = graph._vid
+
+        def vertex_dirty(vertex) -> bool:
+            index = vid.get(vertex)
+            if index is not None and dirty_mask >> index & 1:
+                return True
+            return bool(dirty_extra) and vertex in dirty_extra
+
+        def footprint_dirty(privilege) -> bool:
+            if vertex_dirty(privilege):
+                return True
+            if isinstance(privilege, AdminPrivilege):
+                for term in privilege.subterms():
+                    if vertex_dirty(term):
+                        return True
+                for entity in privilege.mentioned_entities():
+                    if vertex_dirty(entity):
+                        return True
+            return False
+
+        stale = []
+        for key in self._memo:
+            stronger, weaker = key
+            if not isinstance(stronger, Grant) or not isinstance(weaker, Grant):
+                continue  # structurally False under every policy
+            if hop_unsafe and not isinstance(weaker.target, _Entity):
+                stale.append(key)
+                continue
+            if footprint_dirty(stronger) or footprint_dirty(weaker):
                 stale.append(key)
         for key in stale:
             del self._memo[key]

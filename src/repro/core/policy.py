@@ -27,7 +27,9 @@ from ..graph import Digraph, ReachabilityCache, longest_chain_length
 from .entities import Role, User
 from .privileges import (
     AdminPrivilege,
+    Grant,
     Privilege,
+    Revoke,
     UserPrivilege,
     is_privilege,
 )
@@ -52,6 +54,88 @@ def check_edge_sorts(source: object, target: object) -> str:
     )
 
 
+class PolicyBits:
+    """Sort-classification bitmasks over the policy graph's interned
+    vertex IDs — the compiled kernel's answer to ``isinstance`` sweeps.
+
+    Filtering a reachability mask down to "the privileges among these
+    vertices" or "the entity ancestors" is a single ``&`` against one
+    of these masks, where the frozenset representation pays an
+    ``isinstance`` per element.  Masks maintained:
+
+    * ``users_mask`` / ``roles_mask`` / ``entities_mask`` — vertices by
+      entity sort;
+    * ``privileges_mask`` — every P† vertex;
+    * ``grant_entity_mask`` / ``revoke_entity_mask`` — ¤/♦ vertices
+      whose target is a user or role (the rectangle-bearing and
+      exact-revocation privileges of the authorization index).
+
+    Maintenance follows the change journal through a cursor: edge
+    mutations never change a vertex's sort, vertex additions set bits
+    incrementally, and any vertex *removal* triggers a full O(V)
+    rescan — removal is the rare operation (user deprovisioning,
+    privilege garbage collection), and the rescan also retires the
+    bits of IDs the interner's free-list may hand out again.
+    """
+
+    __slots__ = ("_graph", "_cursor", "rebuilds", "users_mask",
+                 "roles_mask", "entities_mask", "privileges_mask",
+                 "grant_entity_mask", "revoke_entity_mask")
+
+    def __init__(self, graph: Digraph):
+        self._graph = graph
+        self._cursor = graph.journal_cursor()
+        self.rebuilds = 0
+        self._rebuild()
+
+    def _classify(self, vertex, index: int) -> None:
+        bit = 1 << index
+        if isinstance(vertex, User):
+            self.users_mask |= bit
+            self.entities_mask |= bit
+        elif isinstance(vertex, Role):
+            self.roles_mask |= bit
+            self.entities_mask |= bit
+        elif is_privilege(vertex):
+            self.privileges_mask |= bit
+            if isinstance(vertex, AdminPrivilege) and isinstance(
+                vertex.target, (User, Role)
+            ):
+                if isinstance(vertex, Grant):
+                    self.grant_entity_mask |= bit
+                elif isinstance(vertex, Revoke):
+                    self.revoke_entity_mask |= bit
+
+    def _rebuild(self) -> None:
+        self.users_mask = 0
+        self.roles_mask = 0
+        self.entities_mask = 0
+        self.privileges_mask = 0
+        self.grant_entity_mask = 0
+        self.revoke_entity_mask = 0
+        for vertex, index in self._graph._vid.items():
+            self._classify(vertex, index)
+        self._cursor.version = self._graph.version
+        self.rebuilds += 1
+
+    def validate(self) -> None:
+        """Bring the masks up to date with the graph now."""
+        if not self._cursor.pending:
+            return
+        deltas = self._cursor.take()
+        if deltas is None or any(
+            delta.kind == "remove-vertex" for delta in deltas
+        ):
+            self._rebuild()
+            return
+        vid = self._graph._vid
+        for delta in deltas:
+            if delta.kind == "add-vertex":
+                # No removal in the window, so the vertex is still
+                # present and its ID was not recycled mid-window.
+                self._classify(delta.source, vid[delta.source])
+
+
 class Policy:
     """A mutable administrative RBAC policy.
 
@@ -62,7 +146,7 @@ class Policy:
     one BFS per distinct source.
     """
 
-    __slots__ = ("_graph", "_cache")
+    __slots__ = ("_graph", "_cache", "_bits")
 
     def __init__(
         self,
@@ -72,6 +156,7 @@ class Policy:
     ):
         self._graph = Digraph()
         self._cache = ReachabilityCache(self._graph)
+        self._bits: PolicyBits | None = None
         for source, target in ua:
             self.assign_user(source, target)
         for source, target in rh:
@@ -181,12 +266,15 @@ class Policy:
         return self._graph.journal_cursor()
 
     def validate_caches(self) -> None:
-        """Run the reachability cache's (mutating) eviction step now.
+        """Run the (mutating) eviction/maintenance steps of the
+        reachability cache and the sort masks now.
 
         Call before fanning reads out to worker threads: afterwards,
         concurrent queries against an unchanged policy only add memo
         entries, they never restructure shared state."""
         self._cache.validate()
+        if self._bits is not None:
+            self._bits.validate()
 
     def users(self) -> Iterator[User]:
         for vertex in self._graph.vertices():
@@ -249,6 +337,23 @@ class Policy:
     def descendants(self, source: object) -> frozenset:
         """All vertices reachable from ``source`` (including itself)."""
         return self._cache.descendants(source)
+
+    def descendants_bits(self, source: object) -> int:
+        """The compiled-kernel view of :meth:`descendants`: a memoized
+        bitmask over interned vertex IDs (``0`` for a non-vertex —
+        see :func:`repro.graph.descendants_bits`)."""
+        return self._cache.descendants_bits(source)
+
+    @property
+    def bits(self) -> PolicyBits:
+        """The policy's sort-classification masks (compiled kernel),
+        built lazily and revalidated from the change journal."""
+        bits = self._bits
+        if bits is None:
+            bits = self._bits = PolicyBits(self._graph)
+        else:
+            bits.validate()
+        return bits
 
     def authorized_roles(self, user: User) -> frozenset[Role]:
         """Roles the user may activate: ``{r : u ->φ r}`` (§2)."""

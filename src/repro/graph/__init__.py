@@ -17,13 +17,17 @@ from .digraph import (
 from .reachability import (
     ReachabilityCache,
     ancestors,
+    ancestors_bits,
     descendants,
+    descendants_bits,
+    iter_bits,
     reachable_from_any,
     reaches,
 )
 from .closure import (
     condensation,
     dirty_region,
+    dirty_region_bits,
     longest_chain_length,
     strongly_connected_components,
     topological_order,
@@ -46,11 +50,15 @@ __all__ = [
     "summarize_deltas",
     "ReachabilityCache",
     "ancestors",
+    "ancestors_bits",
     "descendants",
+    "descendants_bits",
+    "iter_bits",
     "reachable_from_any",
     "reaches",
     "condensation",
     "dirty_region",
+    "dirty_region_bits",
     "longest_chain_length",
     "strongly_connected_components",
     "topological_order",

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Iterable
 
 from .digraph import Digraph, Vertex
-from .reachability import reachable_from_any
+from .reachability import _sweep_bits, reachable_from_any
 
 
 def transitive_closure(graph: Digraph) -> Digraph:
@@ -174,6 +174,53 @@ def dirty_region(
     upstream = reachable_from_any(graph, edge_sources, graph.predecessors)
     downstream = reachable_from_any(graph, edge_targets)
     return upstream, downstream
+
+
+def dirty_region_bits(
+    graph: Digraph,
+    edge_sources: Iterable[Vertex],
+    edge_targets: Iterable[Vertex],
+) -> tuple[int, int, frozenset, frozenset]:
+    """Compiled :func:`dirty_region`: the same sweep expressed as
+    bitmasks over the graph's interned vertex IDs, so that consumers
+    can test "is this vertex in the region" with one shift and filter
+    whole candidate sets with one ``&``.
+
+    Returns ``(upstream_mask, downstream_mask, absent_sources,
+    absent_targets)``.  The masks cover the in-graph region members;
+    seeds no longer present in the graph (which the frozenset variant
+    includes as themselves — e.g. a garbage-collected privilege vertex)
+    cannot carry a bit and are returned in the two ``absent`` sets, so
+    callers preserve the frozenset semantics exactly by checking
+    membership there for vertices without an ID.  Every absent seed
+    was necessarily removed within the delta window that produced the
+    seeds, so the sets are tiny (usually empty).
+    """
+    vid = graph._vid
+    upstream, up_seeds, absent_sources = 0, [], []
+    for vertex in edge_sources:
+        index = vid.get(vertex)
+        if index is None:
+            absent_sources.append(vertex)
+        elif not upstream >> index & 1:
+            upstream |= 1 << index
+            up_seeds.append(index)
+    downstream, down_seeds, absent_targets = 0, [], []
+    for vertex in edge_targets:
+        index = vid.get(vertex)
+        if index is None:
+            absent_targets.append(vertex)
+        elif not downstream >> index & 1:
+            downstream |= 1 << index
+            down_seeds.append(index)
+    upstream = _sweep_bits(graph._pred_bits, upstream, up_seeds)
+    downstream = _sweep_bits(graph._succ_bits, downstream, down_seeds)
+    return (
+        upstream,
+        downstream,
+        frozenset(absent_sources),
+        frozenset(absent_targets),
+    )
 
 
 def longest_chain_length(

@@ -14,7 +14,7 @@ yet) are representable.
 from __future__ import annotations
 
 import weakref
-from collections import deque
+from collections import Counter, deque
 from typing import Hashable, Iterable, Iterator, NamedTuple
 
 Vertex = Hashable
@@ -51,6 +51,12 @@ class DeltaSummary(NamedTuple):
     #: no edges), so they count toward no consumer's fallback
     #: threshold.
     weight: int
+    #: vertices added within the window (a vertex both added and
+    #: removed appears in both sets).  Additions change no reachable
+    #: *set*, but the compiled kernel needs them: a rectangle holding
+    #: an off-graph endpoint in its extras must migrate it into the
+    #: bitmask when the vertex (re)joins the graph and gets an ID.
+    added_vertices: frozenset = frozenset()
 
 
 def summarize_deltas(deltas: Iterable[GraphDelta]) -> DeltaSummary:
@@ -67,6 +73,7 @@ def summarize_deltas(deltas: Iterable[GraphDelta]) -> DeltaSummary:
     edge_sources = set()
     edge_targets = set()
     removed = set()
+    added = set()
     weight = 0
     for delta in deltas:
         if delta.is_edge:
@@ -76,12 +83,59 @@ def summarize_deltas(deltas: Iterable[GraphDelta]) -> DeltaSummary:
         elif delta.kind == "remove-vertex":
             removed.add(delta.source)
             weight += 1
+        elif delta.kind == "add-vertex":
+            added.add(delta.source)
     return DeltaSummary(
         frozenset(edge_sources),
         frozenset(edge_targets),
         frozenset(removed),
         weight,
+        frozenset(added),
     )
+
+
+def _compact_deltas(deltas: list[GraphDelta]) -> tuple[GraphDelta, ...]:
+    """Coalesce add/remove pairs of the same edge out of a delta window.
+
+    Edge mutations of one edge alternate (an edge cannot be added
+    twice without a removal in between), so an even occurrence count
+    nets to zero — all of that edge's deltas are dropped — and an odd
+    count keeps exactly the final occurrence, whose kind is by
+    construction the net effect.  Vertex deltas pass through in place.
+
+    Edges incident to a vertex that was itself added or removed in
+    the window are **exempt** from coalescing: the compiled kernel's
+    ID-recycling safety argument ("a surviving mask containing a
+    removed vertex also intersects the journaled edge sources of its
+    removal") depends on exactly those deltas, and a vertex removed
+    and re-assigned within one window (privilege garbage collection
+    followed by a re-grant) would otherwise come back under a
+    recycled ID with no delta telling any cache to evict.
+    """
+    churned = {
+        delta.source for delta in deltas if not delta.is_edge
+    }
+    totals = Counter(
+        (delta.source, delta.target)
+        for delta in deltas
+        if delta.is_edge
+        and delta.source not in churned
+        and delta.target not in churned
+    )
+    if not totals or all(count == 1 for count in totals.values()):
+        return tuple(deltas)
+    seen: Counter = Counter()
+    compacted = []
+    for delta in deltas:
+        if delta.is_edge:
+            key = (delta.source, delta.target)
+            total = totals.get(key)
+            if total is not None:  # exempt edges have no entry
+                seen[key] += 1
+                if total % 2 == 0 or seen[key] != total:
+                    continue
+        compacted.append(delta)
+    return tuple(compacted)
 
 
 class JournalCursor:
@@ -150,6 +204,20 @@ class Digraph:
     a sharded authorization index) register a :class:`JournalCursor`
     via :meth:`journal_cursor`; trimming then preserves the entries the
     slowest live cursor still needs, up to ``JOURNAL_HARD_LIMIT``.
+
+    Vertices are additionally *interned*: every vertex gets a stable
+    small-integer ID (:meth:`vid` / :meth:`vertex_of`) assigned on
+    insertion and recycled through a free-list on removal, and the
+    graph maintains per-vertex successor/predecessor *bitmasks* over
+    those IDs alongside the adjacency sets.  The bitmasks are what the
+    compiled reachability kernel (:func:`repro.graph.descendants_bits`
+    and friends) operates on: a BFS step becomes a handful of big-int
+    ``|``/``&`` operations instead of per-element set algebra.  An ID
+    is only ever reused after its vertex was removed, and every
+    journal-driven cache evicts entries that could mention a removed
+    vertex before it revalidates, so a recycled ID can never be
+    misread by a cache that follows the dirty-region rules (see
+    ``docs/ARCHITECTURE.md``, "The compiled bitset kernel").
     """
 
     JOURNAL_LIMIT = 4096
@@ -159,7 +227,9 @@ class Digraph:
     JOURNAL_HARD_LIMIT = 4 * JOURNAL_LIMIT
 
     __slots__ = ("_succ", "_pred", "_edge_count", "_journal",
-                 "_journal_base", "_cursors", "version")
+                 "_journal_base", "_cursors", "version",
+                 "_vid", "_vertex_of", "_free_vids",
+                 "_succ_bits", "_pred_bits")
 
     def __init__(self, edges: Iterable[tuple[Vertex, Vertex]] = ()):
         self._succ: dict[Vertex, set[Vertex]] = {}
@@ -169,6 +239,14 @@ class Digraph:
         self._journal: deque[GraphDelta] = deque()
         self._journal_base = 0  # deltas with version > base are journaled
         self._cursors: weakref.WeakSet[JournalCursor] = weakref.WeakSet()
+        #: dense vertex interner (read directly by the bitset kernel in
+        #: repro.graph.reachability and repro.core — treat as read-only
+        #: outside this class).
+        self._vid: dict[Vertex, int] = {}
+        self._vertex_of: list[Vertex | None] = []
+        self._free_vids: list[int] = []
+        self._succ_bits: list[int] = []
+        self._pred_bits: list[int] = []
         for source, target in edges:
             self.add_edge(source, target)
 
@@ -195,6 +273,15 @@ class Digraph:
             return False
         self._succ[vertex] = set()
         self._pred[vertex] = set()
+        if self._free_vids:
+            index = self._free_vids.pop()
+            self._vertex_of[index] = vertex
+        else:
+            index = len(self._vertex_of)
+            self._vertex_of.append(vertex)
+            self._succ_bits.append(0)
+            self._pred_bits.append(0)
+        self._vid[vertex] = index
         self.version += 1
         self._record("add-vertex", vertex)
         return True
@@ -210,6 +297,9 @@ class Digraph:
             return False
         self._succ[source].add(target)
         self._pred[target].add(source)
+        source_id, target_id = self._vid[source], self._vid[target]
+        self._succ_bits[source_id] |= 1 << target_id
+        self._pred_bits[target_id] |= 1 << source_id
         self._edge_count += 1
         self.version += 1
         self._record("add-edge", source, target)
@@ -221,6 +311,9 @@ class Digraph:
             return False
         self._succ[source].discard(target)
         self._pred[target].discard(source)
+        source_id, target_id = self._vid[source], self._vid[target]
+        self._succ_bits[source_id] &= ~(1 << target_id)
+        self._pred_bits[target_id] &= ~(1 << source_id)
         self._edge_count -= 1
         self.version += 1
         self._record("remove-edge", source, target)
@@ -236,6 +329,11 @@ class Digraph:
             self.remove_edge(source, vertex)
         del self._succ[vertex]
         del self._pred[vertex]
+        index = self._vid.pop(vertex)
+        self._vertex_of[index] = None
+        self._succ_bits[index] = 0  # already zero: all incident edges gone
+        self._pred_bits[index] = 0
+        self._free_vids.append(index)
         self.version += 1
         self._record("remove-vertex", vertex)
         return True
@@ -243,12 +341,27 @@ class Digraph:
     # ------------------------------------------------------------------
     # Change journal
     # ------------------------------------------------------------------
-    def changes_since(self, version: int) -> tuple[GraphDelta, ...] | None:
+    def changes_since(
+        self, version: int, compact: bool = True
+    ) -> tuple[GraphDelta, ...] | None:
         """The mutations applied after ``version``, oldest first.
 
         Returns None when ``version`` predates the journal window (the
         caller cannot reconstruct the diff and must rebuild from
         scratch).  Returns an empty tuple when ``version`` is current.
+
+        With ``compact=True`` (the default) add/remove pairs of the
+        *same edge* inside the window are coalesced away: bursty
+        provisioning frequently grants and revokes the same edge
+        within one delta window, and replaying both sides only inflates
+        every consumer's burst weight and dirty region.  An edge
+        mutated an even number of times nets to no change at all and
+        is dropped entirely; an odd number of times keeps only the
+        last (net-effect) delta in place.  Vertex deltas are never
+        coalesced — consumers replay them order-sensitively (a user
+        removed and re-added must end up fresh).  Compaction preserves
+        the replay semantics: reachability between the window's
+        endpoints is a function of the *net* edge difference only.
         """
         if version >= self.version:
             return ()
@@ -263,6 +376,8 @@ class Digraph:
                 break
             collected.append(delta)
         collected.reverse()
+        if compact:
+            return _compact_deltas(collected)
         return tuple(collected)
 
     def journal_cursor(self) -> JournalCursor:
@@ -272,6 +387,32 @@ class Digraph:
         cursor = JournalCursor(self)
         self._cursors.add(cursor)
         return cursor
+
+    # ------------------------------------------------------------------
+    # Vertex interner
+    # ------------------------------------------------------------------
+    def vid(self, vertex: Vertex) -> int:
+        """The interned ID of ``vertex``; raises KeyError if absent.
+
+        IDs are stable for the lifetime of the vertex and recycled via
+        a free-list after removal, so masks stay dense under churn.
+        """
+        return self._vid[vertex]
+
+    def vertex_of(self, vid: int) -> Vertex:
+        """The vertex owning interned ID ``vid``; raises LookupError
+        for IDs that are out of range or currently on the free-list."""
+        vertex = self._vertex_of[vid] if 0 <= vid < len(self._vertex_of) \
+            else None
+        if vertex is None:
+            raise LookupError(f"no vertex interned at id {vid}")
+        return vertex
+
+    @property
+    def vid_capacity(self) -> int:
+        """Number of interner slots ever allocated (live + free-list):
+        every live vertex ID is strictly below this bound."""
+        return len(self._vertex_of)
 
     # ------------------------------------------------------------------
     # Queries

@@ -15,6 +15,20 @@ Two entry points are provided:
   ``version`` counter.  The privilege-ordering decision procedure issues
   many reachability queries against a policy that changes rarely, which
   is exactly the access pattern the cache targets.
+
+Both come in two representations.  The *frozenset* functions return
+sets of vertex objects and are the semantic oracle.  The *compiled*
+functions (:func:`descendants_bits`, :func:`ancestors_bits`,
+:meth:`ReachabilityCache.descendants_bits`) return Python big-int
+bitmasks over the graph's interned vertex IDs
+(:meth:`~repro.graph.digraph.Digraph.vid`): a BFS step unions whole
+precomputed successor masks with ``|`` instead of hashing vertices one
+by one, and downstream consumers intersect, test and filter masks with
+single integer operations.  A vertex absent from the graph has no ID,
+so the compiled functions return ``0`` for it — callers that need the
+reflexive ``{source}`` semantics of the frozenset variants handle the
+absent seed explicitly (see the rectangle "extras" in
+:mod:`repro.core.authz_index`).
 """
 
 from __future__ import annotations
@@ -51,14 +65,27 @@ def ancestors(graph: Digraph, target: Vertex) -> frozenset[Vertex]:
     return frozenset(seen)
 
 
-def reaches(graph: Digraph, source: Vertex, target: Vertex) -> bool:
+def reaches(
+    graph: Digraph,
+    source: Vertex,
+    target: Vertex,
+    cache: "ReachabilityCache | None" = None,
+) -> bool:
     """True iff there is a (possibly empty) path from source to target.
 
     Uses an early-exit BFS rather than materializing the full
-    descendant set.
+    descendant set.  When a ``cache`` is supplied and already holds a
+    warm entry for ``source`` (either representation), the answer
+    comes from the memo instead of re-walking the graph; a cold cache
+    is *not* populated — the early-exit BFS stays cheaper than a full
+    materialization for one-shot queries.
     """
     if source == target:
         return True
+    if cache is not None:
+        warm = cache.peek_reaches(source, target)
+        if warm is not None:
+            return warm
     seen: set[Vertex] = {source}
     queue: deque[Vertex] = deque([source])
     while queue:
@@ -70,6 +97,51 @@ def reaches(graph: Digraph, source: Vertex, target: Vertex) -> bool:
                 seen.add(successor)
                 queue.append(successor)
     return False
+
+
+def iter_bits(mask: int):
+    """Yield the set-bit indices of ``mask``, lowest first.
+
+    The workhorse for decoding kernel bitmasks back into vertices:
+    ``(graph.vertex_of(i) for i in iter_bits(mask))``.
+    """
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def descendants_bits(graph: Digraph, source: Vertex) -> int:
+    """Bitmask over interned vertex IDs of every vertex reachable from
+    ``source``, including ``source`` itself; ``0`` if ``source`` is not
+    a graph vertex (no ID exists for it — see the module docstring)."""
+    source_id = graph._vid.get(source)
+    if source_id is None:
+        return 0
+    return _sweep_bits(graph._succ_bits, 1 << source_id, [source_id])
+
+
+def ancestors_bits(graph: Digraph, target: Vertex) -> int:
+    """Bitmask of every vertex that reaches ``target``, including
+    ``target`` itself; ``0`` if ``target`` is not a graph vertex."""
+    target_id = graph._vid.get(target)
+    if target_id is None:
+        return 0
+    return _sweep_bits(graph._pred_bits, 1 << target_id, [target_id])
+
+
+def _sweep_bits(adjacency: list[int], seen: int, frontier: list[int]) -> int:
+    """Multi-source BFS over per-vertex adjacency masks: each round ORs
+    whole neighbour masks together (word-parallel), then expands only
+    the genuinely new bits."""
+    while frontier:
+        gathered = 0
+        for index in frontier:
+            gathered |= adjacency[index]
+        gathered &= ~seen
+        seen |= gathered
+        frontier = list(iter_bits(gathered))
+    return seen
 
 
 def reachable_from_any(
@@ -122,17 +194,31 @@ class ReachabilityCache:
     When the journal no longer reaches back to the cache's version, or
     the delta burst is larger than ``DELTA_LIMIT``, the cache falls
     back to the old clear-everything behaviour.
+
+    The cache holds two memo tables over the same facts: frozensets
+    (:meth:`descendants`) and interned-ID bitmasks
+    (:meth:`descendants_bits`, the compiled kernel's representation).
+    Both follow identical eviction rules; an entry surviving eviction
+    provably contains no removed vertex, which is what makes interner
+    ID reuse safe for retained masks.
     """
 
     DELTA_LIMIT = 64
 
-    __slots__ = ("_graph", "_version", "_descendants", "evictions",
-                 "full_invalidations")
+    __slots__ = ("_graph", "_version", "_descendants", "_bits",
+                 "_bits_by_vid", "evictions", "full_invalidations")
 
     def __init__(self, graph: Digraph):
         self._graph = graph
         self._version = graph.version
         self._descendants: dict[Vertex, frozenset[Vertex]] = {}
+        #: vertex -> (vid at fill time, mask); the vid makes the mirror
+        #: below evictable even after the vertex has left the graph.
+        self._bits: dict[Vertex, tuple[int, int]] = {}
+        #: vid -> mask mirror of ``_bits`` — absorption lookups during
+        #: the BFS are per frontier *bit*, and int keys skip the
+        #: Python-level entity ``__hash__`` calls entirely.
+        self._bits_by_vid: dict[int, int] = {}
         #: diagnostic counters (read by benchmarks and tests)
         self.evictions = 0
         self.full_invalidations = 0
@@ -142,12 +228,14 @@ class ReachabilityCache:
             return
         deltas = (
             self._graph.changes_since(self._version)
-            if self._descendants else None
+            if (self._descendants or self._bits) else None
         )
         summary = None if deltas is None else summarize_deltas(deltas)
         if summary is None or summary.weight > self.DELTA_LIMIT:
-            if self._descendants:
+            if self._descendants or self._bits:
                 self._descendants.clear()
+                self._bits.clear()
+                self._bits_by_vid.clear()
                 self.full_invalidations += 1
         else:
             # An entry accurate at the old version is affected by some
@@ -159,6 +247,10 @@ class ReachabilityCache:
             for vertex in summary.removed_vertices:
                 if self._descendants.pop(vertex, None) is not None:
                     self.evictions += 1
+                dropped = self._bits.pop(vertex, None)
+                if dropped is not None:
+                    del self._bits_by_vid[dropped[0]]
+                    self.evictions += 1
             if summary.edge_sources:
                 stale = [
                     key for key, seen in self._descendants.items()
@@ -167,6 +259,26 @@ class ReachabilityCache:
                 for key in stale:
                     del self._descendants[key]
                 self.evictions += len(stale)
+                if self._bits:
+                    # Same rule, word-parallel: a mask entry is stale
+                    # iff it intersects the source mask.  An absent
+                    # edge source was removed this burst, and any mask
+                    # containing it also contains a still-present
+                    # source (walk the path back) or is keyed by a
+                    # removed vertex — both already caught.
+                    vid = self._graph._vid
+                    source_mask = 0
+                    for vertex in summary.edge_sources:
+                        index = vid.get(vertex)
+                        if index is not None:
+                            source_mask |= 1 << index
+                    stale_bits = [
+                        key for key, (_, mask) in self._bits.items()
+                        if mask & source_mask
+                    ]
+                    for key in stale_bits:
+                        del self._bits_by_vid[self._bits.pop(key)[0]]
+                    self.evictions += len(stale_bits)
         self._version = self._graph.version
 
     def validate(self) -> None:
@@ -187,13 +299,87 @@ class ReachabilityCache:
             self._descendants[source] = cached
         return cached
 
+    def descendants_bits(self, source: Vertex) -> int:
+        """Memoized bitmask of the descendants of ``source`` (``0`` for
+        a vertex absent from the graph).
+
+        The BFS *absorbs* warm sibling entries: when the frontier
+        reaches a vertex whose mask is already memoized, that whole
+        mask is OR-ed into the result and the vertex is not expanded.
+        Fanning out over a user population whose members share role
+        subtrees (the authorization-index build) therefore pays the
+        deep traversal once per role, not once per user.
+        """
+        self._validate()
+        cached = self._bits.get(source)
+        if cached is not None:
+            return cached[1]
+        graph = self._graph
+        source_id = graph._vid.get(source)
+        if source_id is None:
+            return 0
+        memo_vid = self._bits_by_vid
+        succ_bits = graph._succ_bits
+        seen = 1 << source_id
+        frontier = [source_id]
+        while frontier:
+            gathered = 0
+            for index in frontier:
+                gathered |= succ_bits[index]
+            gathered &= ~seen
+            frontier = []
+            while gathered:
+                low = gathered & -gathered
+                gathered ^= low
+                index = low.bit_length() - 1
+                warm = memo_vid.get(index)
+                if warm is None:
+                    seen |= low
+                    frontier.append(index)
+                else:
+                    seen |= warm
+                    gathered &= ~warm
+        self._bits[source] = (source_id, seen)
+        memo_vid[source_id] = seen
+        return seen
+
+    def peek_descendants(self, source: Vertex) -> frozenset[Vertex] | None:
+        """The memoized frozenset descendant set, or None when cold —
+        never triggers a build (evicts stale entries first)."""
+        self._validate()
+        return self._descendants.get(source)
+
+    def peek_reaches(self, source: Vertex, target: Vertex) -> bool | None:
+        """Answer ``reaches`` purely from warm memo entries (either
+        representation); None when the source is cold."""
+        if source == target:
+            return True
+        self._validate()
+        cached = self._descendants.get(source)
+        if cached is not None:
+            return target in cached
+        warm = self._bits.get(source)
+        if warm is not None:
+            index = self._graph._vid.get(target)
+            return index is not None and bool(warm[1] >> index & 1)
+        return None
+
     def reaches(self, source: Vertex, target: Vertex) -> bool:
         if source == target:
             return True
+        self._validate()
+        # A warm mask entry (the compiled kernel's representation)
+        # already answers the membership question — don't materialize
+        # a duplicate frozenset of the same facts.
+        warm = self._bits.get(source)
+        if warm is not None and source not in self._descendants:
+            index = self._graph._vid.get(target)
+            return index is not None and bool(warm[1] >> index & 1)
         return target in self.descendants(source)
 
     @property
     def cached_sources(self) -> int:
-        """Number of memoized descendant sets (diagnostic)."""
+        """Number of memoized descendant sets, both representations
+        (diagnostic)."""
         self._validate()
-        return len(self._descendants)
+        return len(self._descendants) + len(self._bits)

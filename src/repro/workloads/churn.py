@@ -47,6 +47,16 @@ class ChurnShape:
     queries_per_mutation: int = 4
     #: probability split of mutation kinds (rest is RH/PA churn)
     ua_fraction: float = 0.85
+    #: membership/assignment density — the defaults (1 role per user,
+    #: 1 privilege per role) keep the original thin organization; the
+    #: kernel benchmark raises both so per-subject reachable sets have
+    #: realistic enterprise weight (tens of vertices, not a handful).
+    roles_per_user: int = 1
+    privileges_per_role: int = 1
+    #: user-specific ¤/♦ delegations each top role's administrator
+    #: entry carries — delegated administration grows with the
+    #: organization, so the kernel benchmark scales it up.
+    delegations_per_top_role: int = 4
 
 
 @dataclass(frozen=True)
@@ -82,11 +92,20 @@ def churn_policy(seed: int, shape: ChurnShape = ChurnShape()) -> Policy:
         if juniors:
             policy.add_inheritance(role, rng.choice(juniors))
         policy.assign_privilege(role, perm("read", f"doc{index}"))
+        for extra in range(1, shape.privileges_per_role):
+            # Deterministic (no rng draw): keeps the default-shape
+            # stream byte-identical to the original generator.
+            policy.assign_privilege(
+                role, perm("write" if extra % 2 else "exec",
+                           f"doc{index}.{extra}")
+            )
 
     users = [User(f"u{i}") for i in range(shape.n_users)]
     for user in users:
         policy.add_user(user)
         policy.assign_user(user, rng.choice(roles))
+        for _ in range(1, shape.roles_per_user):
+            policy.assign_user(user, rng.choice(roles))
 
     admin_role = Role("admin")
     policy.add_role(admin_role)
@@ -95,7 +114,9 @@ def churn_policy(seed: int, shape: ChurnShape = ChurnShape()) -> Policy:
         # Administrators may assign anyone into a top role (and hence,
         # by rule 2, into anything it inherits) and revoke exact edges.
         policy.assign_privilege(admin_role, Grant(senior, senior))
-        for user in rng.sample(users, min(4, len(users))):
+        for user in rng.sample(
+            users, min(shape.delegations_per_top_role, len(users))
+        ):
             policy.assign_privilege(admin_role, Grant(user, senior))
             policy.assign_privilege(admin_role, Revoke(user, senior))
     for i in range(shape.n_admins):
@@ -175,12 +196,29 @@ def differential_churn(
     steps: int = 50,
     shape: PolicyShape = PolicyShape(),
     probes_per_step: int = 12,
+    compiled: bool = True,
+    remove_users: bool = False,
+    mutation_log: list[str] | None = None,
 ) -> list[str]:
     """Randomized differential check: after every mutation the
     incremental index must agree *structurally* (held sets, rectangles,
     effective authority) and *behaviourally* (sampled authorization
-    probes) with a from-scratch ``AuthorizationIndex(policy)``.
+    probes) with a from-scratch rebuild.
 
+    Two oracles are compared against.  A fresh index in the *same*
+    representation pins incremental maintenance exactly (internal
+    structures included).  When ``compiled=True``, a fresh
+    ``compiled=False`` index additionally pins the bitset kernel to
+    the frozenset oracle (invariant 9): held sets are compared through
+    :meth:`~repro.core.authz_index.AuthorizationIndex.held_privileges`,
+    rectangles through ``thaw()``, review surfaces exactly, and probe
+    decisions at grant/deny level — the covering privilege may
+    legitimately differ between representations when several cover
+    (scan order), so the frozenset oracle additionally checks the
+    returned privilege is genuinely held.
+
+    ``remove_users=True`` mixes user deprovisioning (and usually
+    re-provisioning) into the mutations — the interner ID-reuse case.
     Returns the list of violations (empty means the property held).
     Random policies here exercise cycles, nested admin privileges and
     privilege-vertex garbage collection — the edge cases of the dirty
@@ -190,7 +228,7 @@ def differential_churn(
 
     rng = random.Random(seed)
     policy = random_policy(seed, shape)
-    index = AuthorizationIndex(policy)
+    index = AuthorizationIndex(policy, compiled=compiled)
     violations: list[str] = []
 
     users = sorted(policy.users(), key=str)
@@ -198,9 +236,26 @@ def differential_churn(
     privileges = sorted(policy.subterm_closure(), key=str)
 
     for step_number in range(steps):
-        mutation = _random_mutation(rng, policy, users, roles, privileges)
+        if remove_users and rng.random() < 0.25 and users:
+            victim = rng.choice(users)
+            policy.remove_user(victim)
+            mutation = f"remove-user {victim}"
+            if rng.random() < 0.7:
+                # Re-added in the same burst: the freed interner ID is
+                # typically handed straight back — a surviving stale
+                # mask would now misread it.
+                policy.add_user(victim)
+                policy.assign_user(victim, rng.choice(roles))
+                mutation += f"; re-add {victim}"
+        else:
+            mutation = _random_mutation(rng, policy, users, roles, privileges)
+        if mutation_log is not None:
+            mutation_log.append(mutation)
         index.refresh()
-        fresh = AuthorizationIndex(policy)
+        fresh = AuthorizationIndex(policy, compiled=compiled)
+        oracle = (
+            AuthorizationIndex(policy, compiled=False) if compiled else fresh
+        )
         for user in users:
             if index._held.get(user) != fresh._held.get(user):
                 violations.append(
@@ -221,6 +276,30 @@ def differential_churn(
                     f"step {step_number} ({mutation}): effective authority "
                     f"of {user} diverged from full rebuild"
                 )
+            if compiled:
+                if index.held_privileges(user) != oracle.held_privileges(
+                    user
+                ):
+                    violations.append(
+                        f"step {step_number} ({mutation}): compiled held "
+                        f"set of {user} diverged from the frozenset oracle"
+                    )
+                if {
+                    r.thaw() for r in index._rectangles.get(user, ())
+                } != set(oracle._rectangles.get(user, ())):
+                    violations.append(
+                        f"step {step_number} ({mutation}): compiled "
+                        f"rectangles of {user} diverged from the frozenset "
+                        "oracle"
+                    )
+                if index.effective_authority(
+                    user
+                ) != oracle.effective_authority(user):
+                    violations.append(
+                        f"step {step_number} ({mutation}): compiled "
+                        f"effective authority of {user} diverged from the "
+                        "frozenset oracle"
+                    )
         for _ in range(probes_per_step):
             issuer = rng.choice(users)
             probe = Command(
@@ -229,13 +308,27 @@ def differential_churn(
                 rng.choice(users + roles),
                 rng.choice(roles + privileges),
             )
-            if index.authorizes(issuer, probe) != fresh.authorizes(
-                issuer, probe
-            ):
+            got = index.authorizes(issuer, probe)
+            if got != fresh.authorizes(issuer, probe):
                 violations.append(
                     f"step {step_number}: incremental and fresh index "
                     f"disagree on {probe}"
                 )
+            if compiled:
+                want = oracle.authorizes(issuer, probe)
+                if (got is None) != (want is None):
+                    violations.append(
+                        f"step {step_number}: compiled kernel and "
+                        f"frozenset oracle disagree on {probe}"
+                    )
+                elif got is not None and got not in oracle.held_privileges(
+                    issuer
+                ):
+                    violations.append(
+                        f"step {step_number}: compiled kernel authorized "
+                        f"{probe} by a privilege the oracle says {issuer} "
+                        "does not hold"
+                    )
     return violations
 
 
@@ -246,19 +339,25 @@ def differential_shard_churn(
     shard_counts: tuple[int, ...] = (2, 4, 7),
     probes_per_step: int = 8,
     burst_log: list[str] | None = None,
+    compiled: bool = True,
 ) -> list[str]:
     """Randomized differential check for the *sharded* index: after
     every delta burst, a :class:`~repro.core.authz_shard.\
 ShardedAuthorizationIndex` at each shard count must answer
     ``authorizes``, ``grantable_pairs``, ``revocable_pairs`` and
     ``effective_authority`` identically to a from-scratch unsharded
-    ``AuthorizationIndex(policy)``.
+    oracle.
 
     Bursts contain one to three mutations applied back-to-back before
     any index validates, including user deprovisioning and users
     removed *and re-added* within the same burst — the cases where a
     shard's journal replay must not resurrect or lose per-user
-    entries.  Returns the list of violations (empty means the
+    entries (and, under the compiled kernel, where interner IDs are
+    recycled).  When ``compiled=True`` the review surfaces are pinned
+    to a *frozenset* oracle — they are plain pair sets, equal across
+    representations — and ``authorizes`` is pinned exactly to a
+    same-representation oracle plus at grant/deny level to the
+    frozenset one.  Returns the list of violations (empty means the
     invariant held); ``burst_log`` (if given) collects the mutation
     labels so callers can assert the mix was actually exercised.
     """
@@ -268,7 +367,9 @@ ShardedAuthorizationIndex` at each shard count must answer
     rng = random.Random(seed ^ 0x51A2D)
     policy = random_policy(seed, shape)
     sharded = {
-        count: ShardedAuthorizationIndex(policy, shards=count)
+        count: ShardedAuthorizationIndex(
+            policy, shards=count, compiled=compiled
+        )
         for count in shard_counts
     }
     violations: list[str] = []
@@ -297,7 +398,10 @@ ShardedAuthorizationIndex` at each shard count must answer
         label = "; ".join(burst)
         if burst_log is not None:
             burst_log.extend(burst)
-        fresh = AuthorizationIndex(policy)
+        fresh = AuthorizationIndex(policy, compiled=compiled)
+        oracle = (
+            AuthorizationIndex(policy, compiled=False) if compiled else fresh
+        )
         probes = [
             Command(
                 rng.choice(users),
@@ -314,7 +418,7 @@ ShardedAuthorizationIndex` at each shard count must answer
                     "effective_authority",
                 ):
                     got = getattr(index, surface)(user)
-                    expected = getattr(fresh, surface)(user)
+                    expected = getattr(oracle, surface)(user)
                     if got != expected:
                         violations.append(
                             f"step {step_number} ({label}): shards={count} "
@@ -322,13 +426,20 @@ ShardedAuthorizationIndex` at each shard count must answer
                             "unsharded oracle"
                         )
             for probe in probes:
-                if index.authorizes(probe.user, probe) != fresh.authorizes(
-                    probe.user, probe
-                ):
+                got = index.authorizes(probe.user, probe)
+                if got != fresh.authorizes(probe.user, probe):
                     violations.append(
                         f"step {step_number} ({label}): shards={count} "
                         f"authorizes disagrees on {probe}"
                     )
+                if compiled:
+                    want = oracle.authorizes(probe.user, probe)
+                    if (got is None) != (want is None):
+                        violations.append(
+                            f"step {step_number} ({label}): shards={count} "
+                            f"compiled decision disagrees with the "
+                            f"frozenset oracle on {probe}"
+                        )
     return violations
 
 

@@ -27,6 +27,13 @@ monitor's global invariants after every step:
    including users removed and re-added within one delta burst
    (:func:`fuzz_sharded_index`, backed by
    :func:`repro.workloads.churn.differential_shard_churn`).
+9. **Compiled-kernel agreement** — the bitset-compiled representation
+   (``compiled=True``: bitmask held sets, rectangles and dirty
+   regions over interned vertex IDs) is observationally identical to
+   the frozenset oracle under churn, including user removal and
+   re-provisioning that recycles interner IDs, both unsharded and at
+   several shard counts (:func:`fuzz_compiled_kernel`, backed by the
+   two differential harnesses above with ``compiled=True``).
 
 The fuzzer is seeded and deterministic; the test suite runs it over a
 spread of seeds, and `examples/safety_audit.py`-style scripts can run
@@ -137,12 +144,17 @@ def fuzz_monitor(
     steps: int = 60,
     shape: PolicyShape = PolicyShape(),
     mode: Mode = Mode.REFINED,
+    compiled: bool = True,
 ) -> FuzzReport:
-    """Run one seeded campaign; returns the report (check ``.ok``)."""
+    """Run one seeded campaign; returns the report (check ``.ok``).
+
+    ``compiled`` selects the index/oracle kernel representation (the
+    invariants must hold under either).
+    """
     rng = random.Random(seed)
     policy = random_policy(seed, shape)
-    monitor = ReferenceMonitor(policy, mode=mode)
-    index = AuthorizationIndex(policy)
+    monitor = ReferenceMonitor(policy, mode=mode, compiled=compiled)
+    index = AuthorizationIndex(policy, compiled=compiled)
     report = FuzzReport(seed=seed)
 
     for _ in range(steps):
@@ -216,17 +228,49 @@ def fuzz_sharded_index(
     steps: int = 40,
     shape: PolicyShape = PolicyShape(),
     shard_counts: tuple[int, ...] = (2, 4, 7),
+    compiled: bool = True,
 ) -> FuzzReport:
     """Invariant (8): sharding is an implementation detail — a
     :class:`~repro.core.authz_shard.ShardedAuthorizationIndex` at every
     shard count must be observationally identical to the unsharded
     oracle under randomized churn (see
-    :func:`repro.workloads.churn.differential_shard_churn`)."""
+    :func:`repro.workloads.churn.differential_shard_churn`).  The
+    invariant must hold on either kernel; ``compiled`` selects it."""
     from .churn import differential_shard_churn
 
     report = FuzzReport(seed=seed, steps=steps)
     report.violations.extend(
-        differential_shard_churn(seed, steps, shape, shard_counts)
+        differential_shard_churn(
+            seed, steps, shape, shard_counts, compiled=compiled
+        )
+    )
+    return report
+
+
+def fuzz_compiled_kernel(
+    seed: int,
+    steps: int = 40,
+    shape: PolicyShape = PolicyShape(),
+    shard_counts: tuple[int, ...] = (1, 2, 4),
+) -> FuzzReport:
+    """Invariant (9): the bitset-compiled kernel is an implementation
+    detail — ``compiled=True`` must be observationally identical to
+    the frozenset oracle under randomized churn.  Runs the unsharded
+    differential with user removal/re-provisioning enabled (interner
+    ID reuse after ``remove_user`` + re-add) and the sharded
+    differential at every count in ``shard_counts``."""
+    from .churn import differential_churn, differential_shard_churn
+
+    report = FuzzReport(seed=seed, steps=steps)
+    report.violations.extend(
+        differential_churn(
+            seed, steps, shape, compiled=True, remove_users=True
+        )
+    )
+    report.violations.extend(
+        differential_shard_churn(
+            seed, steps, shape, shard_counts, compiled=True
+        )
     )
     return report
 
@@ -236,6 +280,10 @@ def fuzz_many(
     steps: int = 40,
     shape: PolicyShape = PolicyShape(),
     mode: Mode = Mode.REFINED,
+    compiled: bool = True,
 ) -> list[FuzzReport]:
     """Run a campaign per seed; returns all reports."""
-    return [fuzz_monitor(seed, steps, shape, mode) for seed in seeds]
+    return [
+        fuzz_monitor(seed, steps, shape, mode, compiled=compiled)
+        for seed in seeds
+    ]

@@ -1,0 +1,475 @@
+"""The compiled (bitset) authorization kernel: sort masks, bit
+rectangles, compiled index/pool/memo parity, and review snapshots."""
+
+import pytest
+
+from repro.core.authz_index import (
+    AuthorizationIndex,
+    BitGrantRectangle,
+    GrantRectangle,
+    ReviewSnapshot,
+    compile_rectangle,
+)
+from repro.core.authz_shard import RectanglePool, ShardedAuthorizationIndex
+from repro.core.commands import Mode, grant_cmd, revoke_cmd
+from repro.core.entities import Role, User
+from repro.core.monitor import ReferenceMonitor
+from repro.core.ordering import OrderingOracle
+from repro.core.policy import Policy
+from repro.core.privileges import Grant, Revoke, perm
+
+U, ADMIN = User("u"), User("admin")
+HIGH, MID, LOW, ADM = Role("high"), Role("mid"), Role("low"), Role("adm")
+
+
+@pytest.fixture
+def policy():
+    policy = Policy(
+        ua=[(ADMIN, ADM)],
+        rh=[(HIGH, MID), (MID, LOW)],
+        pa=[(ADM, Grant(U, HIGH)), (ADM, Revoke(U, HIGH))],
+    )
+    policy.add_user(U)
+    return policy
+
+
+class TestPolicyBits:
+    def test_sort_masks_partition_the_vertices(self, policy):
+        bits = policy.bits
+        graph = policy.graph
+        for vertex in graph.vertices():
+            index = graph.vid(vertex)
+            sorts = [
+                bool(bits.users_mask >> index & 1),
+                bool(bits.roles_mask >> index & 1),
+                bool(bits.privileges_mask >> index & 1),
+            ]
+            assert sum(sorts) == 1, vertex
+        assert bits.entities_mask == bits.users_mask | bits.roles_mask
+
+    def test_grant_and_revoke_entity_masks(self, policy):
+        bits = policy.bits
+        graph = policy.graph
+        assert bits.grant_entity_mask >> graph.vid(Grant(U, HIGH)) & 1
+        assert bits.revoke_entity_mask >> graph.vid(Revoke(U, HIGH)) & 1
+        # A nested grant has a privilege target: in neither mask.
+        nested = Grant(ADM, Grant(U, HIGH))
+        policy.assign_privilege(ADM, nested)
+        bits = policy.bits
+        index = policy.graph.vid(nested)
+        assert not bits.grant_entity_mask >> index & 1
+        assert bits.privileges_mask >> index & 1
+
+    def test_incremental_on_additions_rebuild_on_removal(self, policy):
+        bits = policy.bits
+        baseline = bits.rebuilds
+        policy.add_user(User("new"))
+        policy.assign_user(User("new"), LOW)
+        bits = policy.bits
+        assert bits.rebuilds == baseline  # additions patched in place
+        assert bits.users_mask >> policy.graph.vid(User("new")) & 1
+        policy.remove_user(User("new"))
+        bits = policy.bits
+        assert bits.rebuilds == baseline + 1  # removal forces a rescan
+
+    def test_rebuild_retires_recycled_ids(self, policy):
+        policy.bits
+        victim = User("victim")
+        policy.add_user(victim)
+        freed = policy.graph.vid(victim)
+        policy.remove_user(victim)
+        policy.add_role(Role("reborn"))  # recycles the freed ID
+        assert policy.graph.vid(Role("reborn")) == freed
+        bits = policy.bits
+        assert bits.roles_mask >> freed & 1
+        assert not bits.users_mask >> freed & 1
+
+
+class TestBitGrantRectangle:
+    def test_covers_matches_frozenset_rectangle(self, policy):
+        compiled = compile_rectangle(policy, Grant(U, HIGH))
+        oracle = AuthorizationIndex(policy, compiled=False)
+        frozen = [
+            r for r in oracle._rectangles[ADMIN] if r.held == Grant(U, HIGH)
+        ][0]
+        for source in (U, ADMIN, HIGH, LOW, User("nobody")):
+            for target in (HIGH, MID, LOW, ADM, Role("nowhere")):
+                assert compiled.covers(source, target) == frozen.covers(
+                    source, target
+                ), (source, target)
+        assert compiled.sources == frozen.sources
+        assert compiled.targets == frozen.targets
+        assert compiled.pair_count() == frozen.pair_count()
+        assert compiled.thaw() == frozen
+
+    def test_off_graph_grantor_covered_via_extras(self, policy):
+        ghost = User("ghost")  # mentioned by the grant, never registered
+        policy.assign_privilege(ADM, Grant(ghost, HIGH))
+        compiled = compile_rectangle(policy, Grant(ghost, HIGH))
+        assert compiled.extra_sources == {ghost}
+        assert compiled.covers(ghost, MID)
+        assert not compiled.covers(User("other"), MID)
+        # Parity with the frozenset oracle on the whole index surface.
+        index = AuthorizationIndex(policy)
+        oracle = AuthorizationIndex(policy, compiled=False)
+        probe = grant_cmd(ADMIN, ghost, MID)
+        assert index.authorizes(ADMIN, probe) is not None
+        assert (
+            index.authorizes(ADMIN, probe) is not None
+        ) == (oracle.authorizes(ADMIN, probe) is not None)
+
+    def test_deprovisioned_user_still_covered(self, policy):
+        """remove_user(U) leaves Grant(U, HIGH) assigned; the refined
+        monitor may still execute the grant (re-provisioning)."""
+        index = AuthorizationIndex(policy)
+        oracle = AuthorizationIndex(policy, compiled=False)
+        policy.remove_user(U)
+        probe = grant_cmd(ADMIN, U, MID)
+        got = index.authorizes(ADMIN, probe)
+        want = oracle.authorizes(ADMIN, probe)
+        assert (got is None) == (want is None)
+        assert got is not None
+
+    @pytest.mark.parametrize("pooled", [False, True])
+    def test_reprovision_in_later_window_migrates_extras(
+        self, policy, pooled
+    ):
+        """Deprovision in one delta window, re-provision in a *later*
+        one: the rectangle was rebuilt with the endpoint in its
+        extras, and the re-add (which journals no removal) must
+        migrate it back into the mask — the regression the long-run
+        shard fuzz caught."""
+        if pooled:
+            index = ShardedAuthorizationIndex(policy, shards=2)
+        else:
+            index = AuthorizationIndex(policy)
+        probe = grant_cmd(ADMIN, U, MID)
+        assert index.authorizes(ADMIN, probe) is not None
+        policy.remove_user(U)
+        # Validate while U is off-graph: rectangle goes extras-based.
+        assert index.authorizes(ADMIN, probe) is not None
+        # New window: U re-provisioned (add-vertex + UA edge only).
+        policy.add_user(U)
+        policy.assign_user(U, LOW)
+        got = index.authorizes(ADMIN, probe)
+        oracle = AuthorizationIndex(policy, compiled=False)
+        assert got is not None
+        assert (got is None) == (oracle.authorizes(ADMIN, probe) is None)
+        # Pure add-vertex window (no edges) must migrate too.
+        ghost = User("ghost")
+        policy.assign_privilege(ADM, Grant(ghost, HIGH))
+        assert index.authorizes(ADMIN, grant_cmd(ADMIN, ghost, MID)) \
+            is not None
+        policy.add_user(ghost)  # weight-0 window
+        got = index.authorizes(ADMIN, grant_cmd(ADMIN, ghost, MID))
+        fresh = AuthorizationIndex(policy, compiled=False)
+        assert (got is None) == (
+            fresh.authorizes(ADMIN, grant_cmd(ADMIN, ghost, MID)) is None
+        )
+        assert got is not None
+
+    def test_equality_and_hash_by_contents(self, policy):
+        one = compile_rectangle(policy, Grant(U, HIGH))
+        two = compile_rectangle(policy, Grant(U, HIGH))
+        assert one == two and hash(one) == hash(two)
+        assert one != GrantRectangle(
+            Grant(U, HIGH), one.sources, one.targets
+        )
+
+
+class TestCompiledIndexParity:
+    @pytest.mark.parametrize("shards", [None, 1, 3])
+    def test_surfaces_match_frozenset_oracle(self, policy, shards):
+        users = [U, ADMIN]
+        for i in range(12):
+            extra = User(f"m{i}")
+            users.append(extra)
+            policy.add_user(extra)
+            policy.assign_user(extra, ADM if i < 3 else LOW)
+        if shards is None:
+            compiled = AuthorizationIndex(policy, compiled=True)
+        else:
+            compiled = ShardedAuthorizationIndex(
+                policy, shards=shards, compiled=True
+            )
+        oracle = AuthorizationIndex(policy, compiled=False)
+        probes = [
+            grant_cmd(ADMIN, U, HIGH), grant_cmd(ADMIN, U, LOW),
+            revoke_cmd(ADMIN, U, HIGH), revoke_cmd(ADMIN, U, LOW),
+            grant_cmd(U, U, LOW),
+            grant_cmd(ADMIN, ADM, Grant(U, HIGH)),  # nested target
+        ]
+        for user in users:
+            assert compiled.grantable_pairs(user) == oracle.grantable_pairs(
+                user
+            )
+            assert compiled.revocable_pairs(user) == oracle.revocable_pairs(
+                user
+            )
+            assert compiled.effective_authority(
+                user
+            ) == oracle.effective_authority(user)
+            for probe in probes:
+                command = grant_cmd(user, probe.source, probe.target)
+                got = compiled.authorizes(user, command)
+                want = oracle.authorizes(user, command)
+                assert (got is None) == (want is None), (user, command)
+
+    def test_gc_and_reassign_with_recycled_id_in_one_window(self):
+        """Privilege GC frees an interner ID, a user removal stacks
+        another on the free-list, and a re-grant brings the privilege
+        back under a *different* recycled ID — all in one journal
+        window.  Compaction must not swallow the GC's edge deltas, or
+        surviving held masks keep pointing at the freed slot (the
+        review-caught unsoundness)."""
+        u, victim = User("u2"), User("victim")
+        r, high = Role("r"), Role("high")
+        p = Grant(u, high)
+        policy = Policy(ua=[(u, r)], pa=[(r, p)])
+        policy.add_user(victim)
+        index = AuthorizationIndex(policy, compiled=True)
+        oracle = AuthorizationIndex(policy, compiled=False)
+        policy.remove_edge(r, p)       # GC: p's vertex + ID freed
+        policy.remove_user(victim)     # second freed ID tops the list
+        policy.assign_privilege(r, p)  # p returns under a recycled ID
+        assert index.held_privileges(u) == oracle.held_privileges(u)
+        probe = grant_cmd(u, u, high)
+        assert (index.authorizes(u, probe) is None) == (
+            oracle.authorizes(u, probe) is None
+        )
+
+    def test_held_privileges_decodes_the_mask(self, policy):
+        compiled = AuthorizationIndex(policy, compiled=True)
+        oracle = AuthorizationIndex(policy, compiled=False)
+        assert isinstance(compiled._held[ADMIN], int)
+        assert compiled.held_privileges(ADMIN) == oracle.held_privileges(
+            ADMIN
+        )
+        assert compiled.held_privileges(User("nobody")) == frozenset()
+
+    def test_incremental_repair_stays_compiled(self, policy):
+        index = AuthorizationIndex(policy, compiled=True)
+        policy.assign_user(U, LOW)
+        policy.assign_privilege(ADM, Grant(U, MID))
+        index.refresh()
+        assert index.full_rebuilds == 1
+        assert index.partial_refreshes >= 1
+        oracle = AuthorizationIndex(policy, compiled=False)
+        for user in (U, ADMIN):
+            assert index.effective_authority(
+                user
+            ) == oracle.effective_authority(user)
+
+
+class TestCompiledPool:
+    def test_pool_interns_bit_rectangles(self, policy):
+        pool = RectanglePool(policy)
+        rectangle = pool.rectangle(Grant(U, HIGH))
+        assert isinstance(rectangle, BitGrantRectangle)
+        assert pool.rectangle(Grant(U, HIGH)) is rectangle
+        assert pool.builds == 1 and pool.hits == 1
+
+    def test_pool_evictions_match_frozenset_pool(self, policy):
+        compiled = RectanglePool(policy, compiled=True)
+        frozen = RectanglePool(policy, compiled=False)
+        other = Role("other")
+        policy.add_role(other)
+        policy.assign_privilege(ADM, Grant(other, other))
+        for pool in (compiled, frozen):
+            pool.rectangle(Grant(other, other))
+            pool.rectangle(Grant(U, HIGH))
+        policy.add_inheritance(LOW, Role("deeper"))
+        compiled.validate()
+        frozen.validate()
+        assert compiled.evictions == frozen.evictions == 1
+        assert compiled.full_clears == frozen.full_clears == 0
+        assert Role("deeper") in compiled.rectangle(Grant(U, HIGH)).targets
+
+    def test_sharded_index_shares_compiled_rectangles(self, policy):
+        for i in range(8):
+            user = User(f"m{i}")
+            policy.add_user(user)
+            policy.assign_user(user, ADM)
+        sharded = ShardedAuthorizationIndex(policy, shards=4)
+        rectangles = {
+            id(rect)
+            for shard in sharded.shards
+            for rects in shard._rectangles.values()
+            for rect in rects
+        }
+        assert len(rectangles) == 1  # one interned object across shards
+
+
+class TestCompiledOrderingMemo:
+    def test_eviction_parity_with_frozenset_footprints(self, policy):
+        nested = Grant(ADM, Grant(U, HIGH))
+        policy.assign_privilege(ADM, nested)
+        compiled = OrderingOracle(policy, compiled=True)
+        frozen = OrderingOracle(policy, compiled=False)
+        queries = [
+            (nested, Grant(ADM, Grant(U, MID))),
+            (Grant(U, HIGH), Grant(U, LOW)),
+        ]
+        for oracle in (compiled, frozen):
+            for stronger, weaker in queries:
+                oracle.is_weaker(stronger, weaker)
+        assert compiled._memo == frozen._memo
+        # Localized UA churn: hop-safe, footprints untouched -> both
+        # keep every entry.
+        policy.assign_user(User("fresh"), LOW)
+        for oracle in (compiled, frozen):
+            oracle.is_weaker(Grant(U, HIGH), Grant(U, LOW))
+        assert compiled.stats.memo_evictions == frozen.stats.memo_evictions
+        assert compiled.stats.memo_full_clears == 0
+        # Churn inside the footprint evicts in both representations.
+        policy.add_inheritance(HIGH, Role("annex"))
+        compiled._validate_memo()
+        frozen._validate_memo()
+        assert compiled._memo == frozen._memo
+        assert compiled.stats.memo_evictions == frozen.stats.memo_evictions
+
+    def test_decisions_identical_after_churn(self, policy):
+        compiled = OrderingOracle(policy, compiled=True)
+        frozen = OrderingOracle(policy, compiled=False)
+        probes = [
+            (Grant(U, HIGH), Grant(U, MID)),
+            (Grant(U, HIGH), Grant(U, HIGH)),
+            (Grant(U, MID), Grant(U, HIGH)),
+            (Revoke(U, HIGH), Revoke(U, HIGH)),
+        ]
+        for _ in range(3):
+            policy.assign_user(User("churn"), LOW)
+            policy.remove_edge(User("churn"), LOW)
+            for stronger, weaker in probes:
+                assert compiled.is_weaker(stronger, weaker) == (
+                    frozen.is_weaker(stronger, weaker)
+                )
+
+
+class TestReviewSnapshots:
+    def test_at_version_answers_from_the_frozen_copy(self, policy):
+        index = AuthorizationIndex(policy)
+        snapshot = index.snapshot()
+        before = index.grantable_pairs(ADMIN)
+        policy.remove_edge(ADM, Grant(U, HIGH))
+        assert index.grantable_pairs(ADMIN) != before
+        assert index.grantable_pairs(
+            ADMIN, at_version=snapshot.version
+        ) == before
+        assert index.effective_authority(
+            ADMIN, at_version=snapshot.version
+        )["grant"] == before
+
+    def test_unknown_version_raises(self, policy):
+        index = AuthorizationIndex(policy)
+        with pytest.raises(ValueError):
+            index.grantable_pairs(ADMIN, at_version=policy.version)
+        index.snapshot()
+        with pytest.raises(ValueError):
+            index.revocable_pairs(ADMIN, at_version=policy.version + 1)
+
+    def test_sharded_snapshot(self, policy):
+        sharded = ShardedAuthorizationIndex(policy, shards=3)
+        snapshot = sharded.snapshot()
+        before = sharded.grantable_pairs(ADMIN)
+        policy.remove_edge(ADM, Grant(U, HIGH))
+        assert sharded.grantable_pairs(
+            ADMIN, at_version=snapshot.version
+        ) == before
+        with pytest.raises(ValueError):
+            sharded.grantable_pairs(ADMIN, at_version=snapshot.version + 1)
+
+    def test_snapshot_is_lazy_until_read(self, policy):
+        snapshot = ReviewSnapshot(policy)
+        assert snapshot._index is None
+        snapshot.grantable_pairs(ADMIN)
+        assert snapshot._index is not None
+
+    def test_snapshot_inherits_the_kernel_flag(self, policy):
+        """A frozenset-oracle index must stay frozenset end to end,
+        snapshots included — otherwise a compiled-kernel bug corrupts
+        both sides of any snapshot differential."""
+        frozen = AuthorizationIndex(policy, compiled=False)
+        snapshot = frozen.snapshot()
+        snapshot.grantable_pairs(ADMIN)
+        assert snapshot._index.compiled is False
+        compiled = AuthorizationIndex(policy, compiled=True)
+        snapshot = compiled.snapshot()
+        snapshot.grantable_pairs(ADMIN)
+        assert snapshot._index.compiled is True
+
+    def test_batched_queue_snapshot_sees_entry_state(self, policy):
+        monitor = ReferenceMonitor(
+            policy, mode=Mode.REFINED, use_index=True
+        )
+        records = monitor.submit_queue(
+            [grant_cmd(ADMIN, U, MID)], batched=True, snapshot=True
+        )
+        assert [r.executed for r in records] == [True]
+        snapshot = monitor.last_snapshot
+        entry_authority = monitor._index.grantable_pairs(
+            ADMIN, at_version=snapshot.version
+        )
+        # Mutate authority after the batch: the snapshot stays put.
+        policy.remove_edge(ADM, Grant(U, HIGH))
+        assert monitor._index.grantable_pairs(
+            ADMIN, at_version=snapshot.version
+        ) == entry_authority
+        assert monitor._index.grantable_pairs(ADMIN) != entry_authority
+
+    def test_snapshot_on_sequential_path_raises(self, policy):
+        """The sequential fallback has no batch-entry state to
+        capture; honoring snapshot=True silently would leave a stale
+        last_snapshot for the auditor."""
+        monitor = ReferenceMonitor(
+            policy, mode=Mode.REFINED, use_index=True
+        )
+        with pytest.raises(ValueError):
+            monitor.submit_queue([grant_cmd(ADMIN, U, MID)], snapshot=True)
+        strict = ReferenceMonitor(policy, use_index=True)
+        with pytest.raises(ValueError):
+            strict.submit_queue(
+                [grant_cmd(ADMIN, U, MID)], batched=True, snapshot=True
+            )
+        assert monitor.last_snapshot is None
+        assert strict.last_snapshot is None
+
+
+class TestMonitorKernelKnob:
+    def test_compiled_knob_threads_through(self, policy):
+        compiled = ReferenceMonitor(
+            policy, mode=Mode.REFINED, use_index=True
+        )
+        assert compiled._index.compiled is True
+        frozen = ReferenceMonitor(
+            policy, mode=Mode.REFINED, use_index=True, compiled=False
+        )
+        assert frozen._index.compiled is False
+        sharded = ReferenceMonitor(
+            policy, mode=Mode.REFINED, use_index=True, shards=2,
+            compiled=False,
+        )
+        assert sharded._index.compiled is False
+        assert all(not s.compiled for s in sharded._index.shards)
+        assert sharded._index.pool.compiled is False
+
+    def test_both_kernels_execute_identically(self, policy):
+        queue = [
+            grant_cmd(ADMIN, U, MID),
+            grant_cmd(U, U, HIGH),
+            revoke_cmd(ADMIN, U, HIGH),
+            grant_cmd(ADMIN, U, LOW),
+        ]
+        compiled = ReferenceMonitor(
+            policy.copy(), mode=Mode.REFINED, use_index=True
+        )
+        frozen = ReferenceMonitor(
+            policy.copy(), mode=Mode.REFINED, use_index=True,
+            compiled=False,
+        )
+        for command in queue:
+            assert (
+                compiled.submit(command).executed
+                == frozen.submit(command).executed
+            ), command
+        assert compiled.policy == frozen.policy

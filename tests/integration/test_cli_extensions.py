@@ -71,6 +71,24 @@ def test_fuzz_with_shard_transparency(capsys):
     assert "invariants: all hold" in out
 
 
+def test_fuzz_on_frozenset_kernel(capsys):
+    assert main(
+        ["fuzz", "--seeds", "2", "--steps", "15", "--frozenset"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "kernel: frozenset" in out
+    assert "invariants: all hold" in out
+
+
+def test_fuzz_kernel_differential(capsys):
+    assert main(
+        ["fuzz", "--seeds", "1", "--steps", "12", "--kernel-diff"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "compiled-kernel agreement: 1 campaigns" in out
+    assert "invariants: all hold" in out
+
+
 def test_explain_access_allowed(fig2_file, capsys):
     assert main(["explain-access", fig2_file, "diana", "(read, t1)"]) == 0
     out = capsys.readouterr().out

@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Run the reduced-config perf benches and append a trajectory record
+to ``BENCH_kernel.json``.
+
+Each invocation runs the perf-asserting benchmarks (the same reduced
+configurations the CI ``bench-smoke`` job uses), collects wall time
+and pass/fail per bench plus the bitset-kernel speedup metrics, and
+appends one timestamped record to the trajectory file.  The file is a
+running history — committing a record per landed optimization gives
+future sessions a perf trajectory to compare against instead of a
+single point.
+
+Usage::
+
+    python tools/bench_report.py [--output BENCH_kernel.json]
+        [--benches bitset_kernel index_churn shard_scaling] [--full]
+        [--print]
+
+``--full`` drops the reduced-config environment (runs the benches at
+their local defaults — slower, higher assertion bars).  Exit code is
+non-zero if any bench failed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: bench name -> (script, reduced-config environment overrides)
+BENCHES: dict[str, tuple[str, dict[str, str]]] = {
+    "bitset_kernel": (
+        "benchmarks/bench_bitset_kernel.py",
+        {"BITSET_BENCH_USERS": "1500", "BITSET_SPEEDUP_TARGET": "2"},
+    ),
+    "index_churn": (
+        "benchmarks/bench_index_churn.py",
+        {"CHURN_SPEEDUP_TARGET": "2"},
+    ),
+    "shard_scaling": (
+        "benchmarks/bench_shard_scaling.py",
+        {"SHARD_BENCH_USERS": "1200", "SHARD_BENCH_MUTATIONS": "40"},
+    ),
+}
+
+
+def run_bench(
+    name: str, full: bool = False, echo: bool = False
+) -> dict:
+    """Run one bench as a subprocess; returns its trajectory entry."""
+    script, reduced_env = BENCHES[name]
+    env = dict(__import__("os").environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        ":" + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    if not full:
+        env.update(reduced_env)
+    metrics_path = None
+    if name == "bitset_kernel":
+        handle = tempfile.NamedTemporaryFile(
+            mode="r", suffix=".json", delete=False
+        )
+        metrics_path = handle.name
+        handle.close()
+        env["BITSET_METRICS_OUT"] = metrics_path
+    started = time.perf_counter()
+    completed = subprocess.run(
+        [sys.executable, script],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    elapsed = time.perf_counter() - started
+    if echo:
+        sys.stdout.write(completed.stdout)
+        sys.stderr.write(completed.stderr)
+    entry: dict = {
+        "bench": name,
+        "ok": completed.returncode == 0,
+        "seconds": round(elapsed, 2),
+        "config": "full" if full else "reduced",
+    }
+    if metrics_path:
+        try:
+            with open(metrics_path) as handle:
+                entry["metrics"] = json.load(handle)
+        except (OSError, ValueError):
+            pass
+        Path(metrics_path).unlink(missing_ok=True)
+    if completed.returncode != 0:
+        entry["tail"] = completed.stdout[-400:] + completed.stderr[-400:]
+    return entry
+
+
+def append_record(path: Path, record: dict) -> dict:
+    """Append ``record`` to the trajectory file at ``path`` (created
+    with an empty run list if missing); returns the full document."""
+    document = {"schema": 1, "runs": []}
+    if path.exists():
+        try:
+            loaded = json.loads(path.read_text())
+        except ValueError:
+            loaded = None
+        if isinstance(loaded, dict) and isinstance(loaded.get("runs"), list):
+            document = loaded
+    document["runs"].append(record)
+    path.write_text(json.dumps(document, indent=2) + "\n")
+    return document
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="run reduced-config perf benches, append a "
+                    "BENCH_kernel.json trajectory record"
+    )
+    parser.add_argument(
+        "--output", default=str(REPO_ROOT / "BENCH_kernel.json"),
+        help="trajectory file to append to (default: repo root)",
+    )
+    parser.add_argument(
+        "--benches", nargs="*", choices=sorted(BENCHES),
+        default=sorted(BENCHES),
+        help="subset of benches to run",
+    )
+    parser.add_argument(
+        "--full", action="store_true",
+        help="run at local full configuration instead of the reduced "
+             "CI-smoke one",
+    )
+    parser.add_argument(
+        "--print", action="store_true", dest="echo",
+        help="echo each bench's stdout/stderr",
+    )
+    args = parser.parse_args(argv)
+
+    entries = [
+        run_bench(name, full=args.full, echo=args.echo)
+        for name in args.benches
+    ]
+    record = {
+        "timestamp": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "benches": entries,
+    }
+    append_record(Path(args.output), record)
+    for entry in entries:
+        status = "ok" if entry["ok"] else "FAILED"
+        extra = ""
+        metrics = entry.get("metrics")
+        if metrics:
+            extra = (
+                f"  build {metrics['build_speedup']}x, "
+                f"query {metrics['query_speedup']}x "
+                f"@ {metrics['users']} users"
+            )
+        print(f"{entry['bench']:14} {status:6} {entry['seconds']}s{extra}")
+    print(f"trajectory: {args.output}")
+    return 0 if all(entry["ok"] for entry in entries) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
