@@ -4,9 +4,21 @@ Regenerates the HRU-vs-refinement distinction (HRU's unordered
 collusion analysis equates the lowrole/highrole policies, Definition 7
 separates them) and measures the safety checkers: bounded HRU safety,
 RBAC admin-reachability, and the refined-mode safety certificate.
+
+Explorations default to the compiled undo-log kernel; run with
+``--frozenset`` (script mode) or ``BENCH_FROZENSET=1`` (pytest mode)
+to measure the frozenset oracle — both produce identical verdicts, so
+the two runs are directly comparable baselines.
 """
 
+import os
+import sys
+
 from conftest import print_table
+
+COMPILED = not (
+    "--frozenset" in sys.argv or os.environ.get("BENCH_FROZENSET")
+)
 
 from repro.analysis.hru import check_safety, encode_rbac_grants
 from repro.analysis.safety import can_obtain
@@ -38,7 +50,8 @@ def test_report_footnote5():
     for label, policy in [("lowrole holds grant", low_policy),
                           ("highrole holds grant", high_policy)]:
         matrix, commands = encode_rbac_grants(policy)
-        hru = check_safety(matrix, commands, "m", "g", str(P), max_steps=2)
+        hru = check_safety(matrix, commands, "m", "g", str(P), max_steps=2,
+                           compiled=COMPILED)
         rows.append((label, "leaks" if hru.leaks else "safe"))
     forward = check_admin_refinement(low_policy, high_policy, depth=1)
     backward = check_admin_refinement(high_policy, low_policy, depth=1)
@@ -64,7 +77,8 @@ def test_report_safety_matrix_excerpt():
     ]
     rows = []
     for user, privilege in questions:
-        verdict = can_obtain(policy, user, privilege, depth=2)
+        verdict = can_obtain(policy, user, privilege, depth=2,
+                             compiled=COMPILED)
         witness = (
             " ; ".join(str(c) for c in verdict.witness)
             if verdict.witness else "-"
@@ -146,7 +160,8 @@ def test_report_revocation_candidates():
 def test_bench_hru_safety(benchmark):
     matrix, commands = encode_rbac_grants(footnote5_policy(LOWROLE))
     result = benchmark(
-        lambda: check_safety(matrix, commands, "m", "g", str(P), max_steps=2)
+        lambda: check_safety(matrix, commands, "m", "g", str(P), max_steps=2,
+                             compiled=COMPILED)
     )
     assert result.leaks
 
@@ -154,7 +169,8 @@ def test_bench_hru_safety(benchmark):
 def test_bench_rbac_safety_query(benchmark):
     policy = figures.figure2()
     verdict = benchmark(
-        lambda: can_obtain(policy, figures.BOB, perm("write", "t3"), depth=1)
+        lambda: can_obtain(policy, figures.BOB, perm("write", "t3"), depth=1,
+                           compiled=COMPILED)
     )
     assert verdict.reachable
 
@@ -163,3 +179,11 @@ def test_bench_mode_safety_certificate(benchmark):
     policy = footnote5_policy(HIGHROLE)
     result = benchmark(lambda: check_mode_safety(policy, depth=1))
     assert result.holds
+
+
+if __name__ == "__main__":
+    kernel = "compiled" if COMPILED else "frozenset"
+    print(f"SAFE reports ({kernel} explorer)")
+    test_report_footnote5()
+    test_report_safety_matrix_excerpt()
+    test_report_revocation_candidates()

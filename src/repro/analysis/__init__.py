@@ -71,6 +71,7 @@ from .expressiveness import (
     encode_as_nested_grant,
     encode_as_pbdm_roles,
     encoding_cost,
+    encodings_equi_obtainable,
     run_nested_cascade,
     run_pbdm_cascade,
 )
@@ -111,8 +112,8 @@ __all__ = [
     "LoweringOpportunity", "canonicalize", "lowering_opportunities",
     "redundant_edges",
     "CascadedDelegation", "EncodingCost", "encode_as_nested_grant",
-    "encode_as_pbdm_roles", "encoding_cost", "run_nested_cascade",
-    "run_pbdm_cascade",
+    "encode_as_pbdm_roles", "encoding_cost", "encodings_equi_obtainable",
+    "run_nested_cascade", "run_pbdm_cascade",
     # conjecture & revocation
     "ConjectureReport", "check_conjecture_instance",
     "CandidateOrdering", "FalsificationOutcome", "candidate_substitutions",

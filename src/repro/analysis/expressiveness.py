@@ -184,6 +184,41 @@ def encoding_cost(depth: int) -> EncodingCost:
     )
 
 
+def encodings_equi_obtainable(
+    cascade: CascadedDelegation, compiled: bool = True
+) -> bool:
+    """§5's expressibility claim, checked through the admin-reachability
+    explorer: the nested-¤ encoding and the PBDM-role encoding of the
+    same cascade agree on whether the delegation chain can be driven
+    end to end, explored deep enough to unroll the whole chain.
+
+    The cascade manipulates memberships, so the base policy is given
+    one marker user privilege on the target role — the pair
+    ``(final_recipient, marker)`` becomes obtainable under an encoding
+    exactly when its chain can be executed; this function compares that
+    single marker pair's obtainability (not the full obtainable sets,
+    which legitimately differ in the PBDM delegation-role plumbing).
+    ``compiled`` selects the explorer kernel.
+    """
+    from ..core.privileges import perm
+
+    marker = perm("use", cascade.target_role.name)
+    base = cascade_policy(cascade)
+    base.assign_privilege(cascade.target_role, marker)
+    anchor = _home_role(cascade.delegators[0])
+    nested = encode_as_nested_grant(base, cascade, anchor)
+    pbdm, _roles = encode_as_pbdm_roles(base, cascade)
+    depth = cascade.depth + 1
+    from .reachability import obtainable_pairs
+
+    nested_pairs = obtainable_pairs(
+        nested, depth, Mode.STRICT, compiled=compiled
+    )
+    pbdm_pairs = obtainable_pairs(pbdm, depth, Mode.STRICT, compiled=compiled)
+    target_pair = (cascade.final_recipient, marker)
+    return (target_pair in nested_pairs) == (target_pair in pbdm_pairs)
+
+
 def run_nested_cascade(
     cascade: CascadedDelegation,
 ) -> tuple[bool, Policy]:

@@ -17,15 +17,26 @@ order- and subject-sensitive refinement can.  This module implements:
 HRU safety is undecidable in general; the checker is explicitly
 bounded (``max_steps``) and does not model subject/object creation —
 the fragment needed for the comparison.
+
+The checker follows the same two-kernel convention as the RBAC
+explorers: ``compiled=True`` (default) mutates one matrix per frontier
+state in place with an apply/undo log and deduplicates states by a
+:class:`~repro.graph.fingerprint.StateFingerprint` bitmask over
+``(subject, object, right)`` cell atoms — one XOR per primitive
+operation, an int hash per ``seen`` test, and a matrix copy only per
+*distinct* state.  ``compiled=False`` keeps the copy-per-successor
+frozenset-signature oracle; both produce identical results
+(``leaks``/``steps``/``states_explored``), pinned by fuzz invariant 10.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, Iterator
 
 from ..errors import AnalysisError
+from ..graph.fingerprint import StateFingerprint
 
 
 class AccessMatrix:
@@ -129,13 +140,22 @@ class HruCommand:
                 result.delete(subject, obj, op.right)
         return result
 
-    def successors(self, matrix: AccessMatrix):
+    def bindings(self, matrix: AccessMatrix) -> Iterator[dict[str, str]]:
+        """Applicable parameter bindings, in deterministic order.
+
+        Yields one shared dict, mutated between yields — consume each
+        binding before advancing the iterator (both exploration paths
+        do).  Applicability is evaluated lazily against ``matrix`` at
+        yield time, so a caller that mutates the matrix mid-iteration
+        must restore it before resuming (the undo-log explorer's
+        discipline).
+        """
         universe = sorted(matrix.names)
 
         def extend(index: int, binding: dict[str, str]):
             if index == len(self.params):
                 if self.applicable(matrix, binding):
-                    yield self.apply(matrix, binding)
+                    yield binding
                 return
             for value in universe:
                 binding[self.params[index]] = value
@@ -143,6 +163,10 @@ class HruCommand:
             binding.pop(self.params[index], None)
 
         yield from extend(0, {})
+
+    def successors(self, matrix: AccessMatrix):
+        for binding in self.bindings(matrix):
+            yield self.apply(matrix, binding)
 
 
 @dataclass(frozen=True)
@@ -159,6 +183,7 @@ def check_safety(
     subject: str,
     obj: str,
     max_steps: int = 6,
+    compiled: bool = True,
 ) -> SafetyResult:
     """Bounded HRU safety: can ``right`` appear in cell (subject, obj)
     within ``max_steps`` command executions (any subjects, any order)?
@@ -166,6 +191,10 @@ def check_safety(
     command_list = list(commands)
     if matrix.has(subject, obj, right):
         return SafetyResult(True, 0, 1)
+    if compiled:
+        return _check_safety_compiled(
+            matrix, command_list, right, subject, obj, max_steps
+        )
     seen = {matrix.signature()}
     frontier: deque[tuple[AccessMatrix, int]] = deque([(matrix, 0)])
     explored = 1
@@ -183,6 +212,94 @@ def check_safety(
                 if successor.has(subject, obj, right):
                     return SafetyResult(True, depth + 1, explored)
                 frontier.append((successor, depth + 1))
+    return SafetyResult(False, None, explored)
+
+
+def _apply_in_place(
+    matrix: AccessMatrix,
+    command: HruCommand,
+    binding: dict[str, str],
+    slots: StateFingerprint,
+) -> tuple[list[tuple[str, str, str, str]], int]:
+    """Run ``command``'s primitive operations on ``matrix`` itself.
+
+    Returns ``(undo, delta)``: the inverse operations in application
+    order (replay them reversed to restore the matrix) and the XOR
+    delta the net cell changes contribute to the state fingerprint.
+    Name validation matches :meth:`HruCommand.apply` — ``enter`` is
+    called for every enter op, present or not.
+    """
+    undo: list[tuple[str, str, str, str]] = []
+    delta = 0
+    for op in command.ops:
+        cell_subject = command._resolve(op.subject_param, binding)
+        cell_object = command._resolve(op.object_param, binding)
+        present = matrix.has(cell_subject, cell_object, op.right)
+        if op.kind == "enter":
+            matrix.enter(cell_subject, cell_object, op.right)
+            if not present:
+                undo.append(("delete", cell_subject, cell_object, op.right))
+                delta ^= slots.bit((cell_subject, cell_object, op.right))
+        else:
+            matrix.delete(cell_subject, cell_object, op.right)
+            if present:
+                undo.append(("enter", cell_subject, cell_object, op.right))
+                delta ^= slots.bit((cell_subject, cell_object, op.right))
+    return undo, delta
+
+
+def _undo_in_place(
+    matrix: AccessMatrix, undo: list[tuple[str, str, str, str]]
+) -> None:
+    for kind, cell_subject, cell_object, cell_right in reversed(undo):
+        if kind == "enter":
+            matrix.enter(cell_subject, cell_object, cell_right)
+        else:
+            matrix.delete(cell_subject, cell_object, cell_right)
+
+
+def _check_safety_compiled(
+    matrix: AccessMatrix,
+    command_list: list[HruCommand],
+    right: str,
+    subject: str,
+    obj: str,
+    max_steps: int,
+) -> SafetyResult:
+    """Undo-log BFS over matrix states.
+
+    Each frontier state is expanded by mutating it in place per
+    applicable binding and undoing before the next binding; the matrix
+    is copied only when a genuinely new state joins the frontier.  The
+    caller's matrix is never mutated (the root is copied up front).
+    """
+    slots = StateFingerprint()
+    root = matrix.copy()
+    fingerprint = 0
+    for atom in root.signature():
+        fingerprint ^= slots.bit(atom)
+    seen = {fingerprint}
+    frontier: deque[tuple[AccessMatrix, int, int]] = deque(
+        [(root, 0, fingerprint)]
+    )
+    explored = 1
+    while frontier:
+        state, depth, value = frontier.popleft()
+        if depth == max_steps:
+            continue
+        for command in command_list:
+            for binding in command.bindings(state):
+                undo, delta = _apply_in_place(state, command, binding, slots)
+                successor = value ^ delta
+                if successor in seen:
+                    _undo_in_place(state, undo)
+                    continue
+                seen.add(successor)
+                explored += 1
+                if state.has(subject, obj, right):
+                    return SafetyResult(True, depth + 1, explored)
+                frontier.append((state.copy(), depth + 1, successor))
+                _undo_in_place(state, undo)
     return SafetyResult(False, None, explored)
 
 

@@ -13,6 +13,17 @@ bound.  On top of the raw exploration two questions are answered:
 These are the primitives behind the safety checker
 (:mod:`repro.analysis.safety`), the Remark-2 conjecture tests, and the
 strict-vs-refined flexibility benchmarks.
+
+``compiled=True`` (default) explores on the
+:class:`~repro.core.explore.ExplorationEngine` — apply/undo log,
+bitmask candidate pruning, canonical fingerprint deduplication — and
+copies a policy only per *distinct* reachable state (the returned
+:class:`ReachableState` needs one), never per candidate probe.
+``compiled=False`` keeps the frozenset oracle.  State identity covers
+the vertex set as well as the edge set in both representations,
+matching ``Policy.__eq__`` (two states that differ only in an isolated
+vertex — a user deprovisioned and re-added with no memberships — are
+distinct policies).
 """
 
 from __future__ import annotations
@@ -22,6 +33,7 @@ from dataclasses import dataclass
 
 from ..core.commands import Command, Mode, candidate_commands, step
 from ..core.entities import User
+from ..core.explore import ExplorationEngine
 from ..core.ordering import OrderingOracle
 from ..core.policy import Policy
 from ..core.privileges import UserPrivilege
@@ -46,16 +58,23 @@ def reachable_policies(
     mode: Mode = Mode.STRICT,
     users: list[User] | None = None,
     max_states: int = 100_000,
+    compiled: bool = True,
 ) -> list[ReachableState]:
     """BFS over policy states via effective commands, up to ``depth``.
 
-    States are deduplicated by edge set; each is returned with a
-    shortest queue reaching it.  ``max_states`` is a hard cap guarding
-    against exponential blow-ups on large inputs.
+    States are deduplicated by (vertex set, edge set) identity; each is
+    returned with a shortest queue reaching it.  ``max_states`` is a
+    hard cap guarding against exponential blow-ups on large inputs.
     """
+    if compiled:
+        return _reachable_policies_compiled(
+            policy, depth, mode, users, max_states
+        )
     universe = candidate_commands(policy, mode, users)
     start = policy.copy()
-    seen: set[frozenset] = {start.edge_set()}
+    seen: set[tuple[frozenset, frozenset]] = {
+        (start.edge_set(), start.vertex_set())
+    }
     states: list[ReachableState] = [ReachableState(start, ())]
     frontier: deque[ReachableState] = deque(states)
     while frontier:
@@ -67,7 +86,7 @@ def reachable_policies(
             record = step(probe, command, mode, OrderingOracle(probe))
             if not record.executed:
                 continue
-            signature = probe.edge_set()
+            signature = (probe.edge_set(), probe.vertex_set())
             if signature in seen:
                 continue
             seen.add(signature)
@@ -79,16 +98,52 @@ def reachable_policies(
     return states
 
 
+def _reachable_policies_compiled(
+    policy: Policy,
+    depth: int,
+    mode: Mode,
+    users: list[User] | None,
+    max_states: int,
+) -> list[ReachableState]:
+    """Undo-log BFS: frontier nodes are witness paths, snapshots are
+    taken only for the distinct states actually returned."""
+    engine = ExplorationEngine(policy, mode, users)
+    seen = {engine.fingerprint}
+    states: list[ReachableState] = [ReachableState(engine.snapshot(), ())]
+    frontier: deque[tuple[Command, ...]] = deque([()])
+    while frontier:
+        path = frontier.popleft()
+        if len(path) == depth:
+            continue
+        engine.goto(path)
+        for command in engine.effective_commands():
+            engine.push(command)
+            signature = engine.fingerprint
+            if signature in seen:
+                engine.pop()
+                continue
+            seen.add(signature)
+            witness = path + (command,)
+            states.append(ReachableState(engine.snapshot(), witness))
+            if len(states) >= max_states:
+                return states
+            frontier.append(witness)
+            engine.pop()
+    return states
+
+
 def obtainable_pairs(
     policy: Policy,
     depth: int,
     mode: Mode = Mode.STRICT,
     users: list[User] | None = None,
+    compiled: bool = True,
 ) -> frozenset[tuple[object, UserPrivilege]]:
     """All (subject, user-privilege) pairs granted in *some* policy
     state reachable within ``depth`` administrative steps."""
     pairs: set[tuple[object, UserPrivilege]] = set()
-    for state in reachable_policies(policy, depth, mode, users):
+    for state in reachable_policies(policy, depth, mode, users,
+                                    compiled=compiled):
         pairs |= granted_pairs(state.policy)
     return frozenset(pairs)
 
@@ -97,7 +152,10 @@ def newly_obtainable_pairs(
     policy: Policy,
     depth: int,
     mode: Mode = Mode.STRICT,
+    compiled: bool = True,
 ) -> frozenset[tuple[object, UserPrivilege]]:
     """Pairs obtainable through administration but not granted by the
     initial policy — the "administrative surface" of the policy."""
-    return obtainable_pairs(policy, depth, mode) - granted_pairs(policy)
+    return obtainable_pairs(
+        policy, depth, mode, compiled=compiled
+    ) - granted_pairs(policy)

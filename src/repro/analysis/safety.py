@@ -9,6 +9,15 @@ when the answer is yes.
 Unlike HRU's analysis, runs here are subject- and order-sensitive:
 the witness shows *who* has to act, which is exactly the distinction
 footnote 5 of the paper draws.
+
+Two explorers implement the same BFS.  The default (``compiled=True``)
+runs on the :class:`~repro.core.explore.ExplorationEngine`: one mutable
+policy driven by an apply/undo log, candidate pruning and ``reaches``
+probes answered by kernel bitmasks, and state deduplication by
+canonical fingerprint.  ``compiled=False`` keeps the frozenset oracle —
+``policy.copy()`` per candidate, ``(edge_set, vertex_set)`` signatures
+— pinned observationally identical (same verdicts, same witnesses,
+same ``states_explored``) by fuzz invariant 10.
 """
 
 from __future__ import annotations
@@ -18,6 +27,7 @@ from dataclasses import dataclass
 
 from ..core.commands import Command, Mode, candidate_commands, step
 from ..core.entities import User
+from ..core.explore import ExplorationEngine, reaches_bits
 from ..core.ordering import OrderingOracle
 from ..core.policy import Policy
 from ..core.privileges import UserPrivilege
@@ -42,18 +52,27 @@ def can_obtain(
     depth: int = 3,
     mode: Mode = Mode.STRICT,
     acting_users: list[User] | None = None,
+    compiled: bool = True,
 ) -> SafetyVerdict:
     """Can ``subject`` reach ``privilege`` in some policy reachable
     within ``depth`` administrative steps?
 
     ``acting_users`` restricts who issues commands (the "trusted users
     don't act" refinement of the classical safety question: pass only
-    the untrusted users to model their collusion).
+    the untrusted users to model their collusion); the restriction is
+    threaded into the candidate command universe, so the compiled
+    engine's per-state issuer masks never touch excluded users.
     """
+    if compiled:
+        if reaches_bits(policy, subject, privilege):
+            return SafetyVerdict(True, (), 1)
+        return _can_obtain_compiled(
+            policy, subject, privilege, depth, mode, acting_users
+        )
     if policy.reaches(subject, privilege):
         return SafetyVerdict(True, (), 1)
     universe = candidate_commands(policy, mode, acting_users)
-    seen = {policy.edge_set()}
+    seen = {(policy.edge_set(), policy.vertex_set())}
     frontier: deque[tuple[Policy, tuple[Command, ...]]] = deque(
         [(policy.copy(), ())]
     )
@@ -67,7 +86,7 @@ def can_obtain(
             record = step(probe, command, mode, OrderingOracle(probe))
             if not record.executed:
                 continue
-            signature = probe.edge_set()
+            signature = (probe.edge_set(), probe.vertex_set())
             if signature in seen:
                 continue
             seen.add(signature)
@@ -78,10 +97,45 @@ def can_obtain(
     return SafetyVerdict(False, None, explored)
 
 
+def _can_obtain_compiled(
+    policy: Policy,
+    subject: object,
+    privilege: UserPrivilege,
+    depth: int,
+    mode: Mode,
+    acting_users: list[User] | None,
+) -> SafetyVerdict:
+    """The undo-log BFS.  Frontier nodes are witness paths; the engine
+    replays/undoes along them, so no state is ever copied."""
+    engine = ExplorationEngine(policy, mode, acting_users)
+    seen = {engine.fingerprint}
+    frontier: deque[tuple[Command, ...]] = deque([()])
+    explored = 1
+    while frontier:
+        path = frontier.popleft()
+        if len(path) == depth:
+            continue
+        engine.goto(path)
+        for command in engine.effective_commands():
+            engine.push(command)
+            signature = engine.fingerprint
+            if signature in seen:
+                engine.pop()
+                continue
+            seen.add(signature)
+            explored += 1
+            if engine.reaches(subject, privilege):
+                return SafetyVerdict(True, path + (command,), explored)
+            frontier.append(path + (command,))
+            engine.pop()
+    return SafetyVerdict(False, None, explored)
+
+
 def safety_matrix(
     policy: Policy,
     depth: int = 2,
     mode: Mode = Mode.STRICT,
+    compiled: bool = True,
 ) -> dict[tuple[User, UserPrivilege], SafetyVerdict]:
     """The full user × user-privilege safety table for a policy.
 
@@ -95,6 +149,6 @@ def safety_matrix(
     for user in sorted(policy.users(), key=str):
         for privilege in sorted(policy.user_privileges(), key=str):
             verdicts[(user, privilege)] = can_obtain(
-                policy, user, privilege, depth, mode
+                policy, user, privilege, depth, mode, compiled=compiled
             )
     return verdicts

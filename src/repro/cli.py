@@ -8,6 +8,9 @@ Subcommands:
 * ``check-refinement PHI PSI``  — Definition 6 check with witness.
 * ``check-admin-refinement PHI PSI`` — bounded Definition 7 check.
 * ``run-queue FILE QUEUE.json`` — execute a command queue (Definition 5).
+* ``analyze FILE SUBJ PRIV``    — bounded safety query with witness
+  (``--frozenset`` selects the oracle explorer instead of the compiled
+  undo-log engine).
 * ``export-dot FILE``           — Graphviz export (the paper's figures).
 * ``figures``                   — print the paper's Figures 1–3 as documents.
 * ``query SQL...``              — run SQL against the guarded hospital DBMS
@@ -169,6 +172,42 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     print(diff.summary())
     if diff.direction in ("refinement", "equivalent"):
         return 0
+    return 1
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from .analysis.safety import can_obtain
+
+    policy = _load_policy(args.policy)
+    vocabulary = Vocabulary.of_policy(policy)
+    subject = vocabulary.resolve(args.subject)
+    privilege = parse_privilege(args.privilege, vocabulary)
+    mode = Mode.REFINED if args.refined else Mode.STRICT
+    acting = None
+    if args.acting is not None:
+        # An explicitly empty collusion set means *nobody acts* —
+        # distinct from omitting the flag (everyone may act).
+        from .core.entities import User
+
+        acting = [User(name) for name in args.acting]
+    verdict = can_obtain(
+        policy, subject, privilege,
+        depth=args.depth, mode=mode, acting_users=acting,
+        compiled=not args.frozenset,
+    )
+    kernel = "frozenset" if args.frozenset else "compiled"
+    print(f"explored {verdict.states_explored} states "
+          f"({kernel} explorer, depth {args.depth}, {mode.value} mode)")
+    if verdict.reachable:
+        if verdict.witness:
+            print(f"REACHABLE in {len(verdict.witness)} step(s):")
+            for command in verdict.witness:
+                print(f"  {command}")
+        else:
+            print("REACHABLE now (no administrative steps needed)")
+        return 0
+    print(f"SAFE: {subject} cannot obtain {format_privilege(privilege)} "
+          f"within {args.depth} administrative step(s)")
     return 1
 
 
@@ -369,6 +408,32 @@ def build_parser() -> argparse.ArgumentParser:
     diff.add_argument("old")
     diff.add_argument("new")
     diff.set_defaults(func=_cmd_diff)
+
+    analyze = subparsers.add_parser(
+        "analyze",
+        help="bounded safety query: can SUBJECT ever obtain PRIVILEGE?",
+    )
+    analyze.add_argument("policy")
+    analyze.add_argument("subject")
+    analyze.add_argument("privilege")
+    analyze.add_argument(
+        "--depth", type=int, default=3,
+        help="administrative step bound (default 3)",
+    )
+    analyze.add_argument(
+        "--refined", action="store_true",
+        help="administrators act under the privilege ordering",
+    )
+    analyze.add_argument(
+        "--acting", nargs="*", default=None, metavar="USER",
+        help="restrict who issues commands (collusion set)",
+    )
+    analyze.add_argument(
+        "--frozenset", action="store_true",
+        help="explore with the frozenset oracle instead of the "
+             "compiled undo-log engine (differential baseline)",
+    )
+    analyze.set_defaults(func=_cmd_analyze)
 
     flexibility = subparsers.add_parser(
         "flexibility",

@@ -69,6 +69,7 @@ from .commands import (
     step,
 )
 from .authz_index import AuthorizationIndex, GrantRectangle
+from .explore import ExplorationEngine
 from .diff import PolicyDiff, apply_diff, diff_policies
 from .history import LogEntry, PolicyHistory
 from .monitor import AccessDecision, ReferenceMonitor
@@ -104,6 +105,7 @@ __all__ = [
     "grant_cmd", "revoke_cmd", "run_queue", "step",
     # authorization index & diff
     "AuthorizationIndex", "GrantRectangle",
+    "ExplorationEngine",
     "PolicyDiff", "apply_diff", "diff_policies",
     "LogEntry", "PolicyHistory",
     # monitor & sessions

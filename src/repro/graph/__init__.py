@@ -33,6 +33,7 @@ from .closure import (
     topological_order,
     transitive_closure,
 )
+from .fingerprint import StateFingerprint
 from .dot import digraph_to_dot, policy_to_dot
 from .paths import (
     all_simple_paths,
@@ -63,6 +64,7 @@ __all__ = [
     "strongly_connected_components",
     "topological_order",
     "transitive_closure",
+    "StateFingerprint",
     "digraph_to_dot",
     "policy_to_dot",
     "all_simple_paths",

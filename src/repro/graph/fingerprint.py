@@ -1,0 +1,99 @@
+"""Canonical state fingerprints for state-space exploration.
+
+The bounded analyses (Definition-5 safety runs, administrative
+reachability, the HRU encodings) deduplicate explored policy states.
+The frozenset representation hashes a full ``edge_set()`` snapshot per
+candidate state — O(state) time and allocation on every probe.  The
+compiled representation maintained here is a **big-int bitmask**: every
+distinct state *atom* (a vertex, an edge, an access-matrix cell) is
+assigned one bit on first sight, a state's fingerprint is the OR of its
+atoms' bits, and a single mutation updates the fingerprint with one
+XOR.  ``seen``-set membership then costs an int hash instead of a
+frozenset hash.
+
+Canonicalization and interner ID recycling
+------------------------------------------
+
+The slot table is keyed by the atom **values** themselves (entities
+hash by name, privilege terms structurally), *not* by the graph's
+interned vertex IDs (:meth:`~repro.graph.digraph.Digraph.vid`).  The
+interner recycles IDs through a free-list: a privilege vertex
+garbage-collected by a revoke and re-introduced by a later grant — or a
+user deprovisioned and re-provisioned — may come back under a
+*different* ID, and two states that are equal as (vertex set, edge set)
+pairs could then carry different ID-indexed masks.  The value-keyed
+slot table is the remap that makes the fingerprint stable across such
+recycling: equal states always map to equal fingerprints, and distinct
+states to distinct fingerprints (each atom owns exactly one bit — the
+fingerprint is an exact set encoding, not a hash, so there are no
+collisions to reason about).
+
+Two states that differ only in an *isolated* vertex (a user
+deprovisioned and re-added with no memberships) differ in their vertex
+atoms, so the fingerprint distinguishes them — matching
+:meth:`repro.core.policy.Policy.__eq__`, which compares vertex sets as
+well as edge sets.  (The pre-compilation explorers deduplicated on
+``edge_set()`` alone and collapsed such states; see the regression
+tests in ``tests/analysis/test_explore.py``.)
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from .digraph import Digraph
+
+
+class StateFingerprint:
+    """An incrementally maintained exact bitmask over state atoms.
+
+    ``value`` is the current fingerprint.  :meth:`toggle` flips one
+    atom in or out (the caller toggles exactly the atoms its mutation
+    changed); an undo restores a previously read ``value`` directly.
+    Slots are never recycled — the table grows to the set of atoms ever
+    seen, which for bounded exploration is the candidate universe plus
+    the initial state.
+    """
+
+    __slots__ = ("_slots", "value")
+
+    def __init__(self):
+        self._slots: dict[Hashable, int] = {}
+        self.value = 0
+
+    @classmethod
+    def of_graph(cls, graph: Digraph) -> "StateFingerprint":
+        """A fingerprint seeded with a graph's vertices and edges.
+
+        Vertex atoms are the vertex values; edge atoms are ``(source,
+        target)`` pairs.  (Policy vertices are entities and privilege
+        terms, never tuples, so the two atom kinds cannot collide.)
+        """
+        fingerprint = cls()
+        for vertex in graph.vertices():
+            fingerprint.toggle(vertex)
+        for edge in graph.edges():
+            fingerprint.toggle(edge)
+        return fingerprint
+
+    def bit(self, atom: Hashable) -> int:
+        """The bit owned by ``atom``, assigned on first sight."""
+        slot = self._slots.get(atom)
+        if slot is None:
+            slot = self._slots[atom] = 1 << len(self._slots)
+        return slot
+
+    def toggle(self, atom: Hashable) -> None:
+        """Flip ``atom``'s presence in the fingerprint."""
+        self.value ^= self.bit(atom)
+
+    @property
+    def atoms_interned(self) -> int:
+        """Number of distinct atoms ever assigned a slot (diagnostic)."""
+        return len(self._slots)
+
+    def __repr__(self) -> str:
+        return (
+            f"StateFingerprint(atoms={len(self._slots)}, "
+            f"bits={bin(self.value).count('1')})"
+        )

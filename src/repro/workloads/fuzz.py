@@ -34,6 +34,15 @@ monitor's global invariants after every step:
    re-provisioning that recycles interner IDs, both unsharded and at
    several shard counts (:func:`fuzz_compiled_kernel`, backed by the
    two differential harnesses above with ``compiled=True``).
+10. **Compiled-analysis agreement** — the undo-log/fingerprint
+    explorers behind the analysis layer (``can_obtain``,
+    ``reachable_policies``, HRU ``check_safety``) are observationally
+    identical to the frozenset oracle explorers: same verdicts, same
+    ``states_explored``, same witness lengths (and, stronger, the
+    same witness queues and reachable-state signatures), in both
+    authorization modes, over seeded policies churned with
+    deprovision/re-provision traces that recycle interner vertex IDs
+    (:func:`fuzz_compiled_analysis`).
 
 The fuzzer is seeded and deterministic; the test suite runs it over a
 spread of seeds, and `examples/safety_audit.py`-style scripts can run
@@ -272,6 +281,172 @@ def fuzz_compiled_kernel(
             seed, steps, shape, shard_counts, compiled=True
         )
     )
+    return report
+
+
+def _recycling_churn(rng: random.Random, policy: Policy, steps: int) -> None:
+    """Random pre-analysis churn that exercises interner ID recycling.
+
+    Mixes UA grant/revoke mutations with full deprovision/re-provision
+    cycles: a user's vertex is removed, other vertices are introduced
+    (consuming the freed IDs), and the user is re-added — so the
+    analyzed policy's interner has recycled IDs and the compiled
+    explorers' vid-keyed state cannot silently alias the frozenset
+    semantics."""
+    roles = sorted(policy.roles(), key=str)
+    if not roles:
+        return
+    for index in range(steps):
+        users = sorted(policy.users(), key=str)
+        if not users:
+            break
+        draw = rng.random()
+        if draw < 0.30 and users:
+            # Deprovision, burn the freed ID, re-provision.
+            victim = rng.choice(users)
+            memberships = [
+                role for role in roles if policy.has_edge(victim, role)
+            ]
+            policy.remove_user(victim)
+            policy.add_role(Role(f"recycle_{index}"))
+            policy.assign_user(victim, rng.choice(memberships or roles))
+        elif draw < 0.65:
+            policy.assign_user(rng.choice(users), rng.choice(roles))
+        else:
+            user = rng.choice(users)
+            memberships = [
+                role for role in roles if policy.has_edge(user, role)
+            ]
+            if memberships:
+                policy.remove_edge(user, rng.choice(memberships))
+
+
+def fuzz_compiled_analysis(
+    seed: int,
+    steps: int = 20,
+    shape: PolicyShape = PolicyShape(
+        n_users=3, n_roles=4, n_admin_privileges=3, max_nesting=2
+    ),
+    depth: int = 2,
+    probes: int = 4,
+    max_states: int = 250,
+) -> FuzzReport:
+    """Invariant (10): the compiled analysis explorers are an
+    implementation detail — undo-log exploration with canonical
+    fingerprints must be observationally identical to the frozenset
+    oracle (policy copies + ``(edge_set, vertex_set)`` signatures).
+
+    Compares, after an ID-recycling churn prefix, in both modes:
+
+    * :func:`repro.analysis.safety.can_obtain` over sampled
+      (user, user-privilege) cells — verdict, ``states_explored`` and
+      the witness queue itself must match;
+    * :func:`repro.analysis.reachability.reachable_policies` — state
+      count, per-state witness lengths, and the set of
+      (edge set, vertex set) state signatures must match;
+    * the HRU encoding's bounded :func:`repro.analysis.hru.check_safety`
+      — ``leaks``/``steps``/``states_explored`` must match.
+
+    The default shape is deliberately small: exploration is exponential
+    in depth, and the invariant is about identity, not scale.
+    ``max_states`` bounds the reachability comparison — the two kernels
+    expand candidates in identical order, so they must truncate on
+    exactly the same state (which the comparison then also pins).
+    """
+    from ..analysis.hru import check_safety, encode_rbac_grants
+    from ..analysis.reachability import reachable_policies
+    from ..analysis.safety import can_obtain
+
+    rng = random.Random(seed)
+    policy = random_policy(seed, shape)
+    _recycling_churn(rng, policy, steps)
+    report = FuzzReport(seed=seed, steps=steps)
+
+    def state_signature(state):
+        return (state.policy.edge_set(), state.policy.vertex_set())
+
+    users = sorted(policy.users(), key=str)
+    privileges = sorted(policy.user_privileges(), key=str)
+    cells = [
+        (rng.choice(users), rng.choice(privileges))
+        for _ in range(probes)
+        if users and privileges
+    ]
+    for mode in (Mode.STRICT, Mode.REFINED):
+        fast = reachable_policies(
+            policy, depth, mode, max_states=max_states, compiled=True
+        )
+        oracle = reachable_policies(
+            policy, depth, mode, max_states=max_states, compiled=False
+        )
+        if len(fast) != len(oracle):
+            report.violations.append(
+                f"reachable_policies count mismatch ({mode.value}): "
+                f"compiled={len(fast)} frozenset={len(oracle)}"
+            )
+        elif [len(s.witness) for s in fast] != [
+            len(s.witness) for s in oracle
+        ]:
+            report.violations.append(
+                f"reachable_policies witness lengths diverge ({mode.value})"
+            )
+        elif {state_signature(s) for s in fast} != {
+            state_signature(s) for s in oracle
+        }:
+            report.violations.append(
+                f"reachable_policies state signatures diverge ({mode.value})"
+            )
+        for probe_index, (user, privilege) in enumerate(cells):
+            # Every other probe restricts the acting set (exercising
+            # the compiled engine's issuer bitmask filter), including
+            # an off-graph colluder the filter must tolerate.
+            acting = None
+            if probe_index % 2 and users:
+                acting = users[: max(1, len(users) // 2)] + [
+                    User("fuzz_outside_colluder")
+                ]
+            fast_verdict = can_obtain(
+                policy, user, privilege, depth, mode,
+                acting_users=acting, compiled=True,
+            )
+            oracle_verdict = can_obtain(
+                policy, user, privilege, depth, mode,
+                acting_users=acting, compiled=False,
+            )
+            if (
+                fast_verdict.reachable != oracle_verdict.reachable
+                or fast_verdict.states_explored
+                != oracle_verdict.states_explored
+                or fast_verdict.witness != oracle_verdict.witness
+            ):
+                report.violations.append(
+                    f"can_obtain mismatch ({mode.value}) on "
+                    f"({user}, {privilege}, acting={acting}): "
+                    f"compiled={fast_verdict} frozenset={oracle_verdict}"
+                )
+
+    matrix, commands = encode_rbac_grants(policy)
+    names = sorted(matrix.names)
+    for _ in range(min(probes, 2)):
+        cell_subject, cell_object = rng.choice(names), rng.choice(names)
+        fast_result = check_safety(
+            matrix, commands, "m", cell_subject, cell_object,
+            max_steps=2, compiled=True,
+        )
+        oracle_result = check_safety(
+            matrix, commands, "m", cell_subject, cell_object,
+            max_steps=2, compiled=False,
+        )
+        if (
+            fast_result.leaks != oracle_result.leaks
+            or fast_result.steps != oracle_result.steps
+            or fast_result.states_explored != oracle_result.states_explored
+        ):
+            report.violations.append(
+                f"hru check_safety mismatch on ({cell_subject}, "
+                f"{cell_object}): compiled={fast_result} "
+                f"frozenset={oracle_result}"
+            )
     return report
 
 

@@ -93,3 +93,43 @@ class TestEncodingCost:
         for depth in range(1, 6):
             cost = encoding_cost(depth)
             assert cost.pbdm_new_roles > cost.nested_new_roles
+
+
+class TestEquiObtainable:
+    """The explorer-backed §5 check: both encodings agree on whether
+    the delegation chain can be driven end to end."""
+
+    @pytest.mark.parametrize("compiled", [True, False])
+    def test_encodings_equi_obtainable(self, compiled):
+        from repro.analysis.expressiveness import encodings_equi_obtainable
+
+        assert encodings_equi_obtainable(make_cascade(1), compiled=compiled)
+
+    def test_kernels_agree(self):
+        from repro.analysis.expressiveness import encodings_equi_obtainable
+
+        cascade = make_cascade(2)
+        assert encodings_equi_obtainable(
+            cascade, compiled=True
+        ) == encodings_equi_obtainable(cascade, compiled=False)
+
+    def test_marker_pair_is_actually_obtainable(self):
+        """The check must not pass vacuously (False == False): the
+        marker pair is genuinely obtainable under the nested encoding."""
+        from repro.analysis.expressiveness import (
+            _home_role,
+            encode_as_nested_grant,
+        )
+        from repro.analysis.reachability import obtainable_pairs
+        from repro.core.commands import Mode
+        from repro.core.privileges import perm
+
+        cascade = make_cascade(1)
+        marker = perm("use", cascade.target_role.name)
+        base = cascade_policy(cascade)
+        base.assign_privilege(cascade.target_role, marker)
+        nested = encode_as_nested_grant(
+            base, cascade, _home_role(cascade.delegators[0])
+        )
+        pairs = obtainable_pairs(nested, cascade.depth + 1, Mode.STRICT)
+        assert (cascade.final_recipient, marker) in pairs

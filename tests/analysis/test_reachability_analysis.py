@@ -47,11 +47,19 @@ class TestReachablePolicies:
             assert len(state.witness) <= 2
 
     def test_revoke_and_regrant_cycle_deduplicated(self, policy):
-        # Granting then revoking returns to the start; dedup keeps the
-        # state count small.
+        # Granting then revoking returns to the start's edge set; dedup
+        # keeps the state count small.  State identity is the full
+        # (vertex set, edge set) pair — matching Policy.__eq__ — so the
+        # grant/revoke round trip that leaves u behind as an isolated
+        # vertex is a *distinct* state sharing the initial edge set.
         states = reachable_policies(policy, depth=3)
-        signatures = [state.policy.edge_set() for state in states]
+        signatures = [
+            (state.policy.edge_set(), state.policy.vertex_set())
+            for state in states
+        ]
         assert len(signatures) == len(set(signatures))
+        edge_signatures = {state.policy.edge_set() for state in states}
+        assert len(edge_signatures) < len(signatures)
 
     def test_max_states_cap(self, policy):
         states = reachable_policies(policy, depth=3, max_states=2)

@@ -101,3 +101,60 @@ def test_explain_access_denied(fig2_file, capsys):
     out = capsys.readouterr().out
     assert "DENIED" in out
     assert "authorized roles" in out
+
+
+def test_analyze_reachable_with_witness(fig2_file, capsys):
+    assert main(
+        ["analyze", fig2_file, "bob", "(write, t3)", "--depth", "1"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "compiled explorer" in out
+    assert "REACHABLE in 1 step(s):" in out
+    assert "cmd(alice, grant, bob, staff)" in out
+
+
+def test_analyze_safe_exits_nonzero(fig2_file, capsys):
+    assert main(
+        ["analyze", fig2_file, "jane", "(read, t1)", "--depth", "2"]
+    ) == 1
+    out = capsys.readouterr().out
+    assert "SAFE: jane cannot obtain (read, t1)" in out
+
+
+def test_analyze_frozenset_escape_hatch(fig2_file, capsys):
+    """--frozenset runs the oracle explorer; same verdict, same
+    explored-state count as the compiled default."""
+    assert main(
+        ["analyze", fig2_file, "bob", "(write, t3)", "--depth", "1",
+         "--frozenset"]
+    ) == 0
+    frozenset_out = capsys.readouterr().out
+    assert "frozenset explorer" in frozenset_out
+    main(["analyze", fig2_file, "bob", "(write, t3)", "--depth", "1"])
+    compiled_out = capsys.readouterr().out
+    assert (
+        frozenset_out.replace("frozenset explorer", "compiled explorer")
+        == compiled_out
+    )
+
+
+def test_analyze_acting_users_restriction(fig2_file, capsys):
+    """With only bob acting (no administrator), nothing is obtainable."""
+    assert main(
+        ["analyze", fig2_file, "bob", "(write, t3)", "--depth", "2",
+         "--acting", "bob"]
+    ) == 1
+    out = capsys.readouterr().out
+    assert "SAFE" in out
+
+
+def test_analyze_empty_acting_set_means_nobody_acts(fig2_file, capsys):
+    """`--acting` with zero names is an explicit empty collusion set —
+    nothing is obtainable — not "everyone may act"."""
+    assert main(
+        ["analyze", fig2_file, "bob", "(write, t3)", "--depth", "2",
+         "--acting"]
+    ) == 1
+    out = capsys.readouterr().out
+    assert "SAFE" in out
+    assert "explored 1 states" in out

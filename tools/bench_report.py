@@ -34,19 +34,35 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
-#: bench name -> (script, reduced-config environment overrides)
-BENCHES: dict[str, tuple[str, dict[str, str]]] = {
+#: bench name -> (script, reduced-config environment overrides,
+#:                metrics-output env var or None)
+BENCHES: dict[str, tuple[str, dict[str, str], str | None]] = {
     "bitset_kernel": (
         "benchmarks/bench_bitset_kernel.py",
         {"BITSET_BENCH_USERS": "1500", "BITSET_SPEEDUP_TARGET": "2"},
+        "BITSET_METRICS_OUT",
     ),
     "index_churn": (
         "benchmarks/bench_index_churn.py",
         {"CHURN_SPEEDUP_TARGET": "2"},
+        None,
     ),
     "shard_scaling": (
         "benchmarks/bench_shard_scaling.py",
         {"SHARD_BENCH_USERS": "1200", "SHARD_BENCH_MUTATIONS": "40"},
+        None,
+    ),
+    "analysis_kernel": (
+        "benchmarks/bench_analysis_kernel.py",
+        # The reduced enterprise keeps the frozenset-oracle side to a
+        # couple of seconds; the >=5x floor must hold even there.
+        {
+            "ANALYSIS_BENCH_DEPARTMENTS": "2",
+            "ANALYSIS_BENCH_LEVELS": "2",
+            "ANALYSIS_BENCH_EMPLOYEES": "4",
+            "ANALYSIS_SPEEDUP_TARGET": "5",
+        },
+        "ANALYSIS_METRICS_OUT",
     ),
 }
 
@@ -55,7 +71,7 @@ def run_bench(
     name: str, full: bool = False, echo: bool = False
 ) -> dict:
     """Run one bench as a subprocess; returns its trajectory entry."""
-    script, reduced_env = BENCHES[name]
+    script, reduced_env, metrics_var = BENCHES[name]
     env = dict(__import__("os").environ)
     src = str(REPO_ROOT / "src")
     env["PYTHONPATH"] = src + (
@@ -64,13 +80,13 @@ def run_bench(
     if not full:
         env.update(reduced_env)
     metrics_path = None
-    if name == "bitset_kernel":
+    if metrics_var:
         handle = tempfile.NamedTemporaryFile(
             mode="r", suffix=".json", delete=False
         )
         metrics_path = handle.name
         handle.close()
-        env["BITSET_METRICS_OUT"] = metrics_path
+        env[metrics_var] = metrics_path
     started = time.perf_counter()
     completed = subprocess.run(
         [sys.executable, script],
@@ -158,11 +174,13 @@ def main(argv: list[str] | None = None) -> int:
         extra = ""
         metrics = entry.get("metrics")
         if metrics:
-            extra = (
-                f"  build {metrics['build_speedup']}x, "
-                f"query {metrics['query_speedup']}x "
-                f"@ {metrics['users']} users"
+            speedups = ", ".join(
+                f"{key.removesuffix('_speedup')} {value}x"
+                for key, value in metrics.items()
+                if key.endswith("_speedup")
             )
+            if speedups:
+                extra = f"  {speedups}"
         print(f"{entry['bench']:14} {status:6} {entry['seconds']}s{extra}")
     print(f"trajectory: {args.output}")
     return 0 if all(entry["ok"] for entry in entries) else 1
