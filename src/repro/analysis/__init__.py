@@ -59,6 +59,14 @@ from .constraints import (
     SsdConstraint,
     weakening_preserves_ssd,
 )
+from .lint import (
+    Finding,
+    LintReport,
+    LintRule,
+    RULES,
+    Severity,
+    lint_policy,
+)
 from .minimization import (
     LoweringOpportunity,
     canonicalize,
@@ -108,6 +116,8 @@ __all__ = [
     # constraints extension
     "ConstrainedMonitor", "DsdConstraint", "SsdConstraint",
     "weakening_preserves_ssd",
+    # lint
+    "Finding", "LintReport", "LintRule", "RULES", "Severity", "lint_policy",
     # minimization & expressiveness
     "LoweringOpportunity", "canonicalize", "lowering_opportunities",
     "redundant_edges",

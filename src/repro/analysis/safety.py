@@ -108,6 +108,24 @@ def _can_obtain_compiled(
     """The undo-log BFS.  Frontier nodes are witness paths; the engine
     replays/undoes along them, so no state is ever copied."""
     engine = ExplorationEngine(policy, mode, acting_users)
+    return _can_obtain_on_engine(engine, subject, privilege, depth)
+
+
+def _can_obtain_on_engine(
+    engine: ExplorationEngine,
+    subject: object,
+    privilege: UserPrivilege,
+    depth: int,
+) -> SafetyVerdict:
+    """One safety BFS over a (possibly shared) engine.
+
+    The ``seen`` set is per query; the engine's state is navigated by
+    witness path, so the first ``goto(())`` rewinds whatever state a
+    previous query on the same engine left behind.  Observationally
+    identical to a fresh-engine run: same verdict, witness, and
+    ``states_explored``.
+    """
+    engine.goto(())
     seen = {engine.fingerprint}
     frontier: deque[tuple[Command, ...]] = deque([()])
     explored = 1
@@ -144,11 +162,33 @@ def safety_matrix(
     mode keeps safe beyond what Theorem 1 predicts (it cannot — the
     tests assert equality of the obtainable sets on the paper's
     policies).
+
+    Under ``compiled=True`` the whole table shares one
+    :class:`ExplorationEngine` — the candidate universe, issuer masks,
+    and undo log are built once and every cell runs its own BFS with a
+    per-query ``seen`` set, instead of rebuilding the engine per cell.
+    Verdicts (including witnesses and ``states_explored``) are
+    identical to per-cell :func:`can_obtain` calls.
     """
     verdicts: dict[tuple[User, UserPrivilege], SafetyVerdict] = {}
-    for user in sorted(policy.users(), key=str):
-        for privilege in sorted(policy.user_privileges(), key=str):
-            verdicts[(user, privilege)] = can_obtain(
-                policy, user, privilege, depth, mode, compiled=compiled
+    users = sorted(policy.users(), key=str)
+    privileges = sorted(policy.user_privileges(), key=str)
+    if not compiled:
+        for user in users:
+            for privilege in privileges:
+                verdicts[(user, privilege)] = can_obtain(
+                    policy, user, privilege, depth, mode, compiled=False
+                )
+        return verdicts
+    engine: ExplorationEngine | None = None
+    for user in users:
+        for privilege in privileges:
+            if reaches_bits(policy, user, privilege):
+                verdicts[(user, privilege)] = SafetyVerdict(True, (), 1)
+                continue
+            if engine is None:
+                engine = ExplorationEngine(policy, mode)
+            verdicts[(user, privilege)] = _can_obtain_on_engine(
+                engine, user, privilege, depth
             )
     return verdicts

@@ -11,6 +11,9 @@ Subcommands:
 * ``analyze FILE SUBJ PRIV``    — bounded safety query with witness
   (``--frozenset`` selects the oracle explorer instead of the compiled
   undo-log engine).
+* ``lint [FILE]``               — static policy analysis: structured
+  findings with witnesses and suggested repairs (``--fixture`` lints a
+  built-in policy, ``--severity`` gates the exit code for CI).
 * ``export-dot FILE``           — Graphviz export (the paper's figures).
 * ``figures``                   — print the paper's Figures 1–3 as documents.
 * ``query SQL...``              — run SQL against the guarded hospital DBMS
@@ -209,6 +212,91 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     print(f"SAFE: {subject} cannot obtain {format_privilege(privilege)} "
           f"within {args.depth} administrative step(s)")
     return 1
+
+
+_LINT_FIXTURES = {
+    "figure1": "the paper's Figure 1 policy",
+    "figure2": "the paper's Figure 2 policy",
+    "figure3": "the paper's Figure 3 policy",
+    "hospital": "the hospital workload (default shape)",
+    "enterprise": "the enterprise workload (default shape)",
+}
+
+
+def _lint_target(args: argparse.Namespace) -> Policy:
+    if (args.policy is None) == (args.fixture is None):
+        raise ReproError(
+            "lint needs exactly one of: a policy file, or --fixture"
+        )
+    if args.policy is not None:
+        return _load_policy(args.policy)
+    if args.fixture in ("figure1", "figure2", "figure3"):
+        from .papercases import figures
+
+        return getattr(figures, args.fixture)()
+    if args.fixture == "hospital":
+        from .workloads.hospital import hospital_policy
+
+        return hospital_policy()
+    from .workloads.enterprise import enterprise_policy
+
+    return enterprise_policy()
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json
+
+    from .analysis.constraints import SsdConstraint
+    from .analysis.lint import Severity, lint_policy
+    from .core.entities import Role
+    from .errors import AnalysisError
+
+    policy = _lint_target(args)
+    constraints = []
+    for position, spec in enumerate(args.ssd or []):
+        names = [name.strip() for name in spec.split(",") if name.strip()]
+        if len(names) < 2:
+            raise AnalysisError(
+                f"--ssd needs at least two comma-separated roles, "
+                f"got {spec!r}"
+            )
+        constraints.append(
+            SsdConstraint(
+                f"ssd_{position}",
+                frozenset(Role(name) for name in names),
+            )
+        )
+    threshold = Severity.parse(args.severity)
+    report = lint_policy(
+        policy,
+        rules=args.rules,
+        compiled=not args.frozenset,
+        constraints=constraints,
+    )
+    selected = report.at_or_above(threshold)
+    if args.json:
+        print(json.dumps(
+            {
+                "compiled": report.compiled,
+                "severity": threshold.label,
+                "findings": [finding.as_dict() for finding in selected],
+                "stats": report.stats,
+            },
+            indent=2,
+        ))
+    else:
+        for finding in selected:
+            print(finding.render())
+        kernel = "frozenset" if args.frozenset else "compiled"
+        suppressed = len(report.findings) - len(selected)
+        summary = (
+            f"{len(selected)} finding(s) at or above {threshold.label} "
+            f"({kernel} kernel"
+        )
+        if suppressed:
+            summary += f", {suppressed} below threshold"
+        print(summary + ")")
+    return 1 if selected else 0
 
 
 def _cmd_flexibility(args: argparse.Namespace) -> int:
@@ -434,6 +522,43 @@ def build_parser() -> argparse.ArgumentParser:
              "compiled undo-log engine (differential baseline)",
     )
     analyze.set_defaults(func=_cmd_analyze)
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="static policy analysis: findings, witnesses, repairs",
+    )
+    lint.add_argument(
+        "policy", nargs="?", default=None,
+        help="policy file (or use --fixture)",
+    )
+    lint.add_argument(
+        "--fixture", choices=sorted(_LINT_FIXTURES), default=None,
+        help="lint a built-in policy instead of a file",
+    )
+    lint.add_argument(
+        "--severity", default="info",
+        choices=["info", "warning", "error"],
+        help="report (and exit non-zero on) findings at or above this "
+             "severity (default: info)",
+    )
+    lint.add_argument(
+        "--rules", nargs="*", default=None, metavar="RULE",
+        help="run only these rules (default: all)",
+    )
+    lint.add_argument(
+        "--ssd", action="append", default=None, metavar="R1,R2[,R3...]",
+        help="declare an SSD separation set for constraint-conflict "
+             "(repeatable)",
+    )
+    lint.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    lint.add_argument(
+        "--frozenset", action="store_true",
+        help="lint with the frozenset oracle instead of the compiled "
+             "bitset kernel (differential baseline)",
+    )
+    lint.set_defaults(func=_cmd_lint)
 
     flexibility = subparsers.add_parser(
         "flexibility",

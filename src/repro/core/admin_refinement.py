@@ -58,6 +58,7 @@ from dataclasses import dataclass
 from ..errors import AnalysisError
 from .commands import Command, Mode, candidate_commands, run_queue, step
 from .entities import User
+from .explore import ExplorationEngine
 from .ordering import OrderingOracle
 from .policy import Policy
 from .refinement import is_refinement
@@ -121,6 +122,43 @@ def _universal_runs(policy: Policy, depth: int, mode: Mode) -> list[_Obligation]
     return obligations
 
 
+def _universal_runs_compiled(
+    policy: Policy, depth: int, mode: Mode
+) -> list[_Obligation]:
+    """:func:`_universal_runs` on the exploration engine: one mutable
+    state navigated by witness path, commands pruned by bit tests, and
+    a ``policy.copy()`` only per *kept* obligation.  Obligation order,
+    dedup keys, and final policies match the frozenset oracle exactly
+    (``effective_commands`` is precisely the executed-and-non-vacuous
+    filter, in candidate-universe order)."""
+    engine = ExplorationEngine(policy, mode)
+    seen: set[tuple[tuple[User, ...], frozenset]] = {
+        ((), policy.edge_set())
+    }
+    obligations: list[_Obligation] = [_Obligation((), engine.snapshot())]
+    frontier: deque[tuple[Command, ...]] = deque([()])
+    while frontier:
+        path = frontier.popleft()
+        if len(path) == depth:
+            continue
+        engine.goto(path)
+        for command in engine.effective_commands():
+            engine.push(command)
+            new_queue = path + (command,)
+            key = (
+                tuple(cmd.user for cmd in new_queue),
+                engine.policy.edge_set(),
+            )
+            if key in seen:
+                engine.pop()
+                continue
+            seen.add(key)
+            obligations.append(_Obligation(new_queue, engine.snapshot()))
+            frontier.append(new_queue)
+            engine.pop()
+    return obligations
+
+
 def _exists_dominating_run(
     responder: Policy,
     users: tuple[User, ...],
@@ -174,6 +212,59 @@ def _exists_dominating_run(
     return search(0, responder.copy())
 
 
+def _exists_dominating_run_compiled(
+    engine: ExplorationEngine,
+    users: tuple[User, ...],
+    dominated_final: Policy | None,
+    dominating_final: Policy | None,
+    counters: dict[str, int],
+) -> bool:
+    """:func:`_exists_dominating_run` on a shared responder engine.
+
+    The recursion pushes a candidate, descends, and pops on unwind
+    (``finally``), so the engine is back at the responder's initial
+    state when the search returns — ready for the next obligation
+    without rebuilding the universe or the ordering oracle.  The
+    visited keys, visit order, and ``responder_states`` counts match
+    the copy-per-candidate oracle exactly.
+    """
+    engine.goto(())
+    visited: set[tuple[int, frozenset]] = set()
+
+    def satisfied() -> bool:
+        if dominating_final is None:
+            return is_refinement(engine.policy, dominated_final)
+        return is_refinement(dominating_final, engine.policy)
+
+    def search(index: int) -> bool:
+        key = (index, engine.policy.edge_set())
+        if key in visited:
+            return False
+        visited.add(key)
+        counters["responder_states"] += 1
+        if satisfied():
+            # Remaining positions can all be no-ops by the right users.
+            return True
+        if index == len(users):
+            return False
+        user = users[index]
+        # No-op by `user`: same state, next index.
+        if search(index + 1):
+            return True
+        for command in engine.effective_commands():
+            if command.user != user:
+                continue
+            engine.push(command)
+            try:
+                if search(index + 1):
+                    return True
+            finally:
+                engine.pop()
+        return False
+
+    return search(0)
+
+
 def check_admin_refinement(
     phi: Policy,
     psi: Policy,
@@ -181,6 +272,7 @@ def check_admin_refinement(
     direction: str = "psi-universal",
     phi_mode: Mode = Mode.STRICT,
     psi_mode: Mode = Mode.STRICT,
+    compiled: bool = True,
 ) -> AdminRefinementResult:
     """Bounded Definition-7 check: is ψ an administrative refinement of
     φ, as far as runs of length ≤ ``depth`` over the candidate command
@@ -189,17 +281,27 @@ def check_admin_refinement(
     ``holds=True`` is a certificate for the explored fragment, not a
     full proof; ``holds=False`` comes with a concrete counterexample
     queue on the universal side.
+
+    ``compiled=True`` (the default) runs both the universal-side
+    enumeration and the responder search on
+    :class:`~repro.core.explore.ExplorationEngine` undo logs — one
+    shared responder engine across all obligations instead of a
+    ``policy.copy()`` per probed candidate.  ``compiled=False`` keeps
+    the copy-per-probe frozenset oracle; results (including the
+    counterexample and all counters) are identical.
     """
     if direction not in ("psi-universal", "phi-universal"):
         raise AnalysisError(f"unknown direction {direction!r}")
     counters = {"responder_states": 0}
     trivial = 0
+    enumerate_runs = _universal_runs_compiled if compiled else _universal_runs
     if direction == "psi-universal":
-        obligations = _universal_runs(psi, depth, psi_mode)
+        obligations = enumerate_runs(psi, depth, psi_mode)
         responder, responder_mode = phi, phi_mode
     else:
-        obligations = _universal_runs(phi, depth, phi_mode)
+        obligations = enumerate_runs(phi, depth, phi_mode)
         responder, responder_mode = psi, psi_mode
+    responder_engine: ExplorationEngine | None = None
 
     for obligation in obligations:
         if direction == "psi-universal":
@@ -207,19 +309,25 @@ def check_admin_refinement(
             if is_refinement(phi, obligation.final):
                 trivial += 1
                 continue
-            users = tuple(cmd.user for cmd in obligation.queue)
-            matched = _exists_dominating_run(
-                responder, users, obligation.final, None,
-                responder_mode, counters,
-            )
+            dominated, dominating = obligation.final, None
         else:
             # φ produced obligation.final; ψ must produce a dominated state.
             if is_refinement(obligation.final, psi):
                 trivial += 1
                 continue
-            users = tuple(cmd.user for cmd in obligation.queue)
+            dominated, dominating = None, obligation.final
+        users = tuple(cmd.user for cmd in obligation.queue)
+        if compiled:
+            if responder_engine is None:
+                responder_engine = ExplorationEngine(
+                    responder, responder_mode
+                )
+            matched = _exists_dominating_run_compiled(
+                responder_engine, users, dominated, dominating, counters
+            )
+        else:
             matched = _exists_dominating_run(
-                responder, users, None, obligation.final,
+                responder, users, dominated, dominating,
                 responder_mode, counters,
             )
         if not matched:
@@ -244,7 +352,7 @@ def check_admin_refinement(
 
 
 def check_mode_safety(
-    policy: Policy, depth: int = 2
+    policy: Policy, depth: int = 2, compiled: bool = True
 ) -> AdminRefinementResult:
     """Is the refined monitor safe?  Every REFINED-mode run of
     ``policy`` must be dominated by a user-matched STRICT-mode run of
@@ -256,6 +364,7 @@ def check_mode_safety(
         direction="psi-universal",
         phi_mode=Mode.STRICT,
         psi_mode=Mode.REFINED,
+        compiled=compiled,
     )
 
 

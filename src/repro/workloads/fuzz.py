@@ -43,6 +43,13 @@ monitor's global invariants after every step:
     authorization modes, over seeded policies churned with
     deprovision/re-provision traces that recycle interner vertex IDs
     (:func:`fuzz_compiled_analysis`).
+11. **Lint agreement** — the bitset-compiled lint rules
+    (:func:`repro.analysis.lint.lint_policy`) produce findings, rule
+    statistics and severities identical to the frozenset oracle, on
+    the initial policy and re-checked after every chunk of
+    deprovision/re-provision churn that recycles interner vertex IDs,
+    with and without declared SSD separation sets
+    (:func:`fuzz_lint`).
 
 The fuzzer is seeded and deterministic; the test suite runs it over a
 spread of seeds, and `examples/safety_audit.py`-style scripts can run
@@ -447,6 +454,68 @@ def fuzz_compiled_analysis(
                 f"{cell_object}): compiled={fast_result} "
                 f"frozenset={oracle_result}"
             )
+    return report
+
+
+def fuzz_lint(
+    seed: int,
+    steps: int = 24,
+    shape: PolicyShape = PolicyShape(
+        n_users=4, n_roles=5, n_admin_privileges=4, max_nesting=2
+    ),
+    rounds: int = 3,
+) -> FuzzReport:
+    """Invariant (11): the bitset-compiled lint pass is an
+    implementation detail — :func:`repro.analysis.lint.lint_policy`
+    must produce findings (rules, severities, subjects, witnesses,
+    messages, repairs) and per-rule statistics identical to the
+    frozenset oracle.
+
+    The comparison runs on the freshly generated policy and again
+    after each of ``rounds`` chunks of :func:`_recycling_churn` — so
+    the compiled sweeps are exercised over interners with freed and
+    recycled vertex IDs, which lint deliberately does not launder
+    through a dense re-interning copy.  Each comparison also declares
+    an SSD separation set sampled from the live roles, pinning the
+    ``constraint-conflict`` rule in both kernels.
+    """
+    from ..analysis.constraints import SsdConstraint
+    from ..analysis.lint import lint_policy
+
+    rng = random.Random(seed)
+    policy = random_policy(seed, shape)
+    report = FuzzReport(seed=seed, steps=steps)
+
+    def compare(label: str) -> None:
+        roles = sorted(policy.roles(), key=str)
+        constraints = ()
+        if len(roles) >= 2:
+            picked = rng.sample(roles, min(3, len(roles)))
+            constraints = (
+                SsdConstraint(f"fuzz_sep_{label}", frozenset(picked)),
+            )
+        fast = lint_policy(policy, compiled=True, constraints=constraints)
+        oracle = lint_policy(
+            policy, compiled=False, constraints=constraints
+        )
+        if fast.findings != oracle.findings:
+            fast_only = set(fast.findings) - set(oracle.findings)
+            oracle_only = set(oracle.findings) - set(fast.findings)
+            report.violations.append(
+                f"lint findings diverge ({label}): "
+                f"compiled-only={sorted(f.sort_key for f in fast_only)} "
+                f"frozenset-only={sorted(f.sort_key for f in oracle_only)}"
+            )
+        elif fast.stats != oracle.stats:
+            report.violations.append(
+                f"lint stats diverge ({label}): "
+                f"compiled={fast.stats} frozenset={oracle.stats}"
+            )
+
+    compare("initial")
+    for round_index in range(rounds):
+        _recycling_churn(rng, policy, steps)
+        compare(f"round_{round_index}")
     return report
 
 

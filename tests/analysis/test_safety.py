@@ -83,3 +83,30 @@ class TestSafetyMatrix:
         # obtain P via the high role in strict mode: same verdicts.
         assert strict[(U, P)].reachable
         assert refined[(U, P)].reachable
+
+
+class TestSharedEngineMatrix:
+    """The compiled matrix shares one exploration engine across all
+    cells; the verdicts must be indistinguishable from per-cell runs
+    and from the frozenset oracle."""
+
+    @pytest.mark.parametrize("mode", [Mode.STRICT, Mode.REFINED])
+    def test_matrix_matches_per_cell_and_oracle(self, mode):
+        from repro.papercases import figures
+
+        policy = figures.figure2()
+        shared = safety_matrix(policy, depth=2, mode=mode, compiled=True)
+        oracle = safety_matrix(policy, depth=2, mode=mode, compiled=False)
+        assert set(shared) == set(oracle)
+        for cell, verdict in shared.items():
+            per_cell = can_obtain(
+                policy, cell[0], cell[1], depth=2, mode=mode, compiled=True
+            )
+            assert verdict == per_cell, cell
+            assert verdict == oracle[cell], cell
+
+    def test_shared_engine_leaves_policy_untouched(self, policy):
+        edges, vertices = policy.edge_set(), policy.vertex_set()
+        safety_matrix(policy, depth=2, compiled=True)
+        assert policy.edge_set() == edges
+        assert policy.vertex_set() == vertices

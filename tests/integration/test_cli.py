@@ -193,3 +193,99 @@ class TestQuerySubcommand:
     def test_query_unknown_backend_rejected(self, capsys):
         with pytest.raises(SystemExit):
             main(["query", "SELECT * FROM t1", "--backend", "postgres"])
+
+
+class TestLintCommand:
+    def test_lint_figure2_text_output(self, capsys):
+        assert main(["lint", "--fixture", "figure2"]) == 1
+        out = capsys.readouterr().out
+        assert "dead-role: role dbusr3" in out
+        assert "irrevocable-authority: grant(bob, staff)" in out
+        assert "redundant-delegation: edge (diana -> nurse)" in out
+        assert "[repair: revoke(diana, nurse)]" in out
+        assert "6 finding(s) at or above info (compiled kernel)" in out
+
+    def test_lint_severity_gates_exit_code(self, capsys):
+        # Figure 2 tops out at warning: the error threshold passes.
+        assert main(["lint", "--fixture", "figure2",
+                     "--severity", "error"]) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s) at or above error" in out
+        assert "6 below threshold" in out
+        assert main(["lint", "--fixture", "figure2",
+                     "--severity", "warning"]) == 1
+
+    def test_lint_policy_file(self, fig1_file, capsys):
+        assert main(["lint", fig1_file]) == 1
+        out = capsys.readouterr().out
+        assert "redundant-delegation: edge (diana -> nurse)" in out
+
+    def test_lint_json_output(self, capsys):
+        assert main(["lint", "--fixture", "figure1", "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["compiled"] is True
+        assert payload["severity"] == "info"
+        assert [f["rule"] for f in payload["findings"]] == [
+            "redundant-delegation"
+        ]
+        assert payload["findings"][0]["repair"] == "revoke(diana, nurse)"
+        assert payload["stats"]["redundant-delegation"]["verified"] == 1
+
+    def test_lint_frozenset_kernel_identical_findings(self, capsys):
+        assert main(["lint", "--fixture", "figure2", "--json"]) == 1
+        fast = json.loads(capsys.readouterr().out)
+        assert main(["lint", "--fixture", "figure2", "--json",
+                     "--frozenset"]) == 1
+        slow = json.loads(capsys.readouterr().out)
+        assert fast["findings"] == slow["findings"]
+        assert slow["compiled"] is False
+
+    def test_lint_rule_selection(self, capsys):
+        assert main(["lint", "--fixture", "figure2",
+                     "--rules", "dead-role"]) == 1
+        out = capsys.readouterr().out
+        assert "dead-role" in out
+        assert "irrevocable-authority" not in out
+
+    def test_lint_ssd_constraint(self, capsys):
+        assert main(["lint", "--fixture", "figure2",
+                     "--ssd", "nurse,staff",
+                     "--severity", "error"]) == 1
+        out = capsys.readouterr().out
+        assert "constraint-conflict" in out
+        assert "ssd_0" in out
+
+    def test_lint_rejects_unknown_rule(self, capsys):
+        assert main(["lint", "--fixture", "figure1",
+                     "--rules", "bogus"]) == 2
+        assert "unknown lint rule" in capsys.readouterr().err
+
+    def test_lint_rejects_bad_ssd_spec(self, capsys):
+        assert main(["lint", "--fixture", "figure1",
+                     "--ssd", "nurse"]) == 2
+        assert "--ssd needs at least two" in capsys.readouterr().err
+
+    def test_lint_requires_exactly_one_target(self, fig1_file, capsys):
+        assert main(["lint"]) == 2
+        assert "exactly one" in capsys.readouterr().err
+        assert main(["lint", fig1_file, "--fixture", "figure1"]) == 2
+
+    def test_lint_clean_policy_exits_zero(self, tmp_path, capsys):
+        from repro.core.entities import Role, User
+        from repro.core.policy import Policy
+        from repro.core.privileges import perm
+
+        policy = Policy(
+            ua=[(User("u"), Role("r"))],
+            pa=[(Role("r"), perm("read", "doc"))],
+        )
+        path = tmp_path / "clean.policy"
+        path.write_text(format_policy_source(policy))
+        assert main(["lint", str(path)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_lint_hospital_fixture(self, capsys):
+        assert main(["lint", "--fixture", "hospital",
+                     "--severity", "warning"]) == 1
+        out = capsys.readouterr().out
+        assert "irrevocable-authority" in out
