@@ -5,7 +5,6 @@ Definition-5 transition, and the cost of replay/rollback as the log
 grows (the snapshot-interval trade-off).
 """
 
-import pytest
 from conftest import print_table
 
 from repro.core.commands import Mode, grant_cmd, revoke_cmd, step

@@ -40,6 +40,7 @@ from .reachability import (
     obtainable_pairs,
     reachable_policies,
 )
+from .audit import AuditReport, audit_matrix
 from .safety import SafetyVerdict, can_obtain, safety_matrix
 from .compare import (
     FlexibilityReport,
@@ -108,6 +109,8 @@ __all__ = [
     # reachability & safety
     "ReachableState", "newly_obtainable_pairs", "obtainable_pairs",
     "reachable_policies", "SafetyVerdict", "can_obtain", "safety_matrix",
+    # audit
+    "AuditReport", "audit_matrix",
     # compare
     "FlexibilityReport", "SafetyComparison", "arbac_from_grants",
     "count_arbac_operations", "count_grant_commands",

@@ -180,11 +180,23 @@ def safety_matrix(
                     policy, user, privilege, depth, mode, compiled=False
                 )
         return verdicts
+    # Depth-0 prefilter, vectorized: one descendants mask per user and
+    # one interner lookup per privilege replace the per-cell
+    # ``reaches_bits`` probes — U + P graph consultations instead of
+    # U × P.  Verdicts are unchanged (``reaches_bits`` is exactly a
+    # bit-test of the same mask; user == privilege never holds across
+    # the sorts, so its reflexive branch is unreachable here).
+    already_true = SafetyVerdict(True, (), 1)
+    vid = policy.graph._vid
+    privilege_ids = [
+        (privilege, vid.get(privilege)) for privilege in privileges
+    ]
     engine: ExplorationEngine | None = None
     for user in users:
-        for privilege in privileges:
-            if reaches_bits(policy, user, privilege):
-                verdicts[(user, privilege)] = SafetyVerdict(True, (), 1)
+        held = policy.descendants_bits(user)
+        for privilege, privilege_id in privilege_ids:
+            if privilege_id is not None and held >> privilege_id & 1:
+                verdicts[(user, privilege)] = already_true
                 continue
             if engine is None:
                 engine = ExplorationEngine(policy, mode)

@@ -223,10 +223,10 @@ _LINT_FIXTURES = {
 }
 
 
-def _lint_target(args: argparse.Namespace) -> Policy:
+def _policy_target(args: argparse.Namespace, label: str) -> Policy:
     if (args.policy is None) == (args.fixture is None):
         raise ReproError(
-            "lint needs exactly one of: a policy file, or --fixture"
+            f"{label} needs exactly one of: a policy file, or --fixture"
         )
     if args.policy is not None:
         return _load_policy(args.policy)
@@ -251,7 +251,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     from .core.entities import Role
     from .errors import AnalysisError
 
-    policy = _lint_target(args)
+    policy = _policy_target(args, "lint")
     constraints = []
     for position, spec in enumerate(args.ssd or []):
         names = [name.strip() for name in spec.split(",") if name.strip()]
@@ -309,8 +309,35 @@ def _cmd_flexibility(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_audit_matrix(args: argparse.Namespace) -> int:
+    import json
+
+    from .analysis.audit import audit_matrix
+
+    policy = _policy_target(args, "audit-matrix")
+    report = audit_matrix(
+        policy, compiled=not args.frozenset, shards=args.shards
+    )
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2))
+        return 0
+    kernel = "frozenset" if args.frozenset else "compiled"
+    print(
+        f"audit matrix at policy version {report.version} "
+        f"({len(report.users)} users x {len(report.privileges)} "
+        f"privileges, {kernel} kernel, shards={args.shards})"
+    )
+    for user in report.users:
+        grants, revokes = report.admin_counts(user)
+        held = sorted(str(p) for p in report.rows[user])
+        admin = f"  [admin: {grants}G/{revokes}R]" if grants or revokes else ""
+        print(f"{user.name:24} {', '.join(held) or '-'}{admin}")
+    return 0
+
+
 def _cmd_fuzz(args: argparse.Namespace) -> int:
     from .workloads.fuzz import (
+        fuzz_batch_authz,
         fuzz_compiled_kernel,
         fuzz_many,
         fuzz_sharded_index,
@@ -348,6 +375,15 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         print(
             f"compiled-kernel agreement: {len(kernel_reports)} campaigns "
             "at shards (1, 2, 4)"
+        )
+    if args.batch_diff:
+        batch_reports = [
+            fuzz_batch_authz(seed) for seed in range(args.seeds)
+        ]
+        violations += [v for r in batch_reports for v in r.violations]
+        print(
+            f"batch-authorization agreement: {len(batch_reports)} "
+            "campaigns at shards (1, 2, 4), both kernels"
         )
     if violations:
         print(f"INVARIANT VIOLATIONS ({len(violations)}):")
@@ -587,7 +623,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="additionally pin the compiled bitset kernel to the "
              "frozenset oracle under churn (invariant 9)",
     )
+    fuzz.add_argument(
+        "--batch-diff", action="store_true",
+        help="additionally pin batch authorization to per-pair scalar "
+             "decisions across kernels and shard counts (invariant 12)",
+    )
     fuzz.set_defaults(func=_cmd_fuzz)
+
+    audit = subparsers.add_parser(
+        "audit-matrix",
+        help="whole-population held-privilege audit in one batch sweep",
+    )
+    audit.add_argument(
+        "policy", nargs="?", default=None,
+        help="policy file (or use --fixture)",
+    )
+    audit.add_argument(
+        "--fixture", choices=sorted(_LINT_FIXTURES), default=None,
+        help="audit a built-in policy instead of a file",
+    )
+    audit.add_argument(
+        "--shards", type=int, default=1,
+        help="run the sweep on an N-shard index (default 1)",
+    )
+    audit.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    audit.add_argument(
+        "--frozenset", action="store_true",
+        help="audit with the frozenset oracle instead of the compiled "
+             "bitset kernel (differential baseline)",
+    )
+    audit.set_defaults(func=_cmd_audit_matrix)
 
     query = subparsers.add_parser(
         "query",

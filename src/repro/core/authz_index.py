@@ -307,9 +307,11 @@ class AuthorizationIndex:
         #: representation-independent view).
         self._held: dict[User, object] = {}
         self._rectangles: dict[User, tuple] = {}
-        #: compiled fast path per subject: (union_source_bits,
-        #: union_target_bits, ((source_bits, target_bits, held), ...))
-        #: — the union masks reject most misses with two bit-tests.
+        #: compiled fast path per subject: (held_mask, union_source_bits,
+        #: union_target_bits, ((source_bits, target_bits, held, pid), ...))
+        #: — the union masks reject most misses with two bit-tests, and
+        #: rows carry the held privilege's vertex ID in ascending order
+        #: for the batch kernel's mask-select verdicts.
         self._rect_rows: dict[User, tuple] = {}
         #: compiled bookkeeping: subjects holding at least one
         #: rectangle with off-graph extras — usually empty, and the
@@ -388,25 +390,30 @@ class AuthorizationIndex:
         pool = self._pool
         vertex_of = policy.graph._vertex_of
         rectangles = []
+        union_sources = union_targets = 0
+        rows = []
+        # iter_bits yields ascending IDs, so rows are in ascending
+        # privilege-ID order — the batch kernel's lowest-set-bit verdict
+        # selection relies on this to reproduce the scalar first-match.
         for index in iter_bits(held & bits.grant_entity_mask):
             privilege = vertex_of[index]
             if pool is not None:
-                rectangles.append(pool.rectangle(privilege))
-                continue
-            rectangle = rectangle_memo.get(privilege)
-            if rectangle is None:
-                rectangle = compile_rectangle(policy, privilege, ancestor_memo)
-                rectangle_memo[privilege] = rectangle
+                rectangle = pool.rectangle(privilege)
+            else:
+                rectangle = rectangle_memo.get(privilege)
+                if rectangle is None:
+                    rectangle = compile_rectangle(
+                        policy, privilege, ancestor_memo
+                    )
+                    rectangle_memo[privilege] = rectangle
             rectangles.append(rectangle)
-        self._rectangles[user] = tuple(rectangles)
-        union_sources = union_targets = 0
-        rows = []
-        for rectangle in rectangles:
             union_sources |= rectangle.source_bits
             union_targets |= rectangle.target_bits
             rows.append((
-                rectangle.source_bits, rectangle.target_bits, rectangle.held
+                rectangle.source_bits, rectangle.target_bits,
+                rectangle.held, index,
             ))
+        self._rectangles[user] = tuple(rectangles)
         self._rect_rows[user] = (
             held, union_sources, union_targets, tuple(rows)
         )
@@ -667,6 +674,14 @@ class AuthorizationIndex:
             return None
         if self.compiled:
             return self._authorizes_bits(user, command, wanted)
+        return self._authorizes_sets(user, command, wanted)
+
+    def _authorizes_sets(
+        self, user: User, command: Command, wanted: Privilege
+    ) -> Privilege | None:
+        """Frozenset decision path — the oracle twin of
+        :meth:`_authorizes_bits` (and the per-pair loop body of the
+        ``compiled=False`` batch)."""
         held = self._held.get(user, frozenset())
         if wanted in held:
             return wanted
@@ -711,7 +726,7 @@ class AuthorizationIndex:
                     union_sources >> source_id & 1
                     and union_targets >> target_id & 1
                 ):
-                    for source_bits, target_bits, held_by in rows:
+                    for source_bits, target_bits, held_by, _pid in rows:
                         if (
                             source_bits >> source_id & 1
                             and target_bits >> target_id & 1
@@ -735,6 +750,189 @@ class AuthorizationIndex:
         return None
 
     # ------------------------------------------------------------------
+    # Batch authorization
+    # ------------------------------------------------------------------
+    def authorizes_batch(self, pairs) -> list[Privilege | None]:
+        """Decide many ``(user, command)`` queries in one sweep.
+
+        Verdicts are positionally aligned with ``pairs`` and
+        element-for-element identical to ``[self.authorizes(u, c) for
+        (u, c) in pairs]`` — same covering privilege, including the
+        scalar path's first-match rectangle order — pinned by fuzz
+        invariant 12 (:func:`repro.workloads.fuzz.fuzz_batch_authz`)
+        and the batch property suite.  One index validation covers the
+        whole batch; an empty batch returns ``[]`` without touching
+        the index or rectangle state.
+
+        Under ``compiled=True`` this runs the packed-matrix kernel
+        (see :meth:`_authorizes_batch_bits`); the frozenset oracle
+        answers pair by pair, as the differential twin.
+        """
+        pairs = list(pairs)
+        if not pairs:
+            return []
+        self._validate()
+        if self.compiled:
+            return self._authorizes_batch_bits(pairs)
+        decide = self._authorizes_sets
+        results: list[Privilege | None] = []
+        for user, command in pairs:
+            wanted = command.requested_privilege()
+            results.append(
+                None if wanted is None else decide(user, command, wanted)
+            )
+        return results
+
+    def _authorizes_batch_bits(self, pairs) -> list[Privilege | None]:
+        """Compiled batch kernel: amortize one rectangle sweep per
+        distinct command edge over the whole query population.
+
+        Queries are routed by *object identity* (``id()`` of the
+        subject and the edge endpoints), so the per-query pass never
+        calls the Python-level entity ``__hash__``; equal-but-distinct
+        objects just form sibling groups with identical verdicts, and
+        the ``pairs`` list keeps every object alive so ids stay
+        stable.  The batch subjects' rectangle rows are packed into
+        one matrix keyed by privilege vertex ID (rectangle contents
+        are per-privilege, so rows dedup across subjects).  For each
+        distinct edge, a single pass over that matrix compiles an
+        *eligible-privileges mask* — every grant privilege whose
+        rectangle covers the edge.  A subject's verdict is then the
+        lowest set bit of ``held & eligible``: rows are built in
+        ascending privilege-ID order, so the lowest bit is exactly the
+        scalar scan's first covering rectangle.  Edges the mask
+        algebra cannot decide — nested-privilege targets, off-graph
+        endpoints living in rectangle extras — fall back to the
+        scalar compiled path per subject.
+        """
+        graph = self.policy.graph
+        vid = graph._vid
+        vertex_of = graph._vertex_of
+        rect_rows = self._rect_rows
+        grant = CommandAction.GRANT
+        results: list[Privilege | None] = [None] * len(pairs)
+
+        # Pass 1: route queries into (subject, edge) groups by object
+        # identity — no entity hashing on the per-query path.  The dict
+        # maps key -> positions list; ``groups`` keeps first-seen order
+        # with the (user, command) objects alongside.
+        by_key: dict = {}
+        key_get = by_key.get
+        groups: list = []
+        for position, (user, command) in enumerate(pairs):
+            key = (
+                id(user), command.action is grant,
+                id(command.source), id(command.target),
+            )
+            positions = key_get(key)
+            if positions is None:
+                positions = [position]
+                by_key[key] = positions
+                groups.append((user, command, positions))
+            else:
+                positions.append(position)
+
+        # The batch's packed rectangle matrix: one row per distinct
+        # grant privilege held by any batch subject.
+        batch_rows: dict[int, tuple[int, int]] = {}
+        union_sources = union_targets = 0
+        packed_subjects: set[int] = set()
+        for user, _command, _positions in groups:
+            marker = id(user)
+            if marker in packed_subjects:
+                continue
+            packed_subjects.add(marker)
+            row = rect_rows.get(user)
+            if row is None:
+                continue
+            for source_bits, target_bits, _held_by, pid in row[3]:
+                if pid not in batch_rows:
+                    batch_rows[pid] = (source_bits, target_bits)
+                    union_sources |= source_bits
+                    union_targets |= target_bits
+        row_items = [
+            (pid, source_bits, target_bits)
+            for pid, (source_bits, target_bits) in batch_rows.items()
+        ]
+
+        # Pass 2: one decision per group; per-edge work (requested-term
+        # construction, the eligible-privilege rectangle sweep) is
+        # shared across subjects through the edge memo.
+        fallback = self._authorizes_bits
+        edges: dict = {}
+        edge_get = edges.get
+        # Eligible masks factor into per-endpoint cover masks — the
+        # pids whose rectangles contain a given source (resp. target)
+        # vertex.  Each distinct endpoint is swept once and shared by
+        # every edge that names it; eligible = src_cover & tgt_cover.
+        source_cover: dict[int, int] = {}
+        target_cover: dict[int, int] = {}
+        for user, command, positions in groups:
+            row = rect_rows.get(user)
+            if row is None:
+                continue  # not an indexed subject: holds nothing
+            edge_key = (
+                command.action is grant,
+                id(command.source), id(command.target),
+            )
+            edge = edge_get(edge_key)
+            if edge is None:
+                wanted = command.requested_privilege()
+                if wanted is None:
+                    edge = (None, None, 0)
+                else:
+                    wanted_id = vid.get(wanted)
+                    eligible: object = 0
+                    if command.action is not grant:
+                        pass  # revocations: exact match only
+                    elif not isinstance(command.target, _Entity):
+                        eligible = None  # nested target: oracle path
+                    else:
+                        source_id = vid.get(command.source)
+                        target_id = vid.get(command.target)
+                        if source_id is None or target_id is None:
+                            eligible = None  # off-graph: extras path
+                        elif (
+                            union_sources >> source_id & 1
+                            and union_targets >> target_id & 1
+                        ):
+                            src_mask = source_cover.get(source_id)
+                            if src_mask is None:
+                                src_mask = 0
+                                for pid, source_bits, _ in row_items:
+                                    if source_bits >> source_id & 1:
+                                        src_mask |= 1 << pid
+                                source_cover[source_id] = src_mask
+                            tgt_mask = target_cover.get(target_id)
+                            if tgt_mask is None:
+                                tgt_mask = 0
+                                for pid, _, target_bits in row_items:
+                                    if target_bits >> target_id & 1:
+                                        tgt_mask |= 1 << pid
+                                target_cover[target_id] = tgt_mask
+                            eligible = src_mask & tgt_mask
+                    edge = (wanted, wanted_id, eligible)
+                edges[edge_key] = edge
+            wanted, wanted_id, eligible = edge
+            if wanted is None:
+                continue
+            held = row[0]
+            if wanted_id is not None and held >> wanted_id & 1:
+                verdict = wanted
+            elif eligible is None:
+                verdict = fallback(user, command, wanted)
+                if verdict is None:
+                    continue
+            else:
+                covered = held & eligible
+                if not covered:
+                    continue
+                verdict = vertex_of[(covered & -covered).bit_length() - 1]
+            for position in positions:
+                results[position] = verdict
+        return results
+
+    # ------------------------------------------------------------------
     def held_privileges(self, user: User) -> frozenset[Privilege]:
         """The user's held privilege set in representation-independent
         form (decodes the bitmask under ``compiled=True``) — the view
@@ -747,6 +945,38 @@ class AuthorizationIndex:
             return held
         vertex_of = self.policy.graph._vertex_of
         return frozenset(vertex_of[index] for index in iter_bits(held))
+
+    def held_privileges_bulk(
+        self, users
+    ) -> dict[User, frozenset[Privilege]]:
+        """Held privilege sets for a whole population in one
+        validation: equal to ``{user: self.held_privileges(user)}``
+        per user (duplicates collapse; unknown subjects map to the
+        empty set).  Under ``compiled=True`` the bitmask decode is
+        memoized per distinct held mask — users sharing a role subtree
+        share one decoded frozenset, so a million-user audit decodes
+        each distinct authority profile once.  An empty population
+        returns ``{}`` without touching the index."""
+        users = list(users)
+        if not users:
+            return {}
+        self._validate()
+        held_map = self._held
+        if not self.compiled:
+            return {user: held_map.get(user, _EMPTY) for user in users}
+        vertex_of = self.policy.graph._vertex_of
+        decoded: dict[int, frozenset] = {0: _EMPTY}
+        decoded_get = decoded.get
+        out: dict[User, frozenset] = {}
+        for user in users:
+            held = held_map.get(user, 0)
+            cached = decoded_get(held)
+            if cached is None:
+                cached = decoded[held] = frozenset(
+                    vertex_of[index] for index in iter_bits(held)
+                )
+            out[user] = cached
+        return out
 
     def _entity_grant_edges(self, user: User, connective) -> set:
         """Edges of held entity-target ¤/♦ privileges (both kernels)."""

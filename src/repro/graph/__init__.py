@@ -21,6 +21,8 @@ from .reachability import (
     descendants,
     descendants_bits,
     iter_bits,
+    lowest_bit,
+    pack_bits,
     reachable_from_any,
     reaches,
 )
@@ -55,6 +57,8 @@ __all__ = [
     "descendants",
     "descendants_bits",
     "iter_bits",
+    "lowest_bit",
+    "pack_bits",
     "reachable_from_any",
     "reaches",
     "condensation",

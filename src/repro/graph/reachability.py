@@ -111,6 +111,36 @@ def iter_bits(mask: int):
         mask ^= low
 
 
+def pack_bits(graph: Digraph, vertices: Iterable[Vertex]) -> int:
+    """Pack ``vertices`` into a bitmask over the graph's interned IDs.
+
+    The inverse of :func:`iter_bits` decoding: members that are graph
+    vertices contribute their ID bit; off-graph members are skipped
+    (they have no ID — callers needing them must track extras
+    explicitly, as the rectangle representation does).  This is the
+    batch-authorization primitive: a query population packed once, then
+    matched against per-privilege rectangle masks with single ``&``
+    operations.
+    """
+    vid = graph._vid
+    mask = 0
+    for vertex in vertices:
+        index = vid.get(vertex)
+        if index is not None:
+            mask |= 1 << index
+    return mask
+
+
+def lowest_bit(mask: int) -> int:
+    """Index of the lowest set bit of ``mask``, or ``-1`` when empty.
+
+    Rectangle rows are built in ascending privilege-ID order, so the
+    lowest set bit of an ``eligible & held`` intersection is exactly
+    the first-match verdict the scalar scan would return.
+    """
+    return (mask & -mask).bit_length() - 1
+
+
 def descendants_bits(graph: Digraph, source: Vertex) -> int:
     """Bitmask over interned vertex IDs of every vertex reachable from
     ``source``, including ``source`` itself; ``0`` if ``source`` is not

@@ -50,6 +50,15 @@ monitor's global invariants after every step:
     deprovision/re-provision churn that recycles interner vertex IDs,
     with and without declared SSD separation sets
     (:func:`fuzz_lint`).
+12. **Batch-authorization agreement** — ``authorizes_batch`` verdicts
+    are element-for-element identical to per-pair scalar
+    ``authorizes`` calls, and ``held_privileges_bulk`` equals per-user
+    ``held_privileges``, on every kernel (``compiled=True``/``False``)
+    and at shard counts {1, 2, 4} — over churned policies with
+    recycled interner IDs, permanently deprovisioned subjects living
+    in rectangle *extras*, equal-but-distinct entity objects,
+    off-graph edge endpoints, and duplicate-heavy batches
+    (:func:`fuzz_batch_authz`).
 
 The fuzzer is seeded and deterministic; the test suite runs it over a
 spread of seeds, and `examples/safety_audit.py`-style scripts can run
@@ -519,15 +528,168 @@ def fuzz_lint(
     return report
 
 
+def fuzz_batch_authz(
+    seed: int,
+    steps: int = 16,
+    shape: PolicyShape = PolicyShape(),
+    shard_counts: tuple[int, ...] = (1, 2, 4),
+    queries: int = 250,
+    rounds: int = 3,
+) -> FuzzReport:
+    """Invariant (12): batch authorization is an implementation detail
+    — ``authorizes_batch(pairs)`` must be element-for-element identical
+    to ``[authorizes(u, c) for (u, c) in pairs]`` and
+    ``held_privileges_bulk(users)`` to per-user ``held_privileges``,
+    on both kernels (``compiled=True``/``False``), on the plain index
+    and on :class:`~repro.core.authz_shard.ShardedAuthorizationIndex`
+    at every count in ``shard_counts``.
+
+    The query batches are deliberately hostile to the packed-matrix
+    kernel's shortcuts:
+
+    * one subject is permanently deprovisioned up front — its held
+      ``Grant``/``Revoke`` terms keep it as an *off-graph rectangle
+      endpoint* (extras), and it doubles as an unindexed ghost subject;
+    * subjects and commands appear as equal-but-distinct objects
+      (the kernel routes by ``id()``, so value-equal twins must land in
+      sibling groups with identical verdicts);
+    * edges name off-graph sources/targets (the extras slow path) and
+      batches are duplicate-heavy;
+    * the comparison repeats after each of ``rounds`` chunks of
+      :func:`_recycling_churn`, so batch sweeps also run right after
+      incremental repairs over recycled interner IDs.
+    """
+    from ..core.authz_shard import ShardedAuthorizationIndex
+
+    rng = random.Random(seed)
+    policy = random_policy(seed, shape)
+    report = FuzzReport(seed=seed, steps=steps)
+
+    ghost = None
+    initial_users = sorted(policy.users(), key=str)
+    if len(initial_users) > 2:
+        ghost = rng.choice(initial_users)
+        policy.remove_user(ghost)
+
+    indexes = []
+    for compiled in (True, False):
+        kernel = "compiled" if compiled else "frozenset"
+        for count in shard_counts:
+            if count == 1:
+                indexes.append((
+                    f"plain[{kernel}]",
+                    AuthorizationIndex(policy, compiled=compiled),
+                ))
+            indexes.append((
+                f"sharded[{kernel}x{count}]",
+                ShardedAuthorizationIndex(
+                    policy, shards=count, compiled=compiled
+                ),
+            ))
+
+    offgraph_role = Role("fuzz_offgraph_role")
+
+    def build_pairs() -> list:
+        pairs: list = []
+        live = sorted(policy.users(), key=str)
+        roles = sorted(policy.roles(), key=str)
+        if not live or not roles:
+            return pairs
+        while len(pairs) < queries:
+            command = _random_command(rng, policy)
+            subject = command.user
+            draw = rng.random()
+            if ghost is not None and draw < 0.08:
+                subject = ghost  # unindexed ghost: must decide None
+            elif draw < 0.16:
+                # Equal-but-distinct subject object: the id()-routed
+                # kernel must still find the indexed entry.
+                subject = User(subject.name)
+            elif ghost is not None and draw < 0.24:
+                # Off-graph source — the extras slow path (the ghost's
+                # delegation rectangles carry it in extra_sources).
+                command = Command(
+                    subject, CommandAction.GRANT, ghost, rng.choice(roles)
+                )
+            elif draw < 0.30:
+                # Off-graph target: never covered, never crashes.
+                command = Command(
+                    subject, CommandAction.GRANT,
+                    rng.choice(live), offgraph_role,
+                )
+            pairs.append((subject, command))
+            if rng.random() < 0.25:
+                pairs.append((subject, command))  # identical duplicate
+            if rng.random() < 0.10:
+                # Value-equal twin command (fresh objects all the way).
+                pairs.append((subject, Command(
+                    command.user, command.action,
+                    command.source, command.target,
+                )))
+        return pairs
+
+    def compare(label: str) -> None:
+        pairs = build_pairs()
+        population = sorted(policy.users(), key=str)
+        if population:
+            population.append(rng.choice(population))  # duplicate user
+        if ghost is not None:
+            population.append(ghost)
+        for name, index in indexes:
+            batch = index.authorizes_batch(pairs)
+            scalar = [
+                index.authorizes(user, command) for user, command in pairs
+            ]
+            if batch != scalar:
+                position = next(
+                    i for i, (b, s) in enumerate(zip(batch, scalar))
+                    if b != s
+                )
+                report.violations.append(
+                    f"batch/scalar divergence ({label}, {name}) at pair "
+                    f"{position}: batch={batch[position]} "
+                    f"scalar={scalar[position]} query={pairs[position]}"
+                )
+            if index.authorizes_batch([]) != []:
+                report.violations.append(
+                    f"non-empty verdicts for empty batch ({label}, {name})"
+                )
+            bulk = index.held_privileges_bulk(population)
+            per_user = {
+                user: index.held_privileges(user) for user in population
+            }
+            if bulk != per_user:
+                report.violations.append(
+                    f"held_privileges_bulk divergence ({label}, {name}): "
+                    f"{sorted(str(u) for u in bulk if bulk[u] != per_user[u])}"
+                )
+
+    compare("initial")
+    for round_index in range(rounds):
+        _recycling_churn(rng, policy, steps)
+        compare(f"round_{round_index}")
+    return report
+
+
 def fuzz_many(
     seeds: range,
     steps: int = 40,
     shape: PolicyShape = PolicyShape(),
     mode: Mode = Mode.REFINED,
     compiled: bool = True,
+    batch: bool = False,
 ) -> list[FuzzReport]:
-    """Run a campaign per seed; returns all reports."""
-    return [
+    """Run a campaign per seed; returns all reports.
+
+    ``batch=True`` additionally runs the invariant-12
+    batch-differential campaign (:func:`fuzz_batch_authz`) per seed.
+    """
+    reports = [
         fuzz_monitor(seed, steps, shape, mode, compiled=compiled)
         for seed in seeds
     ]
+    if batch:
+        reports.extend(
+            fuzz_batch_authz(seed, shape=shape) for seed in seeds
+        )
+    return reports

@@ -378,3 +378,95 @@ class TestBatchedDuplicates:
         again = monitor.submit(grant_cmd(ADMIN, U, S))
         assert first.executed and not first.noop
         assert again.executed and again.noop
+
+
+class TestBatchRewireConformance:
+    """``submit_queue(batched=True)`` now pre-authorizes its read set
+    with one ``authorizes_batch`` sweep.  The rewire must be
+    record-for-record identical to the previous per-command decision
+    loop — same ``ExecutionRecord`` sequences, including the ``noop``
+    tolerated-redundancy records, byte-identical under ``repr`` — on
+    duplicate-heavy differential traces, at any shard count."""
+
+    def _monitor(self, shards: int) -> ReferenceMonitor:
+        policy = Policy(
+            ua=[(ADMIN, ADM)],
+            rh=[(R, S)],
+            pa=[(ADM, Grant(U, R)), (ADM, Revoke(U, R))],
+        )
+        policy.add_user(U)
+        return ReferenceMonitor(
+            policy, mode=Mode.REFINED, use_index=True, shards=shards
+        )
+
+    def _legacy_submit_queue(self, monitor, batch):
+        """The pre-rewire batched path, replicated verbatim: decide
+        every command against the batch entry state one scalar
+        ``authorizes`` call at a time, then apply in order."""
+        decisions = [
+            (command, monitor._index.authorizes(command.user, command))
+            for command in batch
+        ]
+        records = []
+        for command, authorized_by in decisions:
+            record = monitor._apply_decided(command, authorized_by)
+            monitor._audit_admin(record)
+            records.append(record)
+        return records
+
+    @pytest.mark.parametrize("shards", [1, 3])
+    @pytest.mark.parametrize("seed", range(6))
+    def test_records_identical_on_duplicate_heavy_traces(
+        self, seed, shards
+    ):
+        import random
+
+        vocabulary = [
+            grant_cmd(ADMIN, U, R),
+            grant_cmd(ADMIN, U, R),     # duplicated on purpose
+            revoke_cmd(ADMIN, U, R),
+            revoke_cmd(ADMIN, U, R),
+            grant_cmd(ADMIN, U, S),     # implicit via Grant(U, R)
+            revoke_cmd(ADMIN, U, S),    # never authorized (exact only)
+            grant_cmd(U, U, R),         # never authorized
+        ]
+        rng = random.Random(seed)
+        batch = [rng.choice(vocabulary) for _ in range(14)]
+        legacy, rewired = self._monitor(shards), self._monitor(shards)
+        records_old = self._legacy_submit_queue(legacy, batch)
+        records_new = rewired.submit_queue(batch, batched=True)
+        assert records_old == records_new
+        assert [repr(r) for r in records_old] == [
+            repr(r) for r in records_new
+        ]
+        assert legacy.policy.edge_set() == rewired.policy.edge_set()
+        assert legacy.audit_trail == rewired.audit_trail
+
+    def test_noop_after_privilege_gc_identical(self):
+        """The PR-3 tolerated-redundancy case through the rewire: a
+        duplicate revoke whose first execution garbage-collected the
+        privilege vertex still yields (executed, noop) — identical to
+        the legacy decision loop."""
+        doc = perm("write", "doc")
+        holder = Role("holder")
+
+        def build():
+            policy = Policy(
+                ua=[(ADMIN, ADM)],
+                pa=[(ADM, Revoke(holder, doc)), (holder, doc)],
+            )
+            return ReferenceMonitor(
+                policy, mode=Mode.REFINED, use_index=True
+            )
+
+        batch = [
+            revoke_cmd(ADMIN, holder, doc),
+            revoke_cmd(ADMIN, holder, doc),
+        ]
+        legacy, rewired = build(), build()
+        records_old = self._legacy_submit_queue(legacy, batch)
+        records_new = rewired.submit_queue(batch, batched=True)
+        assert records_old == records_new
+        assert [(r.executed, r.noop) for r in records_new] == [
+            (True, False), (True, True),
+        ]

@@ -1,0 +1,51 @@
+"""Tests for the packed-mask primitives (``pack_bits``/``lowest_bit``)
+behind batch authorization."""
+
+from repro.graph import Digraph, iter_bits, lowest_bit, pack_bits
+
+
+def build_graph():
+    graph = Digraph()
+    for name in "abcd":
+        graph.add_vertex(name)
+    return graph
+
+
+class TestPackBits:
+    def test_roundtrip_with_iter_bits(self):
+        graph = build_graph()
+        mask = pack_bits(graph, ["a", "c", "d"])
+        decoded = {graph._vertex_of[i] for i in iter_bits(mask)}
+        assert decoded == {"a", "c", "d"}
+
+    def test_off_graph_members_are_skipped(self):
+        graph = build_graph()
+        assert pack_bits(graph, ["a", "zz", "c"]) == pack_bits(
+            graph, ["a", "c"]
+        )
+        assert pack_bits(graph, ["zz"]) == 0
+        assert pack_bits(graph, []) == 0
+
+    def test_duplicates_idempotent(self):
+        graph = build_graph()
+        assert pack_bits(graph, ["b", "b", "b"]) == pack_bits(graph, ["b"])
+
+    def test_recycled_ids(self):
+        graph = build_graph()
+        before = pack_bits(graph, ["a"])
+        graph.remove_vertex("a")
+        graph.add_vertex("e")  # consumes the freed ID
+        assert pack_bits(graph, ["a"]) == 0
+        assert pack_bits(graph, ["e"]) == before  # same recycled slot
+
+
+class TestLowestBit:
+    def test_matches_iter_bits_head(self):
+        for mask in (1, 0b1010, 0b100100, 1 << 63, (1 << 200) | (1 << 7)):
+            assert lowest_bit(mask) == next(iter_bits(mask))
+
+    def test_empty_mask(self):
+        assert lowest_bit(0) == -1
+
+    def test_single_bit(self):
+        assert lowest_bit(1 << 97) == 97

@@ -58,3 +58,31 @@ def test_sharded_index_campaigns(seed):
     )
     report = fuzz_sharded_index(seed, steps=25, shape=shape)
     assert report.ok, report.violations[:5]
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_batch_authz_campaigns(seed):
+    """Invariant 12: batch authorization is element-for-element
+    identical to scalar calls on both kernels, plain and sharded at
+    counts {1, 2, 4}, across recycling churn, ghost subjects, and
+    equal-but-distinct query objects."""
+    from repro.workloads.fuzz import fuzz_batch_authz
+
+    shape = PolicyShape(
+        n_users=4, n_roles=5, n_admin_privileges=4, max_nesting=2
+    )
+    report = fuzz_batch_authz(seed, steps=20, shape=shape, queries=120)
+    assert report.ok, report.violations[:5]
+
+
+def test_fuzz_many_wires_batch_campaigns():
+    """``fuzz_many(batch=True)`` appends one invariant-12 campaign per
+    seed alongside the monitor campaigns."""
+    shape = PolicyShape(
+        n_users=4, n_roles=5, n_admin_privileges=3, max_nesting=2
+    )
+    seeds = range(2)
+    plain = fuzz_many(seeds, steps=15, shape=shape)
+    with_batch = fuzz_many(seeds, steps=15, shape=shape, batch=True)
+    assert len(with_batch) == len(plain) + len(list(seeds))
+    assert all(r.ok for r in with_batch)

@@ -64,6 +64,17 @@ BENCHES: dict[str, tuple[str, dict[str, str], str | None]] = {
         },
         "ANALYSIS_METRICS_OUT",
     ),
+    "batch_authz": (
+        "benchmarks/bench_batch_authz.py",
+        # Reduced scale shrinks the per-query scalar cost (smaller
+        # rectangle rows), so the batch amortization bar drops with it.
+        {
+            "BATCH_BENCH_USERS": "1500",
+            "BATCH_BENCH_QUERIES": "4000",
+            "BATCH_SPEEDUP_TARGET": "4",
+        },
+        "BATCH_METRICS_OUT",
+    ),
     "lint": (
         "benchmarks/bench_lint.py",
         # The reduced enterprise is small enough that fixed overheads
