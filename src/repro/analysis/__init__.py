@@ -68,6 +68,16 @@ from .lint import (
     Severity,
     lint_policy,
 )
+from .repair import (
+    PLANNERS,
+    RepairAction,
+    RepairOutcome,
+    RepairPlan,
+    RepairReport,
+    apply_plan,
+    plan_repair,
+    repair_policy,
+)
 from .minimization import (
     LoweringOpportunity,
     canonicalize,
@@ -121,6 +131,9 @@ __all__ = [
     "weakening_preserves_ssd",
     # lint
     "Finding", "LintReport", "LintRule", "RULES", "Severity", "lint_policy",
+    # repair
+    "PLANNERS", "RepairAction", "RepairOutcome", "RepairPlan",
+    "RepairReport", "apply_plan", "plan_repair", "repair_policy",
     # minimization & expressiveness
     "LoweringOpportunity", "canonicalize", "lowering_opportunities",
     "redundant_edges",

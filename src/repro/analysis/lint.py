@@ -25,23 +25,36 @@ Rules (see the registry below):
   it does not hold (the depth-0/1 safety witness; the differential
   suite cross-checks these against :func:`safety.can_obtain`);
 * ``constraint-conflict`` — violations and latent role conflicts of
-  declared SSD separation sets (:mod:`repro.analysis.constraints`).
+  declared SSD separation sets (:mod:`repro.analysis.constraints`);
+* ``unreachable-under-ssd`` — a granted privilege that no
+  SSD-compliant session can ever activate (every role reaching it
+  collides with a separation set on its own);
+* ``depth-k-escalation`` — multi-step self-escalation witnessed by
+  bounded grant-only exploration on the shared
+  :class:`~repro.core.explore.ExplorationEngine`, beyond the one-step
+  ``self-escalation`` witness.
 
 Findings are structured (rule id, severity, subject, witness tuple,
 suggested repair command) and deterministically ordered; fuzz
-invariant 11 pins the compiled and frozenset findings identical under
-churn and vertex-ID recycling.
+invariants 11 and 13 pin the compiled and frozenset findings identical
+under churn and vertex-ID recycling.  Each finding's repair is not
+just a string: :mod:`repro.analysis.repair` registers an executable
+repair planner per rule and applies the resulting plans under a
+refinement gate with a monotone-shrink proof.
 """
 
 from __future__ import annotations
 
 import enum
 import json
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator
 
 from ..core.authz_index import AuthorizationIndex
+from ..core.commands import Command, CommandAction, Mode
 from ..core.entities import Role, User
+from ..core.explore import ExplorationEngine
 from ..core.policy import Policy
 from ..core.privileges import Grant, Revoke, is_privilege
 from ..errors import AnalysisError
@@ -118,12 +131,23 @@ class Finding:
 
 @dataclass(frozen=True)
 class LintRule:
-    """A registered rule: a pure function from context to findings."""
+    """A registered rule: a pure function from context to findings.
+
+    ``differential`` names the repo-relative test module that pins the
+    rule's compiled kernel against its frozenset twin; ``no_repair``
+    — mutually exclusive with a registered planner in
+    :mod:`repro.analysis.repair` — documents why the rule ships
+    without one.  ``tools/check_invariants.py`` enforces that every
+    registry entry is fully wired: the differential module must exist
+    on disk and exactly one of planner / ``no_repair`` must be set.
+    """
 
     name: str
     severity: Severity
     summary: str
     check: Callable[["LintContext"], Iterator[Finding]]
+    differential: str = ""
+    no_repair: str | None = None
 
 
 #: registry in execution order — the mutation-probing rule runs last
@@ -131,9 +155,17 @@ class LintRule:
 RULES: dict[str, LintRule] = {}
 
 
-def _rule(name: str, severity: Severity, summary: str):
+def _rule(
+    name: str,
+    severity: Severity,
+    summary: str,
+    differential: str = "tests/workloads/test_compiled_lint.py",
+    no_repair: str | None = None,
+):
     def register(check):
-        RULES[name] = LintRule(name, severity, summary, check)
+        RULES[name] = LintRule(
+            name, severity, summary, check, differential, no_repair
+        )
         return check
     return register
 
@@ -157,10 +189,13 @@ class LintContext:
         policy: Policy,
         compiled: bool,
         constraints: tuple[SsdConstraint, ...],
+        escalation_depth: int = 2,
     ):
         self.policy = policy
         self.compiled = compiled
         self.constraints = constraints
+        #: exploration bound for the ``depth-k-escalation`` rule.
+        self.escalation_depth = escalation_depth
         self.users = sorted(self.policy.users(), key=str)
         self.stats: dict[str, dict[str, int]] = {}
         self._reach_union = None
@@ -332,14 +367,17 @@ def lint_policy(
     rules: Iterable[str] | None = None,
     compiled: bool = True,
     constraints: Iterable[SsdConstraint] = (),
+    escalation_depth: int = 2,
 ) -> LintReport:
     """Run the registered lint rules over ``policy``.
 
     ``rules`` selects a subset by name (default: all, in registry
     order); ``compiled`` picks the bitset kernel or the frozenset
     oracle — the findings are identical by construction (fuzz
-    invariant 11); ``constraints`` supplies the SSD separation sets
-    the ``constraint-conflict`` rule checks.
+    invariants 11 and 13); ``constraints`` supplies the SSD separation
+    sets the ``constraint-conflict`` and ``unreachable-under-ssd``
+    rules check; ``escalation_depth`` bounds the
+    ``depth-k-escalation`` rule's exploration.
     """
     if rules is None:
         selected = list(RULES.values())
@@ -352,7 +390,9 @@ def lint_policy(
                 f"known rules: {', '.join(RULES)}"
             )
         selected = [RULES[name] for name in RULES if name in names]
-    context = LintContext(policy, compiled, tuple(constraints))
+    context = LintContext(
+        policy, compiled, tuple(constraints), escalation_depth
+    )
     findings: list[Finding] = []
     for rule in selected:
         findings.extend(rule.check(context))
@@ -629,11 +669,17 @@ def _self_escalation(ctx: LintContext) -> Iterator[Finding]:
     ``v'`` that ``u`` does not already reach is a one-step
     self-escalation — the depth-1 safety witness ``can_obtain`` would
     find, read directly off the rectangle masks."""
-    policy = ctx.policy
-    graph = policy.graph
-    vid = graph._vid
+    priv_target_grants = _priv_target_grants(ctx.policy)
+    for user in ctx.users:
+        for privilege, witness in _user_escalations(
+            ctx, user, priv_target_grants
+        ):
+            yield _escalation_finding(ctx, user, privilege, witness)
 
-    priv_target_grants = sorted(
+
+def _priv_target_grants(policy: Policy) -> list[Grant]:
+    """Assigned grants whose target is itself a privilege term."""
+    return sorted(
         (
             privilege
             for privilege in policy.admin_privileges()
@@ -643,81 +689,95 @@ def _self_escalation(ctx: LintContext) -> Iterator[Finding]:
         key=str,
     )
 
-    for user in ctx.users:
+
+def _user_escalations(
+    ctx: LintContext,
+    user: User,
+    priv_target_grants: list[Grant] | None = None,
+) -> Iterator[tuple[Grant, tuple]]:
+    """One-step self-escalations for ``user``: ``(privilege,
+    witness)`` pairs in the order the ``self-escalation`` rule reports
+    them.  Shared with the repair planner, which must re-derive
+    exactly the escalation a finding reported to sever its route."""
+    policy = ctx.policy
+    graph = policy.graph
+    vid = graph._vid
+    if priv_target_grants is None:
+        priv_target_grants = _priv_target_grants(policy)
+
+    if ctx.compiled:
+        bits = policy.bits
+        reach = policy.descendants_bits(user)
+        held_grants = ctx.decode(reach & bits.grant_entity_mask)
+    else:
+        reach = policy.descendants(user)
+        held_grants = sorted(
+            (
+                item for item in reach
+                if isinstance(item, Grant)
+                and isinstance(item.target, (User, Role))
+            ),
+            key=str,
+        )
+    for privilege in held_grants:
+        sources, targets = ctx.rectangle(privilege)
         if ctx.compiled:
-            bits = policy.bits
-            reach = policy.descendants_bits(user)
-            held_grants = ctx.decode(reach & bits.grant_entity_mask)
+            routable = [
+                source for source in sources
+                if source in graph and reach >> vid[source] & 1
+            ]
         else:
-            reach = policy.descendants(user)
-            held_grants = sorted(
-                (
-                    item for item in reach
-                    if isinstance(item, Grant)
-                    and isinstance(item.target, (User, Role))
-                ),
-                key=str,
-            )
-        for privilege in held_grants:
-            sources, targets = ctx.rectangle(privilege)
-            if ctx.compiled:
-                routable = [
-                    source for source in sources
-                    if source in graph and reach >> vid[source] & 1
-                ]
-            else:
-                routable = [
-                    source for source in sources if source in reach
-                ]
-            if not routable:
+            routable = [
+                source for source in sources if source in reach
+            ]
+        if not routable:
+            continue
+        route = routable[0]
+        witness = None
+        for target in targets:
+            if target not in graph:
                 continue
-            route = routable[0]
-            witness = None
-            for target in targets:
-                if target not in graph:
-                    continue
-                if ctx.compiled:
-                    if reach >> vid[target] & 1:
-                        continue
-                    gained = (
-                        ctx.reachable_privileges_from(target) & ~reach
-                    )
-                    if gained:
-                        witness = (route, target, ctx.decode(gained)[0])
-                        break
-                else:
-                    if target in reach:
-                        continue
-                    gained = ctx.reachable_privileges_from(target) - reach
-                    if gained:
-                        witness = (
-                            route, target, min(gained, key=str)
-                        )
-                        break
-            if witness:
-                yield _escalation_finding(ctx, user, privilege, witness)
-        for privilege in priv_target_grants:
             if ctx.compiled:
-                priv_id = vid.get(privilege)
-                if priv_id is None or not reach >> priv_id & 1:
+                if reach >> vid[target] & 1:
                     continue
-                source_id = vid.get(privilege.source)
-                if source_id is None or not reach >> source_id & 1:
-                    continue
-                target_id = vid.get(privilege.target)
-                if target_id is not None and reach >> target_id & 1:
-                    continue
+                gained = (
+                    ctx.reachable_privileges_from(target) & ~reach
+                )
+                if gained:
+                    witness = (route, target, ctx.decode(gained)[0])
+                    break
             else:
-                if privilege not in reach:
+                if target in reach:
                     continue
-                if privilege.source not in reach:
-                    continue
-                if privilege.target in reach:
-                    continue
-            yield _escalation_finding(
-                ctx, user, privilege,
-                (privilege.source, privilege.target, privilege.target),
-            )
+                gained = ctx.reachable_privileges_from(target) - reach
+                if gained:
+                    witness = (
+                        route, target, min(gained, key=str)
+                    )
+                    break
+        if witness:
+            yield privilege, witness
+    for privilege in priv_target_grants:
+        if ctx.compiled:
+            priv_id = vid.get(privilege)
+            if priv_id is None or not reach >> priv_id & 1:
+                continue
+            source_id = vid.get(privilege.source)
+            if source_id is None or not reach >> source_id & 1:
+                continue
+            target_id = vid.get(privilege.target)
+            if target_id is not None and reach >> target_id & 1:
+                continue
+        else:
+            if privilege not in reach:
+                continue
+            if privilege.source not in reach:
+                continue
+            if privilege.target in reach:
+                continue
+        yield privilege, (
+            privilege.source, privilege.target, privilege.target
+        )
 
 
 def _escalation_finding(ctx, user, privilege, witness) -> Finding:
@@ -729,6 +789,277 @@ def _escalation_finding(ctx, user, privilege, witness) -> Finding:
         f"({route} -> {target}) to obtain {gained} it does not hold",
         f"revoke({holders[0]}, {privilege})" if holders else None,
     )
+
+
+@_rule(
+    "unreachable-under-ssd", Severity.WARNING,
+    "granted privilege no SSD-compliant session can activate",
+)
+def _unreachable_under_ssd(ctx: LintContext) -> Iterator[Finding]:
+    """A privilege some user reaches on paper, but which no compliant
+    session can ever activate: every role that reaches it collides
+    with a declared SSD separation set when activated on its own.
+
+    Single-role sessions suffice as the compliance probe: privilege
+    reach is monotone in the activated role set, so a privilege is
+    activatable by *some* compliant session iff it is activatable by a
+    compliant session of one role — and adding roles to a session only
+    ever adds separation-set hits, never removes them.
+    """
+    if not ctx.constraints:
+        return
+    policy = ctx.policy
+    graph = policy.graph
+    constraints = sorted(ctx.constraints, key=lambda c: c.name)
+    if ctx.compiled:
+        bits = policy.bits
+        vid = graph._vid
+        set_masks = []
+        for constraint in constraints:
+            mask = 0
+            for role in constraint.roles:
+                index = vid.get(role)
+                if index is not None:
+                    mask |= 1 << index
+            set_masks.append((mask, constraint.cardinality))
+        granted = ctx.reach_union & bits.privileges_mask
+        if not granted:
+            return
+        activatable = 0
+        for role in ctx.decode(ctx.reach_union & bits.roles_mask):
+            descendants = policy.descendants_bits(role)
+            if any(
+                (descendants & mask).bit_count() >= cardinality
+                for mask, cardinality in set_masks
+            ):
+                ctx.count("unreachable-under-ssd", "conflicted_roles")
+                continue
+            activatable |= descendants & bits.privileges_mask
+        flagged = ctx.decode(granted & ~activatable)
+    else:
+        granted_set = {
+            item for item in ctx.reach_union if is_privilege(item)
+        }
+        if not granted_set:
+            return
+        activatable_set: set = set()
+        reachable_roles = sorted(
+            (item for item in ctx.reach_union if isinstance(item, Role)),
+            key=str,
+        )
+        for role in reachable_roles:
+            descendants = policy.descendants(role)
+            role_descendants = {
+                item for item in descendants if isinstance(item, Role)
+            }
+            if any(
+                len(role_descendants & constraint.roles)
+                >= constraint.cardinality
+                for constraint in constraints
+            ):
+                ctx.count("unreachable-under-ssd", "conflicted_roles")
+                continue
+            activatable_set |= {
+                item for item in descendants if is_privilege(item)
+            }
+        flagged = sorted(granted_set - activatable_set, key=str)
+    for privilege in flagged:
+        assigners = sorted(graph.predecessors(privilege), key=str)
+        repair = (
+            f"revoke({assigners[0]}, {privilege})" if assigners else None
+        )
+        yield Finding(
+            "unreachable-under-ssd", Severity.WARNING, privilege,
+            tuple(assigners),
+            f"privilege {privilege} is granted but every role reaching "
+            "it violates a separation set when activated alone",
+            repair,
+        )
+
+
+@_rule(
+    "depth-k-escalation", Severity.ERROR,
+    "multi-step self-escalation within the exploration depth bound",
+)
+def _depth_k_escalation(ctx: LintContext) -> Iterator[Finding]:
+    """A user who can obtain an unheld privilege by chaining *several*
+    grants — the witness ``self-escalation`` cannot see, found by
+    bounded exploration of the grant-only transition system on the
+    shared :class:`~repro.core.explore.ExplorationEngine` (push/pop,
+    not per-state copies).  Users whose shallowest escalation is one
+    step are reported by ``self-escalation`` and skipped here; the
+    depth bound is ``LintContext.escalation_depth`` (default 2).
+    """
+    policy = ctx.policy
+    graph = policy.graph
+    depth = ctx.escalation_depth
+    if depth < 2:
+        return
+    universe_edges = _grant_closure_edges(policy)
+    if not universe_edges:
+        return
+    assigned_grants = sorted(
+        (
+            privilege
+            for privilege in policy.admin_privileges()
+            if isinstance(privilege, Grant)
+        ),
+        key=str,
+    )
+    if not assigned_grants:
+        return
+    if ctx.compiled:
+        vid = graph._vid
+        grant_mask = 0
+        for privilege in assigned_grants:
+            index = vid.get(privilege)
+            if index is not None:
+                grant_mask |= 1 << index
+    for user in ctx.users:
+        # A first step needs an initially reachable grant privilege —
+        # prune users who hold none before paying for an engine.
+        if ctx.compiled:
+            if not policy.descendants_bits(user) & grant_mask:
+                continue
+        else:
+            reach = policy.descendants(user)
+            if not any(
+                privilege in reach for privilege in assigned_grants
+            ):
+                continue
+        ctx.count("depth-k-escalation", "users_probed")
+        found = _min_grant_escalation(
+            policy, user, depth, ctx.compiled, universe_edges
+        )
+        if found is None:
+            continue
+        commands, gained = found
+        if len(commands) < 2:
+            # One-step escalations are the self-escalation rule's
+            # domain; reporting them twice would double-count.
+            continue
+        steps = tuple(
+            command.requested_privilege() for command in commands
+        )
+        first = steps[0]
+        holders = (
+            sorted(graph.predecessors(first), key=str)
+            if first in graph else []
+        )
+        chain = ", ".join(str(term) for term in steps)
+        yield Finding(
+            "depth-k-escalation", Severity.ERROR, user,
+            steps + (gained,),
+            f"user {user} obtains {gained} it does not hold via "
+            f"{len(steps)} chained grants ({chain})",
+            f"revoke({holders[0]}, {first})" if holders else None,
+        )
+
+
+def _grant_closure_edges(policy: Policy) -> list[tuple]:
+    """Edges of every Grant subterm in the policy's closure — the
+    state-independent grant-command universe for depth-k exploration
+    (grant commands can only introduce privileges from this set, see
+    :meth:`~repro.core.policy.Policy.subterm_closure`)."""
+    return sorted(
+        {
+            privilege.edge
+            for privilege in policy.subterm_closure()
+            if isinstance(privilege, Grant)
+        },
+        key=lambda edge: (str(edge[0]), str(edge[1])),
+    )
+
+
+def _min_grant_escalation(
+    policy: Policy,
+    user: User,
+    depth: int,
+    compiled: bool,
+    universe_edges: list[tuple] | None = None,
+) -> tuple[tuple, object] | None:
+    """Breadth-first search of the grant-only transition system for
+    the shallowest state where ``user`` reaches a privilege it cannot
+    reach initially; returns ``(commands, gained)`` — the witnessing
+    command path and the least gained privilege by ``str`` — or None
+    when no state within ``depth`` steps escalates.
+
+    Grant-only exploration is sound for minimality: privilege reach is
+    monotone in the edge set, so a revoke can never *create* an
+    escalation that a grant-only prefix would miss.  The compiled path
+    explores one mutable engine via push/pop; the frozenset path
+    re-derives the same frontier with per-state copies.  Candidate
+    order, authorization semantics, and value-keyed state dedup are
+    identical, so both return the same witness (fuzz invariant 13).
+    """
+    if universe_edges is None:
+        universe_edges = _grant_closure_edges(policy)
+    commands = [
+        Command(user, CommandAction.GRANT, source, target)
+        for source, target in universe_edges
+    ]
+    if compiled:
+        engine = ExplorationEngine(policy, Mode.STRICT, universe=commands)
+        state = engine.policy
+        initial = state.descendants_bits(user) & engine.privileges_mask
+        seen = {engine.fingerprint}
+        queue: deque = deque([()])
+        while queue:
+            path = queue.popleft()
+            engine.goto(path)
+            for command in engine.effective_commands():
+                engine.push(command)
+                fingerprint = engine.fingerprint
+                if fingerprint in seen:
+                    engine.pop()
+                    continue
+                seen.add(fingerprint)
+                gained = (
+                    state.descendants_bits(user)
+                    & engine.privileges_mask & ~initial
+                )
+                if gained:
+                    vertex_of = state.graph._vertex_of
+                    least = sorted(
+                        (vertex_of[index] for index in iter_bits(gained)),
+                        key=str,
+                    )[0]
+                    return engine.path, least
+                if len(path) + 1 < depth:
+                    queue.append(path + (command,))
+                engine.pop()
+        return None
+    initial_set = frozenset(
+        item for item in policy.descendants(user) if is_privilege(item)
+    )
+    start = policy.copy()
+    seen_states = {(start.edge_set(), start.vertex_set())}
+    frontier: deque = deque([(start, ())])
+    while frontier:
+        state, path = frontier.popleft()
+        for command in commands:
+            if state.graph.has_edge(command.source, command.target):
+                continue
+            wanted = command.requested_privilege()
+            if wanted is None:
+                continue
+            if wanted not in state.descendants(user):
+                continue
+            child = state.copy()
+            child.add_edge(command.source, command.target)
+            signature = (child.edge_set(), child.vertex_set())
+            if signature in seen_states:
+                continue
+            seen_states.add(signature)
+            gained_set = frozenset(
+                item for item in child.descendants(user)
+                if is_privilege(item)
+            ) - initial_set
+            if gained_set:
+                return path + (command,), min(gained_set, key=str)
+            if len(path) + 1 < depth:
+                frontier.append((child, path + (command,)))
+    return None
 
 
 @_rule(

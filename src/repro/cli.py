@@ -267,6 +267,41 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             )
         )
     threshold = Severity.parse(args.severity)
+    if args.dry_run and not args.fix:
+        raise AnalysisError("--dry-run only makes sense with --fix")
+    kernel = "frozenset" if args.frozenset else "compiled"
+    if args.fix:
+        from .analysis.repair import repair_policy
+
+        report = repair_policy(
+            policy,
+            rules=args.rules,
+            compiled=not args.frozenset,
+            constraints=constraints,
+            severity=threshold,
+        )
+        if args.json:
+            print(report.to_json())
+        else:
+            for outcome in report.outcomes:
+                print(outcome.render())
+            for finding in report.remaining:
+                print(finding.render())
+            summary = (
+                f"repair: {len(report.applied)} plan(s) applied, "
+                f"{len(report.rejected)} rejected, "
+                f"{len(report.remaining)} finding(s) remaining at or "
+                f"above {threshold.label} ({kernel} kernel"
+            )
+            if args.dry_run:
+                summary += ", dry run"
+            print(summary + ")")
+        if args.policy is not None and not args.dry_run and report.applied:
+            Path(args.policy).write_text(
+                format_policy_source(report.policy)
+            )
+            print(f"wrote repaired policy to {args.policy}")
+        return 1 if report.remaining else 0
     report = lint_policy(
         policy,
         rules=args.rules,
@@ -287,7 +322,6 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     else:
         for finding in selected:
             print(finding.render())
-        kernel = "frozenset" if args.frozenset else "compiled"
         suppressed = len(report.findings) - len(selected)
         summary = (
             f"{len(selected)} finding(s) at or above {threshold.label} "
@@ -340,6 +374,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         fuzz_batch_authz,
         fuzz_compiled_kernel,
         fuzz_many,
+        fuzz_repair,
         fuzz_sharded_index,
     )
 
@@ -384,6 +419,15 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         print(
             f"batch-authorization agreement: {len(batch_reports)} "
             "campaigns at shards (1, 2, 4), both kernels"
+        )
+    if args.repair_diff:
+        repair_reports = [
+            fuzz_repair(seed) for seed in range(args.seeds)
+        ]
+        violations += [v for r in repair_reports for v in r.violations]
+        print(
+            f"repair agreement: {len(repair_reports)} campaigns, "
+            "both kernels, refinement + fixpoint checked"
         )
     if violations:
         print(f"INVARIANT VIOLATIONS ({len(violations)}):")
@@ -572,10 +616,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="lint a built-in policy instead of a file",
     )
     lint.add_argument(
-        "--severity", default="info",
-        choices=["info", "warning", "error"],
+        "--severity", default="info", metavar="LEVEL",
         help="report (and exit non-zero on) findings at or above this "
-             "severity (default: info)",
+             "severity: info, warning, or error (default: info; an "
+             "unknown level is a usage error, exit 2)",
     )
     lint.add_argument(
         "--rules", nargs="*", default=None, metavar="RULE",
@@ -585,6 +629,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--ssd", action="append", default=None, metavar="R1,R2[,R3...]",
         help="declare an SSD separation set for constraint-conflict "
              "(repeatable)",
+    )
+    lint.add_argument(
+        "--fix", action="store_true",
+        help="plan and apply verified repairs to a re-lint fixpoint "
+             "(each plan must refine the policy and strictly shrink "
+             "the finding set); a file target is rewritten in place "
+             "unless --dry-run is given",
+    )
+    lint.add_argument(
+        "--dry-run", action="store_true",
+        help="with --fix: report the plans without writing the "
+             "repaired policy back",
     )
     lint.add_argument(
         "--json", action="store_true", help="machine-readable output"
@@ -627,6 +683,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch-diff", action="store_true",
         help="additionally pin batch authorization to per-pair scalar "
              "decisions across kernels and shard counts (invariant 12)",
+    )
+    fuzz.add_argument(
+        "--repair-diff", action="store_true",
+        help="additionally pin the lint-to-repair engine across "
+             "kernels, with refinement and fixpoint checks "
+             "(invariant 13)",
     )
     fuzz.set_defaults(func=_cmd_fuzz)
 

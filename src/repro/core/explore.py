@@ -186,6 +186,16 @@ class ExplorationEngine:
         """The command path from the initial state to the current one."""
         return tuple(self._path)
 
+    @property
+    def privileges_mask(self) -> int:
+        """Bitmask of privilege vertices in the current state, over
+        the exploration policy's interned IDs — the undo-log-maintained
+        mirror of ``PolicyBits.privileges_mask`` (which would rescan on
+        every GC).  Clients combine it with ``descendants_bits`` masks
+        of the *engine's* policy; masks from the original policy use a
+        different interner and must not be mixed in."""
+        return self._priv_mask
+
     def snapshot(self) -> Policy:
         """An independent copy of the current exploration state."""
         return self.policy.copy()

@@ -234,6 +234,22 @@ class Policy:
             raise PolicyError(f"not a user: {user!r}")
         return self._graph.remove_vertex(user)
 
+    def remove_role(self, role: Role) -> bool:
+        """Deprovision a role: remove its PA† assignments (through
+        :meth:`remove_edge`, so privileges the role solely assigned
+        are garbage-collected with it), then the vertex with its
+        remaining UA/RH edges; returns True if the role was
+        registered.  The repair engine's ``dead-role`` planner is the
+        main client."""
+        if not isinstance(role, Role):
+            raise PolicyError(f"not a role: {role!r}")
+        if role not in self._graph:
+            return False
+        for target in sorted(self._graph.successors(role), key=str):
+            if is_privilege(target):
+                self.remove_edge(role, target)
+        return self._graph.remove_vertex(role)
+
     def has_edge(self, source: object, target: object) -> bool:
         return self._graph.has_edge(source, target)
 

@@ -59,6 +59,18 @@ monitor's global invariants after every step:
     in rectangle *extras*, equal-but-distinct entity objects,
     off-graph edge endpoints, and duplicate-heavy batches
     (:func:`fuzz_batch_authz`).
+13. **Repair agreement** — the lint-to-repair engine
+    (:func:`repro.analysis.repair.repair_policy`) is kernel-
+    transparent and self-consistent: the compiled and frozenset runs
+    emit identical plan sequences and outcomes (including rejections
+    and cascade extensions) and arrive at value-equal repaired
+    policies; every accepted run *refines* its input policy
+    (Definition 6 — no subject gains authority); and the run is a
+    re-lint fixpoint (repairing again applies nothing, and a fresh
+    lint of the repaired policy equals the run's final report) — on
+    the initial policy and re-checked after every chunk of
+    ID-recycling churn, with sampled SSD separation sets
+    (:func:`fuzz_repair`).
 
 The fuzzer is seeded and deterministic; the test suite runs it over a
 spread of seeds, and `examples/safety_audit.py`-style scripts can run
@@ -525,6 +537,99 @@ def fuzz_lint(
     for round_index in range(rounds):
         _recycling_churn(rng, policy, steps)
         compare(f"round_{round_index}")
+    return report
+
+
+def fuzz_repair(
+    seed: int,
+    steps: int = 18,
+    shape: PolicyShape = PolicyShape(
+        n_users=4, n_roles=5, n_admin_privileges=4, max_nesting=2
+    ),
+    rounds: int = 2,
+) -> FuzzReport:
+    """Invariant (13): the lint-to-repair engine is kernel-transparent
+    and self-consistent.
+
+    Per round: the compiled run repairs the churned policy **in
+    place** (preserving the recycled interner layout the churn
+    produced — a copy would re-intern densely and launder exactly the
+    layouts this invariant exercises) while the frozenset oracle
+    repairs a value-equal copy.  The two runs must emit identical
+    plan/outcome sequences and value-equal repaired policies; the
+    repaired policy must refine the pre-repair one (Definition 6);
+    and the result must be a fixpoint — repairing again applies no
+    plan, and a fresh lint equals the run's final report.  Churn then
+    continues from the repaired policy into the next round.
+    """
+    from ..analysis.constraints import SsdConstraint
+    from ..analysis.lint import lint_policy
+    from ..analysis.repair import repair_policy
+    from ..core.refinement import is_refinement
+
+    rng = random.Random(seed)
+    policy = random_policy(seed, shape)
+    report = FuzzReport(seed=seed, steps=steps)
+
+    def run_round(label: str) -> None:
+        roles = sorted(policy.roles(), key=str)
+        constraints = ()
+        if len(roles) >= 2:
+            picked = rng.sample(roles, min(3, len(roles)))
+            constraints = (
+                SsdConstraint(f"fuzz_repair_{label}", frozenset(picked)),
+            )
+        baseline = policy.copy()
+        oracle_policy = policy.copy()
+        fast = repair_policy(
+            policy, compiled=True, constraints=constraints, in_place=True
+        )
+        oracle = repair_policy(
+            oracle_policy, compiled=False, constraints=constraints,
+            in_place=True,
+        )
+        fast_signatures = [o.signature() for o in fast.outcomes]
+        oracle_signatures = [o.signature() for o in oracle.outcomes]
+        if fast_signatures != oracle_signatures:
+            report.violations.append(
+                f"repair plans diverge ({label}): "
+                f"compiled={fast_signatures} frozenset={oracle_signatures}"
+            )
+            return
+        if policy != oracle_policy:
+            report.violations.append(
+                f"repaired policies diverge ({label}): compiled and "
+                "frozenset runs applied identical plans but produced "
+                "unequal policies"
+            )
+            return
+        if fast.final.findings != oracle.final.findings:
+            report.violations.append(
+                f"post-repair findings diverge ({label})"
+            )
+        if not is_refinement(baseline, policy):
+            report.violations.append(
+                f"repaired policy does not refine its input ({label})"
+            )
+        recheck = repair_policy(
+            policy, compiled=True, constraints=constraints
+        )
+        if recheck.applied:
+            report.violations.append(
+                f"not a fixpoint ({label}): re-repair applied "
+                f"{len(recheck.applied)} plan(s)"
+            )
+        fresh = lint_policy(policy, compiled=True, constraints=constraints)
+        if fresh.findings != fast.final.findings:
+            report.violations.append(
+                f"final report stale ({label}): fresh lint disagrees "
+                "with the run's final findings"
+            )
+
+    run_round("initial")
+    for round_index in range(rounds):
+        _recycling_churn(rng, policy, steps)
+        run_round(f"round_{round_index}")
     return report
 
 

@@ -1,7 +1,5 @@
 """Unit tests for the cross-model comparison harness."""
 
-import pytest
-
 from repro.analysis.compare import (
     arbac_from_grants,
     count_arbac_operations,

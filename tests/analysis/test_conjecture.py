@@ -1,7 +1,5 @@
 """Unit tests for the Remark-2 conjecture tester."""
 
-import pytest
-
 from repro.analysis.conjecture import check_conjecture_instance
 from repro.core.entities import Role, User
 from repro.core.policy import Policy

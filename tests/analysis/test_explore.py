@@ -6,9 +6,7 @@ import pytest
 from repro.analysis.reachability import reachable_policies
 from repro.analysis.safety import can_obtain
 from repro.core.commands import (
-    CommandAction,
     Mode,
-    candidate_commands,
     grant_cmd,
     revoke_cmd,
     step,
@@ -122,6 +120,27 @@ class TestPushPopExactness:
             engine.push(command)
         assert policy.version == version
         assert U not in policy.graph
+
+
+class TestPrivilegesMask:
+    def test_mirrors_policy_bits(self, policy):
+        engine = ExplorationEngine(policy, Mode.STRICT)
+        assert engine.privileges_mask == engine.policy.bits.privileges_mask
+
+    def test_tracks_privilege_gc_across_push_pop(self, policy):
+        # Granting (U, R) introduces no privilege, but the revoke that
+        # follows garbage-collects nothing either — the mask only moves
+        # when a privilege vertex appears or disappears.
+        engine = ExplorationEngine(policy, Mode.STRICT)
+        before = engine.privileges_mask
+        (command,) = [
+            c for c in engine.effective_commands()
+            if c.action.name == "GRANT" and c.target == R
+        ]
+        engine.push(command)
+        assert engine.privileges_mask == engine.policy.bits.privileges_mask
+        engine.pop()
+        assert engine.privileges_mask == before
 
 
 class TestEffectiveCommands:

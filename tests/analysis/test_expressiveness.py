@@ -63,7 +63,6 @@ class TestEncodings:
 
     def test_cascading_is_enforced_in_nested(self):
         from repro.core.commands import Mode, grant_cmd, run_queue
-        from repro.core.privileges import Grant
 
         cascade = make_cascade(2)
         base = cascade_policy(cascade)

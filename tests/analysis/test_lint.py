@@ -50,9 +50,12 @@ class TestPlumbing:
             "constraint-conflict",
             "irrevocable-authority",
             "self-escalation",
+            "unreachable-under-ssd",
+            "depth-k-escalation",
             "redundant-delegation",
         }
-        # The mutation-probing rule must run after the pure mask sweeps.
+        # The mutation-probing rule must run after the pure mask sweeps
+        # and the exploration-backed dynamic rules.
         assert list(RULES)[-1] == "redundant-delegation"
 
     def test_unknown_rule_rejected(self):

@@ -1,7 +1,5 @@
 """Unit tests for policy minimization."""
 
-import pytest
-
 from repro.analysis.minimization import (
     canonicalize,
     lowering_opportunities,

@@ -1,7 +1,5 @@
 """Unit tests for the experimental revocation orderings (§6)."""
 
-import pytest
-
 from repro.analysis.revocation import (
     candidate_substitutions,
     cross_connective_unsafe,

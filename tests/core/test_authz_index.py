@@ -7,7 +7,7 @@ from repro.core.commands import Mode, candidate_commands, grant_cmd, revoke_cmd,
 from repro.core.entities import Role, User
 from repro.core.ordering import OrderingOracle
 from repro.core.policy import Policy
-from repro.core.privileges import Grant, Revoke, perm
+from repro.core.privileges import Grant, Revoke
 from repro.papercases import figures
 from repro.workloads.generators import PolicyShape, random_policy
 

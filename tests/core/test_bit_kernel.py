@@ -16,7 +16,7 @@ from repro.core.entities import Role, User
 from repro.core.monitor import ReferenceMonitor
 from repro.core.ordering import OrderingOracle
 from repro.core.policy import Policy
-from repro.core.privileges import Grant, Revoke, perm
+from repro.core.privileges import Grant, Revoke
 
 U, ADMIN = User("u"), User("admin")
 HIGH, MID, LOW, ADM = Role("high"), Role("mid"), Role("low"), Role("adm")

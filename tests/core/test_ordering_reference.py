@@ -29,7 +29,7 @@ import pytest
 from repro.core.entities import Role, User
 from repro.core.ordering import OrderingOracle
 from repro.core.policy import Policy
-from repro.core.privileges import Grant, Revoke, UserPrivilege, is_privilege, perm
+from repro.core.privileges import Grant, Revoke, is_privilege, perm
 
 
 def term_universe(policy, max_depth=2):

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.entities import Role, User
 from repro.core.policy import Policy, check_edge_sorts, minus_edge, union_with_edge
-from repro.core.privileges import Grant, Revoke, perm
+from repro.core.privileges import Grant, perm
 from repro.errors import PolicyError
 
 U, V = User("u"), User("v")
@@ -150,6 +150,32 @@ class TestDerivedStructure:
         term = Grant(R, P)
         policy = Policy(pa=[(S, term)])
         assert policy.subterm_closure() == {term, P}
+
+
+class TestDeprovisionRole:
+    def test_remove_role_drops_vertex_and_edges(self):
+        policy = Policy(ua=[(U, R)], rh=[(R, S)], pa=[(S, P)])
+        assert policy.remove_role(R)
+        assert R not in policy.graph
+        assert (U, R) not in policy.edge_set()
+        assert (R, S) not in policy.edge_set()
+        # S keeps its assignment: only R's own edges go.
+        assert (S, P) in policy.edge_set()
+
+    def test_remove_role_garbage_collects_sole_privileges(self):
+        g = Grant(U, S)
+        policy = Policy(ua=[(U, R)], pa=[(R, g), (R, P), (S, P)])
+        assert policy.remove_role(R)
+        # g was assigned only by R: gone with it.  P survives via S.
+        assert g not in policy.graph
+        assert P in policy.graph
+
+    def test_remove_role_unknown_returns_false(self):
+        assert Policy().remove_role(R) is False
+
+    def test_remove_role_rejects_non_role(self):
+        with pytest.raises(PolicyError, match="not a role"):
+            Policy().remove_role(U)
 
 
 class TestValueSemantics:

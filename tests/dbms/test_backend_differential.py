@@ -25,7 +25,6 @@ from repro.errors import AccessDenied
 from repro.papercases import figures
 from repro.workloads import (
     EnterpriseShape,
-    HospitalShape,
     enterprise_query_trace,
     guarded_enterprise_database,
     guarded_hospital_database,

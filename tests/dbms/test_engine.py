@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.commands import Mode, grant_cmd, revoke_cmd
-from repro.dbms.engine import GuardedDatabase, hospital_database
+from repro.dbms.engine import hospital_database
 from repro.errors import AccessDenied
 from repro.papercases import figures
 

@@ -15,7 +15,11 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parents[2]
 sys.path.insert(0, str(REPO_ROOT / "tools"))
 
-from check_invariants import check_source, check_tree  # noqa: E402
+from check_invariants import (  # noqa: E402
+    check_lint_registry,
+    check_source,
+    check_tree,
+)
 
 
 def violations_of(code: str, relpath: str = "analysis/example.py"):
@@ -25,6 +29,77 @@ def violations_of(code: str, relpath: str = "analysis/example.py"):
 class TestLiveTree:
     def test_repository_is_clean(self):
         assert check_tree() == []
+
+    def test_lint_registry_fully_wired(self):
+        assert check_lint_registry() == []
+
+
+class TestLintRegistry:
+    def test_half_wired_rule_flagged(self, monkeypatch):
+        from repro.analysis import lint
+
+        bogus = lint.LintRule(
+            name="bogus-rule",
+            severity=lint.Severity.INFO,
+            summary="synthetic half-wired rule",
+            check=lambda ctx: iter(()),
+            differential="tests/does/not/exist.py",
+        )
+        monkeypatch.setitem(lint.RULES, "bogus-rule", bogus)
+        found = check_lint_registry()
+        assert any(
+            "bogus-rule" in v and "does not exist" in v for v in found
+        )
+        assert any(
+            "bogus-rule" in v and "no repair planner" in v for v in found
+        )
+
+    def test_no_repair_marker_satisfies_checker(self, monkeypatch):
+        from repro.analysis import lint
+
+        waived = lint.LintRule(
+            name="waived-rule",
+            severity=lint.Severity.INFO,
+            summary="synthetic unrepairable rule",
+            check=lambda ctx: iter(()),
+            differential="tests/workloads/test_compiled_lint.py",
+            no_repair="repair would require user input",
+        )
+        monkeypatch.setitem(lint.RULES, "waived-rule", waived)
+        assert check_lint_registry() == []
+
+    def test_planner_and_marker_conflict_flagged(self, monkeypatch):
+        from repro.analysis import lint
+        from repro.analysis import repair
+
+        conflicted = lint.LintRule(
+            name="conflicted-rule",
+            severity=lint.Severity.INFO,
+            summary="synthetic doubly-wired rule",
+            check=lambda ctx: iter(()),
+            differential="tests/workloads/test_compiled_lint.py",
+            no_repair="but a planner exists too",
+        )
+        monkeypatch.setitem(lint.RULES, "conflicted-rule", conflicted)
+        monkeypatch.setitem(
+            repair.PLANNERS, "conflicted-rule", lambda ctx, finding: None
+        )
+        found = check_lint_registry()
+        assert any(
+            "conflicted-rule" in v and "pick one" in v for v in found
+        )
+
+    def test_orphan_planner_flagged(self, monkeypatch):
+        from repro.analysis import repair
+
+        monkeypatch.setitem(
+            repair.PLANNERS, "orphan-rule", lambda ctx, finding: None
+        )
+        found = check_lint_registry()
+        assert any(
+            "orphan-rule" in v and "no matching lint rule" in v
+            for v in found
+        )
 
 
 class TestGraphEncapsulation:

@@ -22,7 +22,6 @@ from hypothesis import strategies as st
 from repro.core.admin_refinement import check_admin_refinement
 from repro.core.commands import Mode, grant_cmd, run_queue
 from repro.core.entities import User
-from repro.core.ordering import OrderingOracle
 from repro.core.privileges import Grant
 from repro.core.refinement import is_refinement, weaken_assignment
 from repro.core.weaker import weaker_set

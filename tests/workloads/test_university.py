@@ -6,7 +6,6 @@ from repro.analysis.constraints import ConstrainedMonitor
 from repro.core.commands import Mode, grant_cmd, run_queue
 from repro.core.entities import Role, User
 from repro.core.privileges import perm
-from repro.errors import AccessDenied
 from repro.workloads.university import (
     UniversityShape,
     course_roles,

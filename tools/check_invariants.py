@@ -240,15 +240,59 @@ def check_tree(root: Path = SRC_ROOT) -> list[str]:
     return violations
 
 
+def check_lint_registry() -> list[str]:
+    """Every lint rule must land fully wired: a ``differential`` test
+    module that exists on disk (the compiled-vs-frozenset pin), and
+    exactly one of a repair planner in ``repro.analysis.repair`` or an
+    explicit ``no_repair`` marker explaining why none ships."""
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    try:
+        from repro.analysis.lint import RULES
+        from repro.analysis.repair import PLANNERS
+    finally:
+        sys.path.pop(0)
+    violations: list[str] = []
+    for name, rule in RULES.items():
+        differential = getattr(rule, "differential", "")
+        if not differential:
+            violations.append(
+                f"lint rule {name!r}: no differential test module "
+                "reference (LintRule.differential)"
+            )
+        elif not (REPO_ROOT / differential).is_file():
+            violations.append(
+                f"lint rule {name!r}: differential test module "
+                f"{differential!r} does not exist"
+            )
+        planned = name in PLANNERS
+        marker = getattr(rule, "no_repair", None)
+        if planned and marker:
+            violations.append(
+                f"lint rule {name!r}: has both a repair planner and a "
+                f"no_repair marker ({marker!r}) — pick one"
+            )
+        elif not planned and not marker:
+            violations.append(
+                f"lint rule {name!r}: no repair planner registered in "
+                "repro.analysis.repair and no no_repair marker"
+            )
+    for name in PLANNERS:
+        if name not in RULES:
+            violations.append(
+                f"repair planner {name!r} has no matching lint rule"
+            )
+    return violations
+
+
 def main() -> int:
-    violations = check_tree()
+    violations = check_tree() + check_lint_registry()
     for violation in violations:
         print(violation)
     if violations:
         print(f"{len(violations)} invariant violation(s)")
         return 1
     print("repo invariants hold: graph encapsulation, compiled-knob "
-          "discipline")
+          "discipline, lint registry fully wired")
     return 0
 
 
