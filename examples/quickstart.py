@@ -5,6 +5,8 @@ privilege ordering.
 Run:  python examples/quickstart.py
 """
 
+import asyncio
+
 from repro import (
     Mode,
     Policy,
@@ -16,6 +18,7 @@ from repro import (
     grant_cmd,
     perm,
 )
+from repro.serve import PolicyDecisionPoint
 
 
 def main() -> None:
@@ -73,6 +76,23 @@ def main() -> None:
     for entry in monitor.audit_trail:
         verdict = "ALLOW" if entry.allowed else "DENY"
         print(f"  [{verdict}] {entry.subject}: {entry.detail}")
+
+    # ------------------------------------------------------------------
+    # 5. Serve decisions asynchronously: micro-batched writes,
+    #    lock-free cached reads against a published snapshot.
+    # ------------------------------------------------------------------
+    async def serve() -> None:
+        async with PolicyDecisionPoint(policy=policy) as pdp:
+            first = await pdp.check(sam, grant(dana, doctor))
+            again = await pdp.check(sam, grant(dana, doctor))
+            assert first.allowed and again.cached
+            record = await pdp.submit(grant_cmd(sam, dana, nurse))
+            assert record.executed and pdp.version > first.version
+            stats = pdp.statistics()
+            print(f"pdp served {stats['decisions']} decisions, "
+                  f"{stats['cache']['hits']} from cache")
+
+    asyncio.run(serve())
 
 
 if __name__ == "__main__":

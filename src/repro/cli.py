@@ -18,6 +18,12 @@ Subcommands:
 * ``figures``                   — print the paper's Figures 1–3 as documents.
 * ``query SQL...``              — run SQL against the guarded hospital DBMS
   (``--backend memory|sqlite|kvlog`` selects the storage engine).
+* ``serve-bench [FILE]``        — drive the asyncio policy-decision
+  point through a concurrent read/write workload and print its metrics
+  surface: decision counters, cache hit ratio, batch gauges and
+  p50/p99 latency histograms (``--fixture`` serves a built-in policy,
+  ``--rate-limit CAPACITY:RATE`` fronts it with the token-bucket
+  limiter).
 
 Policy files use the document format of :mod:`repro.core.grammar`;
 privileges are written as e.g. ``grant(bob, staff)`` or
@@ -374,6 +380,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         fuzz_batch_authz,
         fuzz_compiled_kernel,
         fuzz_many,
+        fuzz_pdp,
         fuzz_repair,
         fuzz_sharded_index,
     )
@@ -429,6 +436,18 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             f"repair agreement: {len(repair_reports)} campaigns, "
             "both kernels, refinement + fixpoint checked"
         )
+    if args.pdp_diff:
+        pdp_reports = [
+            fuzz_pdp(seed, compiled=kernel)
+            for seed in range(args.seeds)
+            for kernel in (True, False)
+        ]
+        violations += [v for r in pdp_reports for v in r.violations]
+        print(
+            f"pdp agreement: {len(pdp_reports)} campaigns "
+            "(concurrent readers vs. micro-batched writer), "
+            "both kernels, decisions pinned at snapshot versions"
+        )
     if violations:
         print(f"INVARIANT VIOLATIONS ({len(violations)}):")
         for violation in violations[:10]:
@@ -468,6 +487,123 @@ def _cmd_query(args: argparse.Namespace) -> int:
             print(f"  {entry}")
     database.close()
     return exit_code
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+    import random
+
+    from .core.commands import Command, CommandAction
+    from .core.entities import User
+    from .serve import PolicyDecisionPoint, RateLimited, RateLimiter
+
+    policy = _policy_target(args, "serve-bench")
+    users = sorted(policy.users(), key=str)
+    roles = sorted(policy.roles(), key=str)
+    if not users or not roles:
+        raise ReproError("serve-bench needs a policy with users and roles")
+    limiter = None
+    if args.rate_limit is not None:
+        try:
+            capacity_text, rate_text = args.rate_limit.split(":", 1)
+            limiter = RateLimiter(
+                capacity=float(capacity_text), rate=float(rate_text)
+            )
+        except ValueError as error:
+            raise ReproError(
+                f"--rate-limit wants CAPACITY:RATE, got "
+                f"{args.rate_limit!r} ({error})"
+            ) from None
+    rng = random.Random(args.seed)
+    principals: list[User] = [
+        users[i % len(users)] for i in range(args.principals)
+    ]
+    # A bounded hot pool of candidate edges: bursts re-ask the same
+    # questions page after page, the workload shape the decision cache
+    # exists for.
+    pool = [
+        (
+            rng.choice((CommandAction.GRANT, CommandAction.REVOKE)),
+            rng.choice(users),
+            rng.choice(roles),
+        )
+        for _ in range(max(16, args.principals * args.probes // 2))
+    ]
+
+    def probe(subject: User) -> Command:
+        action, user, role = rng.choice(pool)
+        return Command(subject, action, user, role)
+
+    async def page(pdp, subject):
+        requests = [probe(subject) for _ in range(args.probes)]
+        try:
+            await pdp.check_many(subject, requests)
+        except RateLimited:
+            pass  # counted on the metrics surface
+
+    async def write(pdp, command):
+        try:
+            await pdp.submit(command)
+        except RateLimited:
+            pass
+
+    async def scenario():
+        async with PolicyDecisionPoint(
+            policy=policy,
+            compiled=not args.frozenset,
+            rate_limiter=limiter,
+        ) as pdp:
+            for _ in range(args.rounds):
+                for _ in range(args.bursts):
+                    await asyncio.gather(*[
+                        page(pdp, subject) for subject in principals
+                    ])
+                writes = [
+                    probe(rng.choice(users)) for _ in range(args.writers)
+                ]
+                await asyncio.gather(*[
+                    write(pdp, command) for command in writes
+                ])
+            return pdp.statistics()
+
+    stats = asyncio.run(scenario())
+    if args.json:
+        print(json.dumps(stats, indent=2))
+        return 0
+    kernel = "frozenset" if args.frozenset else "compiled"
+    cache = stats["cache"]
+    asked = cache["hits"] + cache["misses"]
+    ratio = 100.0 * cache["hits"] / asked if asked else 0.0
+    print(
+        f"served {stats['decisions']} decisions for {args.principals} "
+        f"principals over {args.rounds}x{args.bursts} bursts "
+        f"({kernel} kernel, policy version {stats['version']})"
+    )
+    print(
+        f"mutations: {stats['mutations']} in {stats['batches']} "
+        f"micro-batch(es) (max batch {stats['max_batch_size']}, "
+        f"queue peak {stats['queue_depth_peak']})"
+    )
+    print(
+        f"cache: {cache['hits']} hits / {cache['misses']} misses "
+        f"({ratio:.1f}% hit ratio), {cache['entries']} entries, "
+        f"{cache['evicted_entries']} evicted, "
+        f"{cache['full_clears']} full clears"
+    )
+    if limiter is not None:
+        print(f"rate limited: {stats['rate_limited']}")
+    for label, key in (
+        ("decision", "decision_latency"), ("mutation", "mutation_latency"),
+    ):
+        histogram = stats[key]
+        print(
+            f"{label} latency: p50 {histogram['p50'] * 1e6:.1f}us  "
+            f"p99 {histogram['p99'] * 1e6:.1f}us  "
+            f"max {histogram['max'] * 1e6:.1f}us  "
+            f"({histogram['count']} samples)"
+        )
+    return 0
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
@@ -690,6 +826,12 @@ def build_parser() -> argparse.ArgumentParser:
              "kernels, with refinement and fixpoint checks "
              "(invariant 13)",
     )
+    fuzz.add_argument(
+        "--pdp-diff", action="store_true",
+        help="additionally pin every async PDP decision to the "
+             "synchronous monitor oracle at its snapshot version, "
+             "both kernels (invariant 14)",
+    )
     fuzz.set_defaults(func=_cmd_fuzz)
 
     audit = subparsers.add_parser(
@@ -746,6 +888,58 @@ def build_parser() -> argparse.ArgumentParser:
         "--audit", action="store_true", help="print the audit trail"
     )
     query.set_defaults(func=_cmd_query)
+
+    serve = subparsers.add_parser(
+        "serve-bench",
+        help="drive the asyncio PDP through a concurrent workload and "
+             "print its metrics surface",
+    )
+    serve.add_argument(
+        "policy", nargs="?", default=None,
+        help="policy file (or use --fixture)",
+    )
+    serve.add_argument(
+        "--fixture", choices=sorted(_LINT_FIXTURES), default=None,
+        help="serve a built-in policy instead of a file",
+    )
+    serve.add_argument(
+        "--principals", type=int, default=32,
+        help="concurrent reader principals per burst (default 32)",
+    )
+    serve.add_argument(
+        "--probes", type=int, default=4,
+        help="authorization probes per principal page (default 4)",
+    )
+    serve.add_argument(
+        "--bursts", type=int, default=4,
+        help="read bursts between write phases (default 4)",
+    )
+    serve.add_argument(
+        "--rounds", type=int, default=3,
+        help="write rounds (default 3)",
+    )
+    serve.add_argument(
+        "--writers", type=int, default=4,
+        help="mutations per write phase (default 4)",
+    )
+    serve.add_argument(
+        "--seed", type=int, default=0,
+        help="workload seed (default 0)",
+    )
+    serve.add_argument(
+        "--rate-limit", default=None, metavar="CAPACITY:RATE",
+        help="front the PDP with a per-principal token bucket "
+             "(burst capacity, refill tokens/second)",
+    )
+    serve.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    serve.add_argument(
+        "--frozenset", action="store_true",
+        help="serve with the frozenset oracle instead of the compiled "
+             "bitset kernel (differential baseline)",
+    )
+    serve.set_defaults(func=_cmd_serve_bench)
     return parser
 
 

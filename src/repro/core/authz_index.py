@@ -1024,6 +1024,82 @@ class AuthorizationIndex:
         pairs |= self._entity_grant_edges(user, Grant)
         return frozenset(pairs)
 
+    def grantable_pairs_bulk(
+        self, users, at_version: int | None = None
+    ) -> dict[User, frozenset[tuple[object, object]]]:
+        """Grantable entity-pair edges for a whole population in one
+        validation: equal to ``{user: self.grantable_pairs(user)}``
+        per user (duplicates collapse; unknown subjects map to the
+        empty set) — pinned by the differential suite in
+        ``tests/core/test_review_bulk.py``.
+
+        The expansion is memoized per distinct *authority profile*:
+        the held entity-target grants determine both the rectangles
+        and the exact edges, so users sharing a delegation profile
+        (the common case — profiles come from role subtrees) expand
+        it once, and each distinct rectangle is decoded once across
+        the whole sweep rather than once per holder.  ``at_version``
+        answers from the retained snapshot, as in
+        :meth:`grantable_pairs`.  An empty population returns ``{}``
+        without touching the index.
+        """
+        users = list(users)
+        if not users:
+            return {}
+        if at_version is not None:
+            return self._snapshot_at(at_version).grantable_pairs_bulk(
+                users
+            )
+        self._validate()
+        #: profile key -> expanded frozenset of grantable pairs.  The
+        #: key is the held grant-entity mask (compiled) or the held
+        #: entity-target grant set (frozenset kernel) — exactly the
+        #: inputs :meth:`grantable_pairs` derives its answer from.
+        profiles: dict[object, frozenset] = {}
+        #: rectangle -> decoded (sources, targets) pair, shared by
+        #: every profile containing it (rectangle contents are
+        #: per-privilege; pooled instances dedup by identity).
+        decoded: dict[int, tuple] = {}
+        out: dict[User, frozenset] = {}
+        compiled = self.compiled
+        grant_mask = self.policy.bits.grant_entity_mask if compiled else 0
+        vertex_of = self.policy.graph._vertex_of if compiled else None
+        for user in users:
+            if compiled:
+                row = self._rect_rows.get(user)
+                key: object = (
+                    0 if row is None else row[0] & grant_mask
+                )
+            else:
+                held = self._held.get(user, _EMPTY)
+                key = frozenset(
+                    privilege for privilege in held
+                    if isinstance(privilege, Grant)
+                    and isinstance(privilege.target, _Entity)
+                )
+            cached = profiles.get(key)
+            if cached is None:
+                pairs: set[tuple[object, object]] = set()
+                for rectangle in self._rectangles.get(user, ()):
+                    regions = decoded.get(id(rectangle))
+                    if regions is None:
+                        regions = decoded[id(rectangle)] = (
+                            rectangle.sources, rectangle.targets
+                        )
+                    sources, targets = regions
+                    for source in sources:
+                        for target in targets:
+                            pairs.add((source, target))
+                if compiled:
+                    pairs.update(
+                        vertex_of[index].edge for index in iter_bits(key)
+                    )
+                else:
+                    pairs.update(privilege.edge for privilege in key)
+                cached = profiles[key] = frozenset(pairs)
+            out[user] = cached
+        return out
+
     def revocable_pairs(
         self, user: User, at_version: int | None = None
     ) -> frozenset[tuple[object, object]]:
@@ -1131,8 +1207,30 @@ class ReviewSnapshot:
     def grantable_pairs(self, user: User) -> frozenset:
         return self._ensure_index().grantable_pairs(user)
 
+    def grantable_pairs_bulk(self, users) -> dict[User, frozenset]:
+        return self._ensure_index().grantable_pairs_bulk(users)
+
     def revocable_pairs(self, user: User) -> frozenset:
         return self._ensure_index().revocable_pairs(user)
+
+    def authorizes(self, user: User, command: Command) -> Privilege | None:
+        """Decide ``command`` for ``user`` at the pinned version — the
+        same refined-mode verdict :meth:`AuthorizationIndex.authorizes`
+        gives, frozen at capture time.  This is the serving layer's
+        read path: a reader holding this snapshot never observes a
+        mutation applied after it was captured."""
+        return self._ensure_index().authorizes(user, command)
+
+    def authorizes_batch(self, pairs) -> list[Privilege | None]:
+        """Batch :meth:`authorizes` over ``(user, command)`` pairs via
+        the packed-matrix kernel, all at the pinned version."""
+        return self._ensure_index().authorizes_batch(pairs)
+
+    def policy_copy(self) -> Policy:
+        """A mutable copy of the captured policy, for differential
+        oracles that rebuild their own view of this version; the
+        snapshot's own copy stays untouched."""
+        return self._policy.copy()
 
     def effective_authority(self, user: User) -> dict[str, frozenset]:
         return self._ensure_index().effective_authority(user)

@@ -428,6 +428,34 @@ class ShardedAuthorizationIndex:
             return self._snapshot_at(at_version).grantable_pairs(user)
         return self.shard_for(user).grantable_pairs(user)
 
+    def grantable_pairs_bulk(
+        self, users, at_version: int | None = None
+    ) -> dict[User, frozenset]:
+        """Bulk :meth:`grantable_pairs`: the population partitions by
+        :func:`shard_of` and each owning shard expands its slice in one
+        validation, sharing the per-authority-profile memo within a
+        shard; results merge back keyed by subject.  ``at_version``
+        answers the whole population from the retained snapshot."""
+        users = list(users)
+        if not users:
+            return {}
+        if at_version is not None:
+            return self._snapshot_at(at_version).grantable_pairs_bulk(
+                users
+            )
+        shards = self._shards
+        if len(shards) == 1:
+            return shards[0].grantable_pairs_bulk(users)
+        count = len(shards)
+        slices: list[list] = [[] for _ in shards]
+        for user in users:
+            slices[shard_of(user, count)].append(user)
+        merged: dict[User, frozenset] = {}
+        for owner, shard in enumerate(shards):
+            if slices[owner]:
+                merged.update(shard.grantable_pairs_bulk(slices[owner]))
+        return merged
+
     def revocable_pairs(
         self, user: User, at_version: int | None = None
     ) -> frozenset:

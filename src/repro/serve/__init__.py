@@ -1,0 +1,28 @@
+"""The serving layer: an asyncio policy-decision-point over the
+reference monitor.
+
+Single-writer micro-batched mutations (`submit_queue(batched=True,
+snapshot=True)` transactions), lock-free snapshot reads batched
+through ``authorizes_batch``, a journal-invalidated decision cache,
+per-principal token-bucket rate limiting and a metrics surface — see
+:mod:`repro.serve.pdp` for the architecture and
+``docs/ARCHITECTURE.md`` ("The serving layer") for the contract.
+"""
+
+from .cache import DecisionCache, cacheable
+from .metrics import LatencyHistogram, PdpMetrics
+from .pdp import Decision, PolicyDecisionPoint, as_command
+from .ratelimit import RateLimited, RateLimiter, TokenBucket
+
+__all__ = [
+    "DecisionCache",
+    "cacheable",
+    "LatencyHistogram",
+    "PdpMetrics",
+    "Decision",
+    "PolicyDecisionPoint",
+    "as_command",
+    "RateLimited",
+    "RateLimiter",
+    "TokenBucket",
+]

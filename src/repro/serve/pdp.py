@@ -1,0 +1,448 @@
+"""The asyncio policy-decision-point (PDP).
+
+The serving layer the ROADMAP calls for: one
+:class:`~repro.core.monitor.ReferenceMonitor` behind an asyncio
+front, split into a **single writer** and **lock-free readers**.
+
+Writer side
+    Every mutation goes through :meth:`PolicyDecisionPoint.submit`,
+    which enqueues the command and returns a future.  One writer task
+    drains the queue into micro-batches — closed by a size watermark
+    (``max_batch``) or a time watermark (``max_delay``), whichever
+    trips first — and executes each batch as one
+    ``submit_queue(batched=True, snapshot=True)`` transaction, so the
+    packed-matrix kernel authorizes the whole batch in one sweep and
+    the audit contract (batch-entry snapshot retained as
+    ``last_snapshot``) is exactly the monitor's.  The per-request
+    futures resolve to the returned :class:`ExecutionRecord`\\ s in
+    queue order.
+
+Reader side
+    :meth:`check` / :meth:`check_many` never touch the writer's index.
+    After each batch the writer *publishes* a fresh
+    :class:`~repro.core.authz_index.ReviewSnapshot`; readers decide
+    against whatever snapshot is currently published — an immutable
+    object, so no locks — and requests arriving within one event-loop
+    tick accumulate into a read window answered by a single
+    ``authorizes_batch`` sweep.  A read is therefore pinned to one
+    policy version, reported on its :class:`Decision`.
+
+In between sits the :class:`~repro.serve.cache.DecisionCache`
+(journal-invalidated, selectively evicted on publication — see that
+module for the soundness argument), a per-principal
+:class:`~repro.serve.ratelimit.RateLimiter` with an injectable clock,
+and a :class:`~repro.serve.metrics.PdpMetrics` registry.
+
+Conformance is pinned the repo's established way: the suite in
+``tests/serve/`` holds PDP decisions element-for-element identical to
+a synchronous :class:`ReferenceMonitor` on replayed traces, and fuzz
+invariant 14 (:func:`repro.workloads.fuzz.fuzz_pdp`) interleaves
+mutation bursts with concurrent read batches under churn on both
+kernels, pinning every decision at its snapshot version.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+
+from ..core.authz_index import ReviewSnapshot
+from ..core.commands import Command, CommandAction, ExecutionRecord, Mode
+from ..core.entities import User
+from ..core.monitor import ReferenceMonitor
+from ..core.privileges import Grant, Privilege, Revoke
+from ..errors import ReproError
+from .cache import DecisionCache
+from .metrics import PdpMetrics
+from .ratelimit import RateLimited, RateLimiter
+
+__all__ = ["Decision", "PolicyDecisionPoint", "as_command"]
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One PDP read verdict, pinned to the snapshot that made it."""
+
+    allowed: bool
+    #: the privilege that authorized the request (None when denied).
+    authorized_by: Privilege | None
+    #: the policy version the decision was made at.
+    version: int
+    #: True when the verdict came from the decision cache.
+    cached: bool = False
+
+
+def as_command(subject: User, request, target=None) -> Command:
+    """Normalize a read request to a :class:`Command`.
+
+    Accepts a :class:`Command` as-is (re-issued on behalf of
+    ``subject``), a privilege term (``Grant(v, v')`` / ``Revoke(v,
+    v')`` — "may ``subject`` exercise this?"), or an
+    ``("grant"|"revoke", source, target)`` triple spelled as two
+    arguments."""
+    if isinstance(request, Command):
+        if request.user == subject:
+            return request
+        return Command(
+            subject, request.action, request.source, request.target
+        )
+    if isinstance(request, (Grant, Revoke)):
+        action = (
+            CommandAction.GRANT if isinstance(request, Grant)
+            else CommandAction.REVOKE
+        )
+        source, privilege_target = request.edge
+        return Command(subject, action, source, privilege_target)
+    if isinstance(request, str) and target is not None:
+        action = CommandAction(request)
+        return Command(subject, action, target[0], target[1])
+    raise ReproError(
+        f"cannot interpret decision request {request!r} "
+        "(expected a Command, a Grant/Revoke term, or "
+        "('grant'|'revoke', (source, target)))"
+    )
+
+
+_REFRESH = object()  # writer-queue marker: publish without mutating
+_SHUTDOWN = object()
+
+
+class PolicyDecisionPoint:
+    """An asyncio PDP over one index-backed refined monitor.
+
+    Use as an async context manager (or call :meth:`start` /
+    :meth:`stop`); all coroutine methods must run on the loop that
+    started it.  ``clock`` feeds both the rate limiter and the latency
+    histograms, so a manual clock makes the whole surface
+    deterministic.  ``retain_history=True`` keeps every published
+    snapshot and the applied batch log — the hooks the differential
+    suites pin decisions with; serving deployments leave it off.
+    """
+
+    def __init__(
+        self,
+        monitor: ReferenceMonitor | None = None,
+        *,
+        policy=None,
+        compiled: bool = True,
+        shards: int = 1,
+        max_batch: int = 64,
+        max_delay: float = 0.002,
+        rate_limiter: RateLimiter | None = None,
+        cache_size: int = 65536,
+        clock=time.monotonic,
+        retain_history: bool = False,
+    ):
+        if monitor is None:
+            if policy is None:
+                raise ReproError("PolicyDecisionPoint needs a monitor or a policy")
+            monitor = ReferenceMonitor(
+                policy,
+                mode=Mode.REFINED,
+                use_index=True,
+                shards=shards,
+                compiled=compiled,
+            )
+        if monitor.mode is not Mode.REFINED or monitor._index is None:
+            raise ReproError(
+                "PolicyDecisionPoint requires an index-backed refined "
+                "monitor (mode=Mode.REFINED, use_index=True): the "
+                "writer rides the batched submit-queue transaction"
+            )
+        if max_batch < 1:
+            raise ReproError(f"max_batch must be >= 1, got {max_batch}")
+        self.monitor = monitor
+        self.compiled = monitor.compiled
+        self.max_batch = max_batch
+        self.max_delay = max_delay
+        self.limiter = rate_limiter
+        self.clock = clock
+        self.metrics = PdpMetrics()
+        self.cache = DecisionCache(monitor.policy, max_entries=cache_size)
+        self.retain_history = retain_history
+        self.history: dict[int, ReviewSnapshot] = {}
+        self.batch_log: list[list[Command]] = []
+        self._snapshot = ReviewSnapshot(
+            monitor.policy, compiled=self.compiled
+        )
+        if retain_history:
+            self.history[self._snapshot.version] = self._snapshot
+        self._queue: asyncio.Queue = asyncio.Queue()
+        self._writer: asyncio.Task | None = None
+        self._window: list[tuple[User, Command, asyncio.Future]] = []
+        self._drain_scheduled = False
+        self._stopping = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "PolicyDecisionPoint":
+        if self._writer is not None:
+            raise ReproError("PolicyDecisionPoint already started")
+        self._stopping = False
+        self._writer = asyncio.get_running_loop().create_task(
+            self._writer_loop()
+        )
+        return self
+
+    async def stop(self) -> None:
+        """Drain the mutation queue, apply the final batch, stop."""
+        if self._writer is None:
+            return
+        self._stopping = True
+        await self._queue.put(_SHUTDOWN)
+        await self._writer
+        self._writer = None
+
+    async def __aenter__(self) -> "PolicyDecisionPoint":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # Writer side
+    # ------------------------------------------------------------------
+    async def submit(self, command: Command) -> ExecutionRecord:
+        """Queue one mutation; resolves when its micro-batch applied."""
+        [record] = await self.submit_many([command])
+        return record
+
+    async def submit_many(self, commands) -> list[ExecutionRecord]:
+        """Queue several mutations (still individually batched — the
+        writer may coalesce them with other principals' commands)."""
+        commands = list(commands)
+        if self._writer is None or self._stopping:
+            raise ReproError("PolicyDecisionPoint is not serving")
+        if self.limiter is not None:
+            # One atomic acquisition per principal for its whole share
+            # of the batch: a rejected principal spends nothing, so a
+            # retry after backoff cannot be starved by the front of
+            # its own batch re-spending the refill.
+            needed: dict[User, int] = {}
+            for command in commands:
+                needed[command.user] = needed.get(command.user, 0) + 1
+            for principal, tokens in needed.items():
+                try:
+                    self.limiter.check(principal, float(tokens))
+                except RateLimited:
+                    self.metrics.rate_limited += 1
+                    raise
+        loop = asyncio.get_running_loop()
+        started = self.clock()
+        futures = []
+        for command in commands:
+            future = loop.create_future()
+            futures.append(future)
+            self._queue.put_nowait((command, future))
+        records = await asyncio.gather(*futures)
+        self.metrics.mutation_latency.observe(self.clock() - started)
+        return records
+
+    async def refresh(self) -> int:
+        """Republish the snapshot at the current policy state without
+        mutating — the hook for out-of-band policy churn (tests,
+        migrations).  Routed through the writer queue so publication
+        order stays single-writer.  Returns the published version."""
+        if self._writer is None or self._stopping:
+            raise ReproError("PolicyDecisionPoint is not serving")
+        future = asyncio.get_running_loop().create_future()
+        self._queue.put_nowait((_REFRESH, future))
+        await future
+        return self._snapshot.version
+
+    async def _writer_loop(self) -> None:
+        while True:
+            item = await self._queue.get()
+            if item is _SHUTDOWN:
+                break
+            batch = [item]
+            shutdown = False
+            deadline = None
+            while len(batch) < self.max_batch:
+                if self._queue.empty():
+                    if deadline is None:
+                        loop = asyncio.get_running_loop()
+                        deadline = loop.time() + self.max_delay
+                        timeout = self.max_delay
+                    else:
+                        timeout = deadline - asyncio.get_running_loop().time()
+                    if timeout <= 0:
+                        break
+                    try:
+                        item = await asyncio.wait_for(
+                            self._queue.get(), timeout
+                        )
+                    except asyncio.TimeoutError:
+                        break
+                else:
+                    item = self._queue.get_nowait()
+                if item is _SHUTDOWN:
+                    shutdown = True
+                    break
+                batch.append(item)
+            self._apply_batch(batch)
+            if shutdown:
+                break
+
+    def _apply_batch(self, batch) -> None:
+        """Execute one micro-batch as a submit-queue transaction and
+        publish the post-batch snapshot.  Synchronous on purpose: the
+        whole apply/publish step happens within one event-loop tick,
+        so readers see either the old or the new snapshot, never an
+        intermediate."""
+        depth = self._queue.qsize()
+        refreshes = [entry for entry in batch if entry[0] is _REFRESH]
+        entries = [entry for entry in batch if entry[0] is not _REFRESH]
+        commands = [command for command, _ in entries]
+        if commands:
+            records = self.monitor.submit_queue(
+                commands, batched=True, snapshot=True
+            )
+            self.metrics.observe_write_batch(len(commands), depth)
+        else:
+            records = []
+        self._publish()
+        for (_, future), record in zip(entries, records):
+            if not future.cancelled():
+                future.set_result(record)
+        for _, future in refreshes:
+            if not future.cancelled():
+                future.set_result(None)
+        if self.retain_history and commands:
+            self.batch_log.append(commands)
+
+    def _publish(self) -> None:
+        """Capture and publish a fresh reader snapshot of the current
+        policy, then advance the decision cache to its version by
+        selective journal-driven eviction."""
+        snapshot = ReviewSnapshot(
+            self.monitor.policy, compiled=self.compiled
+        )
+        self._snapshot = snapshot
+        self.cache.advance(snapshot.version)
+        if self.retain_history:
+            self.history[snapshot.version] = snapshot
+
+    # ------------------------------------------------------------------
+    # Reader side
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """The currently published policy version."""
+        return self._snapshot.version
+
+    @property
+    def last_snapshot(self) -> ReviewSnapshot:
+        """The currently published reader snapshot."""
+        return self._snapshot
+
+    async def check(self, subject: User, request, target=None) -> Decision:
+        """Decide one request for ``subject`` against the latest
+        published snapshot (see :func:`as_command` for accepted
+        request shapes).  Raises :class:`RateLimited` when the
+        subject's bucket is empty."""
+        [decision] = await self.check_many(subject, [(request, target)])
+        return decision
+
+    async def check_many(self, subject: User, requests) -> list[Decision]:
+        """Batch :meth:`check`: one rate-limit acquisition of
+        ``len(requests)`` tokens, one cache pass, and the misses ride
+        the shared read window's ``authorizes_batch`` sweep."""
+        commands = []
+        for request in requests:
+            if isinstance(request, tuple) and len(request) == 2 and (
+                isinstance(request[0], (Command, Grant, Revoke, str))
+            ):
+                commands.append(as_command(subject, request[0], request[1]))
+            else:
+                commands.append(as_command(subject, request))
+        if not commands:
+            return []
+        if self.limiter is not None:
+            try:
+                self.limiter.check(subject, float(len(commands)))
+            except RateLimited:
+                self.metrics.rate_limited += 1
+                raise
+        started = self.clock()
+        decisions: list = [None] * len(commands)
+        pending: list[asyncio.Future] = []
+        positions: list[int] = []
+        for position, command in enumerate(commands):
+            hit = self.cache.get(subject, command)
+            if hit is not None:
+                self.metrics.cache_hits += 1
+                (verdict,) = hit
+                decisions[position] = Decision(
+                    verdict is not None, verdict, self.cache.version,
+                    cached=True,
+                )
+            else:
+                self.metrics.cache_misses += 1
+                pending.append(self._enqueue_read(subject, command))
+                positions.append(position)
+        if pending:
+            for position, decision in zip(
+                positions, await asyncio.gather(*pending)
+            ):
+                decisions[position] = decision
+        self.metrics.decisions += len(commands)
+        self.metrics.decision_latency.observe(self.clock() - started)
+        return decisions
+
+    def _enqueue_read(self, subject: User, command: Command) -> asyncio.Future:
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        self._window.append((subject, command, future))
+        if not self._drain_scheduled:
+            self._drain_scheduled = True
+            loop.call_soon(self._drain_reads)
+        return future
+
+    def _drain_reads(self) -> None:
+        """Answer the accumulated read window in one batch sweep
+        against the published snapshot.  Runs as a loop callback, so
+        the snapshot cannot be republished mid-sweep."""
+        self._drain_scheduled = False
+        window, self._window = self._window, []
+        if not window:
+            return
+        snapshot = self._snapshot
+        verdicts = snapshot.authorizes_batch(
+            [(subject, command) for subject, command, _ in window]
+        )
+        self.metrics.read_batches += 1
+        version = snapshot.version
+        for (subject, command, future), verdict in zip(window, verdicts):
+            self.cache.put(subject, command, verdict, version)
+            if not future.cancelled():
+                future.set_result(
+                    Decision(verdict is not None, verdict, version)
+                )
+
+    async def review(
+        self, subjects, principal: User | None = None
+    ) -> dict[User, frozenset]:
+        """Grantable entity pairs for a population, answered at one
+        pinned version via the bulk review sweep
+        (:meth:`AuthorizationIndex.grantable_pairs_bulk`).  When a
+        ``principal`` (the auditor) is given, the sweep costs them one
+        token per reviewed subject."""
+        subjects = list(subjects)
+        if self.limiter is not None and principal is not None and subjects:
+            try:
+                self.limiter.check(principal, float(len(subjects)))
+            except RateLimited:
+                self.metrics.rate_limited += 1
+                raise
+        self.metrics.reviews += 1
+        return self._snapshot.grantable_pairs_bulk(subjects)
+
+    def statistics(self) -> dict[str, object]:
+        """Metrics plus cache counters, one JSON-able dict."""
+        stats = self.metrics.snapshot()
+        stats["cache"] = self.cache.statistics()
+        stats["version"] = self.version
+        return stats

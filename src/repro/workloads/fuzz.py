@@ -71,6 +71,26 @@ monitor's global invariants after every step:
     the initial policy and re-checked after every chunk of
     ID-recycling churn, with sampled SSD separation sets
     (:func:`fuzz_repair`).
+14. **PDP agreement** — the asyncio policy-decision-point
+    (:class:`repro.serve.PolicyDecisionPoint`) is an implementation
+    detail: with concurrent readers interleaved against a
+    micro-batching writer, every decision it hands out — snapshot
+    reads, decision-cache hits, and decisions re-issued after a
+    rate-limit rejection — agrees on allowed/denied with a
+    synchronous frozenset
+    :class:`~repro.core.authz_index.AuthorizationIndex` oracle over
+    the policy *at the decision's pinned snapshot version*, and its
+    claimed authorizing privilege is verified against that oracle as
+    actually held and actually covering the command (*which* of
+    several covering privileges a kernel reports is representation
+    order and deliberately unpinned).  The applied mutation batches
+    replay through a fresh synchronous ``submit_queue(batched=True)``
+    monitor to outcome-identical :class:`ExecutionRecord` sequences
+    (executed/noop element for element, authorizations re-verified
+    the same way) and a value-equal final policy — across
+    :func:`_recycling_churn` rounds (which also drive the
+    journal-based cache invalidation over recycled interner IDs), on
+    both kernels (:func:`fuzz_pdp`).
 
 The fuzzer is seeded and deterministic; the test suite runs it over a
 spread of seeds, and `examples/safety_audit.py`-style scripts can run
@@ -773,6 +793,289 @@ def fuzz_batch_authz(
     for round_index in range(rounds):
         _recycling_churn(rng, policy, steps)
         compare(f"round_{round_index}")
+    return report
+
+
+def _valid_verdict(index, subject, command, claimed) -> bool:
+    """True when ``claimed`` genuinely authorizes ``command`` for
+    ``subject`` on ``index``'s current state: held by the subject, and
+    equal to the requested privilege or stronger under the ordering
+    oracle (revocations authorize by exact match only).  The PDP and
+    the oracle may legitimately *report* different covering privileges
+    — scan order is kernel representation — so campaigns pin validity,
+    not identity."""
+    wanted = command.requested_privilege()
+    if wanted is None or claimed is None:
+        return False
+    if claimed not in index.held_privileges(subject):
+        return False
+    if claimed == wanted:
+        return True
+    if command.action is CommandAction.REVOKE:
+        return False
+    return index._oracle.is_weaker(claimed, wanted)
+
+
+def fuzz_pdp(
+    seed: int,
+    steps: int = 12,
+    shape: PolicyShape = PolicyShape(),
+    rounds: int = 2,
+    readers: int = 4,
+    reads_per_reader: int = 10,
+    mutations_per_round: int = 9,
+    compiled: bool = True,
+) -> FuzzReport:
+    """Invariant (14): the asyncio PDP is an implementation detail.
+
+    Each round runs ``readers`` reader coroutines (each issuing
+    ``reads_per_reader`` random checks, ~30% immediately repeated to
+    hit the decision cache) concurrently with a writer coroutine
+    pushing ``mutations_per_round`` random administrative commands
+    through the PDP's micro-batching queue, under a deliberately tiny
+    token-bucket rate limit on a manual clock — so decisions routinely
+    bounce off :class:`~repro.serve.RateLimited` and are re-issued
+    after advancing the clock.  Every decision (fresh, cached, or
+    post-rate-limit retry) is recorded with its pinned snapshot
+    version and afterwards checked against a frozenset
+    :class:`AuthorizationIndex` built over that version's retained
+    snapshot — the synchronous oracle: allowed/denied must agree
+    exactly, and an allowed decision's claimed privilege must be held
+    by the subject and cover the command under the ordering oracle.
+    (Which of several covering privileges gets reported follows the
+    kernel's internal scan order — frozenset hash order vs ascending
+    interned IDs — so the *choice* is deliberately not pinned; its
+    *validity* is.)  Every applied micro-batch is replayed through a
+    fresh synchronous ``submit_queue(batched=True)`` monitor starting
+    from the round-entry policy: the :class:`ExecutionRecord`
+    sequences must match on executed/noop element for element, the
+    claimed authorizations must validate against the replay monitor's
+    batch-entry index the same way, and the replayed policy must
+    equal the served one.  Between rounds :func:`_recycling_churn` mutates the
+    policy out of band and ``refresh()`` republishes — exercising the
+    cache's journal-driven eviction over removed and recycled
+    interner IDs.  Each round also ends with a deterministic probe
+    pair (same command checked twice with no writer in flight): the
+    second decision must be a cache hit and must equal the first, and
+    a campaign that never exercised the rate-limited-retry path is
+    itself a violation.  ``compiled`` selects the PDP's kernel; the
+    oracle is always the frozenset representation.
+    """
+    import asyncio
+
+    from ..serve import PolicyDecisionPoint, RateLimited, RateLimiter
+
+    rng = random.Random(seed)
+    policy = random_policy(seed, shape)
+    report = FuzzReport(seed=seed, steps=steps)
+
+    clock_cell = [0.0]
+
+    def clock() -> float:
+        return clock_cell[0]
+
+    monitor = ReferenceMonitor(
+        policy, mode=Mode.REFINED, use_index=True, compiled=compiled
+    )
+    pdp = PolicyDecisionPoint(
+        monitor,
+        rate_limiter=RateLimiter(capacity=4.0, rate=50.0, clock=clock),
+        clock=clock,
+        max_batch=6,
+        max_delay=0.001,
+        retain_history=True,
+    )
+    #: (subject, command, Decision) for every decision handed out.
+    observed: list[tuple] = []
+    #: id(command) -> ExecutionRecord the PDP resolved the future with.
+    submitted: dict[int, object] = {}
+    retries = 0
+
+    async def checked(command):
+        """One decision, retrying through rate-limit rejections."""
+        nonlocal retries
+        while True:
+            try:
+                decision = await pdp.check(command.user, command)
+            except RateLimited as exc:
+                retries += 1
+                clock_cell[0] += exc.retry_after + 1e-9
+                continue
+            observed.append((command.user, command, decision))
+            return decision
+
+    async def reader_task():
+        for _ in range(reads_per_reader):
+            command = _random_command(rng, policy)
+            for _ in range(2 if rng.random() < 0.3 else 1):
+                await checked(command)
+            await asyncio.sleep(0)
+
+    async def writer_task(commands):
+        nonlocal retries
+        for start in range(0, len(commands), 3):
+            chunk = commands[start:start + 3]
+            while True:
+                try:
+                    records = await pdp.submit_many(chunk)
+                except RateLimited as exc:
+                    retries += 1
+                    # Refill enough for the whole chunk, not just the
+                    # rejected principal's deficit — principals earlier
+                    # in the chunk spent their share on the failed
+                    # attempt and need topping up too.
+                    clock_cell[0] += (
+                        exc.retry_after + len(chunk) / 50.0 + 1e-9
+                    )
+                    continue
+                for command, record in zip(chunk, records):
+                    submitted[id(command)] = record
+                break
+            await asyncio.sleep(0)
+
+    def verify_batches(label, mirror, batches):
+        """Replay the round's applied batches through a synchronous
+        monitor from the round-entry state; outcomes and final policy
+        must match, and each executed record's claimed authorization
+        must validate against the replay's batch-entry index."""
+        oracle_monitor = ReferenceMonitor(
+            mirror, mode=Mode.REFINED, use_index=True, compiled=compiled
+        )
+        for batch in batches:
+            # Validate claimed authorizations at batch entry, before
+            # the replay advances the mirror.
+            for command in batch:
+                mine = submitted.get(id(command))
+                if mine is None or not mine.executed:
+                    continue
+                if not _valid_verdict(
+                    oracle_monitor._index, command.user, command,
+                    mine.authorized_by,
+                ):
+                    report.violations.append(
+                        f"invalid batch authorization ({label}) on "
+                        f"{command}: claimed {mine.authorized_by}"
+                    )
+                if mine.implicit != (
+                    mine.authorized_by != command.requested_privilege()
+                ):
+                    report.violations.append(
+                        f"inconsistent implicit flag ({label}) on "
+                        f"{command}: {mine}"
+                    )
+            records = oracle_monitor.submit_queue(
+                list(batch), batched=True
+            )
+            for command, record in zip(batch, records):
+                mine = submitted.get(id(command))
+                if mine is None or (mine.executed, mine.noop) != (
+                    record.executed, record.noop
+                ):
+                    report.violations.append(
+                        f"batch replay diverges ({label}) on {command}: "
+                        f"pdp={mine} oracle={record}"
+                    )
+        if mirror != policy:
+            report.violations.append(
+                f"served policy diverges from synchronous replay ({label})"
+            )
+
+    async def probe_cache(label):
+        """Deterministic cache-hit check: the same cacheable command
+        twice with no writer in flight — the second answer must come
+        from the cache and equal the first."""
+        users = sorted(policy.users(), key=str)
+        roles = sorted(policy.roles(), key=str)
+        if not users or not roles:
+            return
+        probe = Command(
+            rng.choice(users), CommandAction.GRANT,
+            rng.choice(users), rng.choice(roles),
+        )
+        first = await checked(probe)
+        second = await checked(probe)
+        if not second.cached:
+            report.violations.append(
+                f"expected a cache hit on immediate re-check ({label})"
+            )
+        if (first.allowed, first.authorized_by, first.version) != (
+            second.allowed, second.authorized_by, second.version
+        ):
+            report.violations.append(
+                f"cache hit diverges from the miss it cached ({label}): "
+                f"{first} vs {second}"
+            )
+
+    async def campaign():
+        async with pdp:
+            for round_index in range(rounds):
+                label = f"round_{round_index}"
+                mirror = policy.copy()
+                log_start = len(pdp.batch_log)
+                mutations = [
+                    _random_command(rng, policy)
+                    for _ in range(mutations_per_round)
+                ]
+                await asyncio.gather(
+                    writer_task(mutations),
+                    *(reader_task() for _ in range(readers)),
+                )
+                verify_batches(label, mirror, pdp.batch_log[log_start:])
+                await probe_cache(label)
+                _recycling_churn(rng, policy, steps)
+                await pdp.refresh()
+
+    asyncio.run(campaign())
+
+    oracle_indexes: dict[int, AuthorizationIndex] = {}
+    for subject, command, decision in observed:
+        snapshot = pdp.history.get(decision.version)
+        if snapshot is None:
+            report.violations.append(
+                f"decision pinned to unpublished version "
+                f"{decision.version}: {command}"
+            )
+            continue
+        oracle = oracle_indexes.get(decision.version)
+        if oracle is None:
+            oracle = oracle_indexes[decision.version] = AuthorizationIndex(
+                snapshot.policy_copy(), compiled=False
+            )
+        verdict = oracle.authorizes(subject, command)
+        if decision.allowed != (verdict is not None):
+            report.violations.append(
+                f"decision diverges from oracle at version "
+                f"{decision.version} (cached={decision.cached}): "
+                f"{command} pdp={decision.authorized_by} oracle={verdict}"
+            )
+        elif decision.allowed and not _valid_verdict(
+            oracle, subject, command, decision.authorized_by
+        ):
+            report.violations.append(
+                f"invalid authorization claim at version "
+                f"{decision.version} (cached={decision.cached}): "
+                f"{command} claimed {decision.authorized_by}"
+            )
+        elif not decision.allowed and decision.authorized_by is not None:
+            report.violations.append(
+                f"denied decision carries a privilege at version "
+                f"{decision.version}: {command} {decision.authorized_by}"
+            )
+
+    if retries == 0:
+        report.violations.append(
+            "campaign never exercised the rate-limited retry path"
+        )
+    if pdp.metrics.cache_hits == 0:
+        report.violations.append("campaign never hit the decision cache")
+
+    for record in submitted.values():
+        if record is not None and record.executed:
+            report.executed += 1
+            if record.implicit:
+                report.implicit += 1
+        else:
+            report.denied += 1
     return report
 
 

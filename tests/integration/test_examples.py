@@ -23,6 +23,7 @@ def test_quickstart():
     out = run_example("quickstart.py")
     assert "dana (as nurse) reads charts: True" in out
     assert "implicitly authorized by grant(dana, doctor)" in out
+    assert "pdp served 2 decisions, 1 from cache" in out
 
 
 def test_hospital_flexworker():

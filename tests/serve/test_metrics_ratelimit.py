@@ -1,0 +1,166 @@
+"""Unit tests for the serving layer's metrics and rate limiter.
+
+Everything runs on a manual clock — the histograms and buckets are
+plain arithmetic, so the suite pins exact values, not tolerances.
+"""
+
+import pytest
+
+from repro.serve import (
+    LatencyHistogram,
+    PdpMetrics,
+    RateLimited,
+    RateLimiter,
+    TokenBucket,
+)
+
+from .conftest import ADMIN, PEER, ManualClock
+
+
+class TestLatencyHistogram:
+    def test_empty_histogram(self):
+        histogram = LatencyHistogram()
+        assert histogram.percentile(0.5) == 0.0
+        assert histogram.mean == 0.0
+        assert histogram.snapshot()["count"] == 0
+
+    def test_single_observation_percentiles(self):
+        histogram = LatencyHistogram()
+        histogram.observe(0.001)
+        # Every quantile lands in the one occupied bucket, clamped to
+        # the true maximum.
+        assert histogram.percentile(0.5) == histogram.percentile(0.99)
+        assert histogram.percentile(0.99) <= 0.001
+        assert histogram.max == 0.001
+
+    def test_percentiles_rank_correctly(self):
+        histogram = LatencyHistogram()
+        for _ in range(99):
+            histogram.observe(1e-4)
+        histogram.observe(1.0)  # one outlier
+        p50, p99 = histogram.percentile(0.50), histogram.percentile(0.99)
+        assert p50 < 1e-3    # the bulk
+        assert p99 < 1e-3    # rank 99 is still the bulk bucket
+        # p100 walks into the outlier's bucket, clamped by the true max.
+        assert 1e-2 < histogram.percentile(1.0) <= histogram.max
+
+    def test_bucket_boundaries(self):
+        histogram = LatencyHistogram(start=1e-6, factor=2.0, buckets=36)
+        histogram.observe(0.0)        # below start -> bucket 0
+        histogram.observe(1e9)        # beyond range -> overflow bucket
+        assert histogram.count == 2
+        assert histogram._counts[0] == 1
+        assert histogram._counts[-1] == 1
+
+    def test_negative_observation_clamped(self):
+        histogram = LatencyHistogram()
+        histogram.observe(-1.0)
+        assert histogram.count == 1
+        assert histogram.max == 0.0
+
+    def test_mean_is_exact(self):
+        histogram = LatencyHistogram()
+        histogram.observe(0.010)
+        histogram.observe(0.030)
+        assert histogram.mean == pytest.approx(0.020)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram(start=0.0)
+        with pytest.raises(ValueError):
+            LatencyHistogram(factor=1.0)
+        with pytest.raises(ValueError):
+            LatencyHistogram().percentile(1.5)
+
+
+class TestPdpMetrics:
+    def test_write_batch_gauges_and_peaks(self):
+        metrics = PdpMetrics()
+        metrics.observe_write_batch(8, 3)
+        metrics.observe_write_batch(2, 1)
+        assert metrics.batches == 2
+        assert metrics.mutations == 10
+        assert metrics.last_batch_size == 2
+        assert metrics.max_batch_size == 8
+        assert metrics.queue_depth == 1
+        assert metrics.queue_depth_peak == 3
+
+    def test_snapshot_is_json_able(self):
+        import json
+
+        metrics = PdpMetrics()
+        metrics.decision_latency.observe(0.001)
+        snapshot = metrics.snapshot()
+        assert json.loads(json.dumps(snapshot)) == snapshot
+        assert snapshot["decision_latency"]["count"] == 1
+
+
+class TestTokenBucket:
+    def test_burst_then_deny(self):
+        bucket = TokenBucket(capacity=3, rate=1.0, now=0.0)
+        assert all(bucket.try_acquire(0.0, 1.0) for _ in range(3))
+        assert not bucket.try_acquire(0.0, 1.0)
+
+    def test_lazy_refill_caps_at_capacity(self):
+        bucket = TokenBucket(capacity=2, rate=1.0, now=0.0)
+        assert bucket.try_acquire(0.0, 2.0)
+        assert bucket.try_acquire(1.0, 1.0)      # 1 token refilled
+        assert not bucket.try_acquire(1.0, 1.0)
+        assert bucket.try_acquire(100.0, 2.0)    # capped at 2, not 99
+        assert not bucket.try_acquire(100.0, 0.5)
+
+    def test_wait_time_is_exact(self):
+        bucket = TokenBucket(capacity=2, rate=4.0, now=0.0)
+        bucket.try_acquire(0.0, 2.0)
+        assert bucket.wait_time(0.0, 1.0) == pytest.approx(0.25)
+        assert bucket.wait_time(0.25, 1.0) == 0.0
+
+    def test_clock_going_backwards_is_harmless(self):
+        bucket = TokenBucket(capacity=1, rate=1.0, now=10.0)
+        bucket.try_acquire(10.0, 1.0)
+        assert not bucket.try_acquire(9.0, 1.0)  # no negative refill
+
+
+class TestRateLimiter:
+    def test_principals_are_independent(self):
+        clock = ManualClock()
+        limiter = RateLimiter(capacity=1, rate=1.0, clock=clock)
+        assert limiter.try_acquire(ADMIN)
+        assert limiter.try_acquire(PEER)   # separate bucket
+        assert not limiter.try_acquire(ADMIN)
+
+    def test_check_raises_with_exact_retry_after(self):
+        clock = ManualClock()
+        limiter = RateLimiter(capacity=2, rate=0.5, clock=clock)
+        limiter.check(ADMIN, 2.0)
+        with pytest.raises(RateLimited) as excinfo:
+            limiter.check(ADMIN, 1.0)
+        assert excinfo.value.principal == ADMIN
+        assert excinfo.value.retry_after == pytest.approx(2.0)
+        clock.advance(2.0)
+        limiter.check(ADMIN, 1.0)  # deterministic recovery
+
+    def test_failed_check_spends_nothing(self):
+        clock = ManualClock()
+        limiter = RateLimiter(capacity=2, rate=1.0, clock=clock)
+        with pytest.raises(RateLimited):
+            limiter.check(ADMIN, 3.0)
+        limiter.check(ADMIN, 2.0)  # the full burst is still there
+
+    def test_sustained_rate_is_enforced(self):
+        clock = ManualClock()
+        limiter = RateLimiter(capacity=1, rate=10.0, clock=clock)
+        admitted = 0
+        for _ in range(200):
+            if limiter.try_acquire(ADMIN):
+                admitted += 1
+            clock.advance(0.01)
+        # One admit at t=0 (the burst), then exactly one per 0.1 s
+        # refill window through t=1.9: 20 total over the 2 s run.
+        assert admitted == 20
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            RateLimiter(capacity=0, rate=1.0)
+        with pytest.raises(ValueError):
+            RateLimiter(capacity=1.0, rate=-1.0)

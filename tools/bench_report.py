@@ -14,11 +14,19 @@ Usage::
 
     python tools/bench_report.py [--output BENCH_kernel.json]
         [--benches bitset_kernel index_churn shard_scaling] [--full]
-        [--print]
+        [--print] [--list]
 
 ``--full`` drops the reduced-config environment (runs the benches at
-their local defaults — slower, higher assertion bars).  Exit code is
-non-zero if any bench failed.
+their local defaults — slower, higher assertion bars).  ``--list``
+runs nothing: it prints the recorded trajectory grouped per bench —
+timestamp, status, wall time and the speedup/latency highlights of
+every run on file.  Exit code is non-zero if any bench failed.
+
+The trajectory file is history, never clobbered: unknown top-level
+keys and metric families written by newer benches are preserved
+verbatim, a legacy bare run list is wrapped in place, and an
+unparseable file is moved aside to a ``.corrupt`` sibling instead of
+being overwritten.
 """
 
 from __future__ import annotations
@@ -101,6 +109,18 @@ BENCHES: dict[str, tuple[str, dict[str, str], str | None]] = {
         },
         "REPAIR_METRICS_OUT",
     ),
+    "pdp": (
+        "benchmarks/bench_pdp.py",
+        # Reduced concurrency and population; the serving claim's 3x
+        # p50 floor holds there too (measured ~5x at both scales).
+        {
+            "PDP_BENCH_PRINCIPALS": "64",
+            "PDP_BENCH_ROUNDS": "3",
+            "PDP_BENCH_USERS": "800",
+            "PDP_SPEEDUP_TARGET": "3",
+        },
+        "PDP_METRICS_OUT",
+    ),
 }
 
 
@@ -154,20 +174,87 @@ def run_bench(
     return entry
 
 
+def load_document(path: Path) -> dict:
+    """The trajectory document at ``path``, read without ever
+    clobbering history: a document carrying unknown top-level keys or
+    metric families from a newer bench is returned verbatim, a legacy
+    bare run list is wrapped, and an unparseable or wrong-shaped file
+    is moved aside to a ``.corrupt`` sibling (the bytes survive on
+    disk) before a fresh document is started."""
+    if not path.exists():
+        return {"schema": 1, "runs": []}
+    try:
+        loaded = json.loads(path.read_text())
+    except ValueError:
+        loaded = None
+    if isinstance(loaded, list):
+        return {"schema": 1, "runs": loaded}
+    if isinstance(loaded, dict):
+        if not isinstance(loaded.get("runs"), list):
+            loaded["runs"] = []
+        loaded.setdefault("schema", 1)
+        return loaded
+    backup = path.with_suffix(path.suffix + ".corrupt")
+    path.replace(backup)
+    print(
+        f"warning: {path} was not a trajectory document; "
+        f"preserved as {backup}",
+        file=sys.stderr,
+    )
+    return {"schema": 1, "runs": []}
+
+
 def append_record(path: Path, record: dict) -> dict:
     """Append ``record`` to the trajectory file at ``path`` (created
     with an empty run list if missing); returns the full document."""
-    document = {"schema": 1, "runs": []}
-    if path.exists():
-        try:
-            loaded = json.loads(path.read_text())
-        except ValueError:
-            loaded = None
-        if isinstance(loaded, dict) and isinstance(loaded.get("runs"), list):
-            document = loaded
+    document = load_document(path)
     document["runs"].append(record)
     path.write_text(json.dumps(document, indent=2) + "\n")
     return document
+
+
+def _highlights(metrics: dict) -> str:
+    """The metric keys worth a one-line summary: every ``*_speedup``
+    ratio plus any ``*_p50_us`` / ``*_p99_us`` latency a bench emits.
+    Unknown keys are simply ignored, so a bench growing new metric
+    families never breaks the report."""
+    parts = [
+        f"{key.removesuffix('_speedup')} {value}x"
+        for key, value in metrics.items()
+        if key.endswith("_speedup")
+    ]
+    parts += [
+        f"{key.removesuffix('_us')} {value}us"
+        for key, value in metrics.items()
+        if key.endswith("_p50_us") or key.endswith("_p99_us")
+    ]
+    return "  " + ", ".join(parts) if parts else ""
+
+
+def list_trajectory(path: Path) -> int:
+    """Print the recorded trajectory grouped per bench."""
+    runs = load_document(path).get("runs", [])
+    if not runs:
+        print(f"no recorded runs in {path}")
+        return 0
+    per_bench: dict[str, list[tuple[str, dict]]] = {}
+    for run in runs:
+        timestamp = run.get("timestamp", "?")
+        for entry in run.get("benches", []):
+            per_bench.setdefault(str(entry.get("bench", "?")), []).append(
+                (timestamp, entry)
+            )
+    for bench in sorted(per_bench):
+        print(bench)
+        for timestamp, entry in per_bench[bench]:
+            status = "ok" if entry.get("ok") else "FAILED"
+            config = str(entry.get("config", "?"))
+            seconds = entry.get("seconds", "?")
+            extra = _highlights(entry.get("metrics") or {})
+            print(
+                f"  {timestamp}  {status:6} {config:7} {seconds}s{extra}"
+            )
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -193,7 +280,15 @@ def main(argv: list[str] | None = None) -> int:
         "--print", action="store_true", dest="echo",
         help="echo each bench's stdout/stderr",
     )
+    parser.add_argument(
+        "--list", action="store_true", dest="list_runs",
+        help="print the recorded trajectory per bench and exit "
+             "(runs nothing)",
+    )
     args = parser.parse_args(argv)
+
+    if args.list_runs:
+        return list_trajectory(Path(args.output))
 
     entries = [
         run_bench(name, full=args.full, echo=args.echo)
@@ -208,16 +303,7 @@ def main(argv: list[str] | None = None) -> int:
     append_record(Path(args.output), record)
     for entry in entries:
         status = "ok" if entry["ok"] else "FAILED"
-        extra = ""
-        metrics = entry.get("metrics")
-        if metrics:
-            speedups = ", ".join(
-                f"{key.removesuffix('_speedup')} {value}x"
-                for key, value in metrics.items()
-                if key.endswith("_speedup")
-            )
-            if speedups:
-                extra = f"  {speedups}"
+        extra = _highlights(entry.get("metrics") or {})
         print(f"{entry['bench']:14} {status:6} {entry['seconds']}s{extra}")
     print(f"trajectory: {args.output}")
     return 0 if all(entry["ok"] for entry in entries) else 1
