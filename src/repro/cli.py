@@ -379,6 +379,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     from .workloads.fuzz import (
         fuzz_batch_authz,
         fuzz_compiled_kernel,
+        fuzz_crash_recovery,
         fuzz_many,
         fuzz_pdp,
         fuzz_repair,
@@ -447,6 +448,19 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             f"pdp agreement: {len(pdp_reports)} campaigns "
             "(concurrent readers vs. micro-batched writer), "
             "both kernels, decisions pinned at snapshot versions"
+        )
+    if args.crash_diff:
+        crash_reports = [
+            fuzz_crash_recovery(seed, compiled=kernel)
+            for seed in range(args.seeds)
+            for kernel in (True, False)
+        ]
+        violations += [v for r in crash_reports for v in r.violations]
+        print(
+            f"crash-recovery agreement: {len(crash_reports)} campaigns "
+            "(kill at every injection point, recovery pinned "
+            "byte-identical to the oracle on both kernels, "
+            "plus the single-record tamper matrix)"
         )
     if violations:
         print(f"INVARIANT VIOLATIONS ({len(violations)}):")
@@ -545,7 +559,10 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     async def write(pdp, command):
         try:
             await pdp.submit(command)
-        except RateLimited:
+        except ReproError:
+            # Rate limits, shed writes, injected crashes: for a chaos
+            # run the point is that the service keeps serving — the
+            # outcome is on the metrics surface.
             pass
 
     async def scenario():
@@ -553,6 +570,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             policy=policy,
             compiled=not args.frozenset,
             rate_limiter=limiter,
+            wal=args.wal,
         ) as pdp:
             for _ in range(args.rounds):
                 for _ in range(args.bursts):
@@ -567,7 +585,15 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
                 ])
             return pdp.statistics()
 
-    stats = asyncio.run(scenario())
+    if args.inject:
+        from .workloads.faults import FAULTS
+
+        FAULTS.load_env(args.inject)
+    try:
+        stats = asyncio.run(scenario())
+    finally:
+        if args.inject:
+            FAULTS.clear()
     if args.json:
         print(json.dumps(stats, indent=2))
         return 0
@@ -593,6 +619,20 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     )
     if limiter is not None:
         print(f"rate limited: {stats['rate_limited']}")
+    writer = stats["writer"]
+    if args.inject or writer["health"] != "serving" or writer["total_failures"]:
+        print(
+            f"writer: {writer['health']} "
+            f"({writer['total_failures']} failures, "
+            f"{writer['restarts']} restarts, "
+            f"{writer['breaker_trips']} breaker trips)"
+        )
+    if "wal" in stats:
+        wal = stats["wal"]
+        print(
+            f"wal: {wal['records']} records ({wal['batches']} batches, "
+            f"{wal['bytes']} bytes) head {wal['head'][:12]}..."
+        )
     for label, key in (
         ("decision", "decision_latency"), ("mutation", "mutation_latency"),
     ):
@@ -603,6 +643,45 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             f"max {histogram['max'] * 1e6:.1f}us  "
             f"({histogram['count']} samples)"
         )
+    return 0
+
+
+def _cmd_wal_verify(args: argparse.Namespace) -> int:
+    import json
+
+    from .serve.wal import WalError, read_wal, verify_chain
+
+    try:
+        records, _ = read_wal(args.path, tolerate_torn_tail=False)
+        head = verify_chain(records, expected_head=args.head)
+    except WalError as error:
+        if args.json:
+            print(json.dumps({"ok": False, "error": str(error)}))
+        else:
+            print(f"WAL CORRUPT: {error}")
+        return 1
+    version = next(
+        (
+            record.payload["version"] for record in reversed(records)
+            if isinstance(record.payload.get("version"), int)
+        ),
+        None,
+    )
+    if args.json:
+        print(json.dumps({
+            "ok": True,
+            "records": len(records),
+            "batches": sum(1 for r in records if r.kind == "batch"),
+            "head": head,
+            "version": version,
+        }, indent=2))
+    else:
+        batches = sum(1 for r in records if r.kind == "batch")
+        print(
+            f"WAL OK: {len(records)} records ({batches} batches), "
+            f"policy version {version}"
+        )
+        print(f"head: {head}")
     return 0
 
 
@@ -832,6 +911,13 @@ def build_parser() -> argparse.ArgumentParser:
              "synchronous monitor oracle at its snapshot version, "
              "both kernels (invariant 14)",
     )
+    fuzz.add_argument(
+        "--crash-diff", action="store_true",
+        help="additionally kill a WAL-attached PDP at every fault-"
+             "injection point and pin recovery byte-identical to an "
+             "uninterrupted oracle, plus the single-record tamper "
+             "matrix (invariant 15)",
+    )
     fuzz.set_defaults(func=_cmd_fuzz)
 
     audit = subparsers.add_parser(
@@ -939,7 +1025,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve with the frozenset oracle instead of the compiled "
              "bitset kernel (differential baseline)",
     )
+    serve.add_argument(
+        "--wal", default=None, metavar="PATH",
+        help="attach a hash-chained write-ahead log: every accepted "
+             "micro-batch is fsync'd before its futures resolve "
+             "(verify afterwards with `repro wal verify PATH`)",
+    )
+    serve.add_argument(
+        "--inject", default=None, metavar="SPEC",
+        help="arm fault injection for the run (REPRO_FAULTS syntax: "
+             "point:action[:times[:after]][,...] — points listed in "
+             "repro.workloads.faults.INJECTION_POINTS)",
+    )
     serve.set_defaults(func=_cmd_serve_bench)
+
+    wal = subparsers.add_parser(
+        "wal",
+        help="inspect a policy write-ahead log",
+    )
+    wal_sub = wal.add_subparsers(dest="wal_command", required=True)
+    wal_verify = wal_sub.add_parser(
+        "verify",
+        help="verify the hash chain of a policy WAL (exit 1 when "
+             "tampered, torn, or truncated against --head)",
+    )
+    wal_verify.add_argument("path", help="the WAL file to verify")
+    wal_verify.add_argument(
+        "--head", default=None, metavar="HEX",
+        help="expected head digest — an externally recorded anchor; "
+             "required to detect tail truncation, which is otherwise "
+             "internally consistent",
+    )
+    wal_verify.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    wal_verify.set_defaults(func=_cmd_wal_verify)
     return parser
 
 

@@ -338,6 +338,28 @@ class Digraph:
         self._record("remove-vertex", vertex)
         return True
 
+    def fast_forward_version(self, version: int) -> None:
+        """Jump the version counter forward to ``version`` without
+        recording a journal delta.
+
+        The recovery seam: a graph rebuilt by deterministic replay
+        (``repro.serve.wal``) reaches a *structurally* identical state
+        in fewer mutations than the original took (construction order
+        is denser than live history), so its counter lags the version
+        the WAL recorded.  Fast-forwarding re-aligns the counter so
+        version-pinned consumers (snapshots, decision caches, journal
+        cursors) compare equal across the crash.  Sound because no
+        structural change happens: ``changes_since(v)`` for any ``v``
+        in the skipped range correctly reports no deltas.  Rewinding
+        is refused — a backwards jump would alias distinct states.
+        """
+        if version < self.version:
+            raise ValueError(
+                f"cannot rewind graph version {self.version} to "
+                f"{version}: fast-forward is monotone"
+            )
+        self.version = version
+
     # ------------------------------------------------------------------
     # Change journal
     # ------------------------------------------------------------------

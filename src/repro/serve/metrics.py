@@ -103,6 +103,9 @@ class PdpMetrics:
         "rate_limited", "batches", "read_batches", "reviews",
         "queue_depth", "queue_depth_peak", "last_batch_size",
         "max_batch_size", "decision_latency", "mutation_latency",
+        "writer_failures", "writer_shed", "queue_shed",
+        "deadline_expired", "wal_appends",
+        "batch_apply_latency", "wal_append_latency",
     )
 
     def __init__(self):
@@ -120,6 +123,17 @@ class PdpMetrics:
         self.max_batch_size = 0
         self.decision_latency = LatencyHistogram()
         self.mutation_latency = LatencyHistogram()
+        # Fault-tolerance surface: per-batch writer failures, writes
+        # shed while the breaker is open, submits rejected by the
+        # bounded queue, expired per-request deadlines, and the WAL's
+        # append count/latency alongside the writer's apply latency.
+        self.writer_failures = 0
+        self.writer_shed = 0
+        self.queue_shed = 0
+        self.deadline_expired = 0
+        self.wal_appends = 0
+        self.batch_apply_latency = LatencyHistogram()
+        self.wal_append_latency = LatencyHistogram()
 
     def observe_write_batch(self, size: int, depth: int) -> None:
         self.batches += 1
@@ -147,4 +161,11 @@ class PdpMetrics:
             "max_batch_size": self.max_batch_size,
             "decision_latency": self.decision_latency.snapshot(),
             "mutation_latency": self.mutation_latency.snapshot(),
+            "writer_failures": self.writer_failures,
+            "writer_shed": self.writer_shed,
+            "queue_shed": self.queue_shed,
+            "deadline_expired": self.deadline_expired,
+            "wal_appends": self.wal_appends,
+            "batch_apply_latency": self.batch_apply_latency.snapshot(),
+            "wal_append_latency": self.wal_append_latency.snapshot(),
         }

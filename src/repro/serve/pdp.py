@@ -25,7 +25,28 @@ Reader side
     object, so no locks — and requests arriving within one event-loop
     tick accumulate into a read window answered by a single
     ``authorizes_batch`` sweep.  A read is therefore pinned to one
-    policy version, reported on its :class:`Decision`.
+    policy version, reported on its :class:`Decision` along with the
+    snapshot's age (``staleness``).
+
+Fault tolerance
+    With a :class:`~repro.serve.wal.PolicyWal` attached, every
+    accepted batch is hash-chained to disk and fsync'd **before** its
+    futures resolve, and :meth:`PolicyDecisionPoint.recover` rebuilds
+    policy + index + snapshot from the log alone by deterministic
+    replay.  The writer runs supervised
+    (:class:`~repro.serve.supervisor.WriterSupervisor`): a per-batch
+    failure fails only that batch's futures with a typed
+    :class:`~repro.serve.supervisor.WriterFailed` and the writer
+    retries under exponential backoff; a crash loop opens a circuit
+    breaker and the service degrades to read-only — snapshot reads
+    keep answering at the pinned stale version (staleness reported,
+    optionally bounded by ``max_staleness``) while writes shed fast.
+    Backpressure is a bounded submit queue
+    (:class:`~repro.serve.supervisor.QueueFull` carries
+    ``retry_after``) plus per-request deadlines (``submit(...,
+    timeout=)`` / ``check(..., deadline=)``).  No future ever hangs:
+    shutdown, writer death and :meth:`kill` all resolve every pending
+    future with a typed error.
 
 In between sits the :class:`~repro.serve.cache.DecisionCache`
 (journal-invalidated, selectively evicted on publication — see that
@@ -35,10 +56,13 @@ and a :class:`~repro.serve.metrics.PdpMetrics` registry.
 
 Conformance is pinned the repo's established way: the suite in
 ``tests/serve/`` holds PDP decisions element-for-element identical to
-a synchronous :class:`ReferenceMonitor` on replayed traces, and fuzz
+a synchronous :class:`ReferenceMonitor` on replayed traces, fuzz
 invariant 14 (:func:`repro.workloads.fuzz.fuzz_pdp`) interleaves
 mutation bursts with concurrent read batches under churn on both
-kernels, pinning every decision at its snapshot version.
+kernels, and fuzz invariant 15
+(:func:`repro.workloads.fuzz.fuzz_crash_recovery`) kills the PDP at
+every fault-injection point mid-trace and pins the recovered state
+byte-identical to an uninterrupted oracle run.
 """
 
 from __future__ import annotations
@@ -53,9 +77,19 @@ from ..core.entities import User
 from ..core.monitor import ReferenceMonitor
 from ..core.privileges import Grant, Privilege, Revoke
 from ..errors import ReproError
+from ..workloads.faults import FAULTS, CrashInjected
 from .cache import DecisionCache
 from .metrics import PdpMetrics
 from .ratelimit import RateLimited, RateLimiter
+from .supervisor import (
+    DeadlineExceeded,
+    QueueFull,
+    ServiceStopped,
+    SnapshotTooStale,
+    WriterFailed,
+    WriterSupervisor,
+)
+from .wal import PolicyWal, read_wal, repair_torn_tail, replay_wal, verify_chain
 
 __all__ = ["Decision", "PolicyDecisionPoint", "as_command"]
 
@@ -71,6 +105,11 @@ class Decision:
     version: int
     #: True when the verdict came from the decision cache.
     cached: bool = False
+    #: age of the answering snapshot in clock seconds — how long ago
+    #: the version this decision is pinned to was published.  Grows
+    #: while the writer is down or recovering (the degraded read-only
+    #: mode); ~0 on a healthy write path.
+    staleness: float = 0.0
 
 
 def as_command(subject: User, request, target=None) -> Command:
@@ -113,11 +152,22 @@ class PolicyDecisionPoint:
 
     Use as an async context manager (or call :meth:`start` /
     :meth:`stop`); all coroutine methods must run on the loop that
-    started it.  ``clock`` feeds both the rate limiter and the latency
-    histograms, so a manual clock makes the whole surface
-    deterministic.  ``retain_history=True`` keeps every published
-    snapshot and the applied batch log — the hooks the differential
-    suites pin decisions with; serving deployments leave it off.
+    started it.  ``clock`` feeds the rate limiter, the latency
+    histograms, the staleness surface and the supervisor's breaker,
+    so a manual clock makes the whole surface deterministic.
+    ``retain_history=True`` keeps every published snapshot and the
+    applied batch log — the hooks the differential suites pin
+    decisions with; serving deployments leave it off.
+
+    Durability: pass ``wal`` (a :class:`~repro.serve.wal.PolicyWal`
+    or a path) to hash-chain every accepted batch to disk.  An empty
+    log gets a genesis record of the current policy; a non-empty log
+    gets a ``rebase`` anchor, so the chain always resumes from the
+    exact live policy (:meth:`recover` relies on this).  ``queue_limit``
+    bounds the submit queue (load shedding via
+    :class:`~repro.serve.supervisor.QueueFull`); ``max_staleness``
+    bounds degraded reads (:class:`SnapshotTooStale` once the
+    published snapshot is older while the writer is unhealthy).
     """
 
     def __init__(
@@ -133,6 +183,10 @@ class PolicyDecisionPoint:
         cache_size: int = 65536,
         clock=time.monotonic,
         retain_history: bool = False,
+        wal: PolicyWal | str | None = None,
+        queue_limit: int | None = None,
+        max_staleness: float | None = None,
+        supervisor: WriterSupervisor | None = None,
     ):
         if monitor is None:
             if policy is None:
@@ -152,6 +206,10 @@ class PolicyDecisionPoint:
             )
         if max_batch < 1:
             raise ReproError(f"max_batch must be >= 1, got {max_batch}")
+        if queue_limit is not None and queue_limit < 1:
+            raise ReproError(
+                f"queue_limit must be >= 1 or None, got {queue_limit}"
+            )
         self.monitor = monitor
         self.compiled = monitor.compiled
         self.max_batch = max_batch
@@ -163,13 +221,33 @@ class PolicyDecisionPoint:
         self.retain_history = retain_history
         self.history: dict[int, ReviewSnapshot] = {}
         self.batch_log: list[list[Command]] = []
+        self.queue_limit = queue_limit
+        self.max_staleness = max_staleness
+        self.supervisor = supervisor or WriterSupervisor(clock=clock)
+        self.wal: PolicyWal | None = None
+        if wal is not None:
+            if not isinstance(wal, PolicyWal):
+                wal = PolicyWal(wal)
+            if wal.next_seq == 0:
+                wal.append_genesis(monitor.policy)
+            else:
+                # Re-anchor: whatever history precedes (a recovery, an
+                # operator reattach), replay resumes from this exact
+                # live policy — never from a silently diverged one.
+                wal.append_rebase(monitor.policy)
+            self.wal = wal
         self._snapshot = ReviewSnapshot(
             monitor.policy, compiled=self.compiled
         )
+        self._published_at = self.clock()
         if retain_history:
             self.history[self._snapshot.version] = self._snapshot
         self._queue: asyncio.Queue = asyncio.Queue()
         self._writer: asyncio.Task | None = None
+        #: the batch the writer is currently collecting/applying —
+        #: entries here left the queue, so the drain must cover them
+        #: too or a kill mid-collection would leak their futures.
+        self._inflight: list | None = None
         self._window: list[tuple[User, Command, asyncio.Future]] = []
         self._drain_scheduled = False
         self._stopping = False
@@ -180,6 +258,8 @@ class PolicyDecisionPoint:
     async def start(self) -> "PolicyDecisionPoint":
         if self._writer is not None:
             raise ReproError("PolicyDecisionPoint already started")
+        if self.supervisor.health == "dead":
+            raise ServiceStopped(self.supervisor.last_error or "dead")
         self._stopping = False
         self._writer = asyncio.get_running_loop().create_task(
             self._writer_loop()
@@ -187,13 +267,42 @@ class PolicyDecisionPoint:
         return self
 
     async def stop(self) -> None:
-        """Drain the mutation queue, apply the final batch, stop."""
+        """Drain the mutation queue, apply the final batch, stop.
+
+        Never hangs and never leaks: if the writer already died, the
+        queued futures were failed at death; a cleanly stopping writer
+        applies everything queued ahead of the shutdown marker and the
+        loop's exit path fails anything that could remain."""
         if self._writer is None:
             return
         self._stopping = True
-        await self._queue.put(_SHUTDOWN)
-        await self._writer
+        writer = self._writer
+        if not writer.done():
+            self._queue.put_nowait(_SHUTDOWN)
+        try:
+            await writer
+        except asyncio.CancelledError:
+            pass
         self._writer = None
+        self.supervisor.mark_stopped()
+        if self.wal is not None:
+            self.wal.close()
+
+    def kill(self) -> None:
+        """Abrupt death — the crash campaigns' kill switch, and the
+        operator's last resort.  Cancels the writer without draining,
+        fails every pending future with
+        :class:`~repro.serve.supervisor.ServiceStopped` (no hangs, no
+        leaks), and closes the WAL handle.  In-memory state is
+        abandoned: bring the service back with :meth:`recover`."""
+        self.supervisor.mark_dead("killed")
+        self._stopping = True
+        writer, self._writer = self._writer, None
+        if writer is not None and not writer.done():
+            writer.cancel()
+        self._drain_pending()
+        if self.wal is not None:
+            self.wal.close()
 
     async def __aenter__(self) -> "PolicyDecisionPoint":
         return await self.start()
@@ -201,20 +310,96 @@ class PolicyDecisionPoint:
     async def __aexit__(self, *exc) -> None:
         await self.stop()
 
+    @classmethod
+    def recover(
+        cls,
+        path,
+        *,
+        compiled: bool = True,
+        shards: int = 1,
+        expected_head: str | None = None,
+        **kwargs,
+    ) -> "PolicyDecisionPoint":
+        """Rebuild a PDP from its write-ahead log alone.
+
+        Truncates a torn tail (the one legitimate crash artifact —
+        that batch was never acknowledged), verifies the full hash
+        chain (against ``expected_head`` when an external anchor is
+        known), deterministically replays every record through
+        ``submit_queue(batched=True)``
+        (:func:`~repro.serve.wal.replay_wal` — outcome and version
+        tripwires included), and returns an **unstarted** PDP whose
+        policy, index and published snapshot are byte-identical to the
+        pre-crash service at its durable prefix (fuzz invariant 15).
+        The log is reattached with a ``rebase`` anchor, so the chain
+        continues across the crash.  ``kwargs`` pass through to the
+        constructor (``max_batch``, ``rate_limiter``, ...); call
+        :meth:`start` (or enter the context manager) to serve."""
+        path = str(path)
+        repair_torn_tail(path)
+        records, _ = read_wal(path)
+        verify_chain(records, expected_head=expected_head)
+        monitor = replay_wal(records, compiled=compiled, shards=shards)
+        return cls(monitor, wal=PolicyWal(path), **kwargs)
+
     # ------------------------------------------------------------------
     # Writer side
     # ------------------------------------------------------------------
-    async def submit(self, command: Command) -> ExecutionRecord:
-        """Queue one mutation; resolves when its micro-batch applied."""
-        [record] = await self.submit_many([command])
+    async def submit(
+        self, command: Command, *, timeout: float | None = None
+    ) -> ExecutionRecord:
+        """Queue one mutation; resolves when its micro-batch applied
+        (durably, when a WAL is attached).  ``timeout`` bounds the
+        wait in real loop seconds — on expiry
+        :class:`DeadlineExceeded` is raised, with the usual write
+        ambiguity (the batch may still apply)."""
+        [record] = await self.submit_many([command], timeout=timeout)
         return record
 
-    async def submit_many(self, commands) -> list[ExecutionRecord]:
+    async def submit_many(
+        self, commands, *, timeout: float | None = None
+    ) -> list[ExecutionRecord]:
         """Queue several mutations (still individually batched — the
-        writer may coalesce them with other principals' commands)."""
+        writer may coalesce them with other principals' commands).
+
+        Sheds before spending anything: a stopped/dead service raises
+        :class:`ServiceStopped`, an open circuit breaker
+        :class:`WriterFailed`, a full bounded queue
+        :class:`QueueFull` (with ``retry_after``), an already-expired
+        ``timeout`` :class:`DeadlineExceeded` — all ahead of the
+        rate-limiter spend and the enqueue."""
         commands = list(commands)
-        if self._writer is None or self._stopping:
-            raise ReproError("PolicyDecisionPoint is not serving")
+        if (
+            self._writer is None
+            or self._stopping
+            or self.supervisor.health in ("stopped", "dead")
+        ):
+            raise ServiceStopped(
+                "killed" if self.supervisor.health == "dead" else "stopped"
+            )
+        if not self.supervisor.accepting:
+            self.metrics.writer_shed += len(commands)
+            raise WriterFailed(
+                "circuit breaker open; writes shed while degraded",
+                health=self.supervisor.health,
+            )
+        if timeout is not None and timeout <= 0:
+            self.metrics.deadline_expired += 1
+            raise DeadlineExceeded("submit", 0.0)
+        if not commands:
+            return []
+        depth = self._queue.qsize()
+        if (
+            self.queue_limit is not None
+            and depth + len(commands) > self.queue_limit
+        ):
+            self.metrics.queue_shed += 1
+            per_batch = self.metrics.batch_apply_latency.mean or self.max_delay
+            batches_ahead = depth // self.max_batch + 1
+            raise QueueFull(
+                depth, self.queue_limit,
+                retry_after=max(self.max_delay, per_batch * batches_ahead),
+            )
         if self.limiter is not None:
             # One atomic acquisition per principal for its whole share
             # of the batch: a rejected principal spends nothing, so a
@@ -236,66 +421,136 @@ class PolicyDecisionPoint:
             future = loop.create_future()
             futures.append(future)
             self._queue.put_nowait((command, future))
-        records = await asyncio.gather(*futures)
+        if timeout is not None:
+            done, pending = await asyncio.wait(futures, timeout=timeout)
+            if pending:
+                for future in pending:
+                    future.cancel()
+                for future in done:
+                    if not future.cancelled():
+                        future.exception()  # retrieved, not leaked
+                self.metrics.deadline_expired += 1
+                raise DeadlineExceeded("submit", timeout)
+        results = await asyncio.gather(*futures, return_exceptions=True)
+        for result in results:
+            if isinstance(result, BaseException):
+                raise result
         self.metrics.mutation_latency.observe(self.clock() - started)
-        return records
+        return list(results)
 
     async def refresh(self) -> int:
         """Republish the snapshot at the current policy state without
         mutating — the hook for out-of-band policy churn (tests,
         migrations).  Routed through the writer queue so publication
-        order stays single-writer.  Returns the published version."""
-        if self._writer is None or self._stopping:
-            raise ReproError("PolicyDecisionPoint is not serving")
+        order stays single-writer; with a WAL attached the drifted
+        policy is re-anchored with a ``rebase`` record before
+        publication.  Returns the published version."""
+        if (
+            self._writer is None
+            or self._stopping
+            or self.supervisor.health in ("stopped", "dead")
+        ):
+            raise ServiceStopped(
+                "killed" if self.supervisor.health == "dead" else "stopped"
+            )
         future = asyncio.get_running_loop().create_future()
         self._queue.put_nowait((_REFRESH, future))
         await future
         return self._snapshot.version
 
     async def _writer_loop(self) -> None:
-        while True:
-            item = await self._queue.get()
-            if item is _SHUTDOWN:
-                break
-            batch = [item]
-            shutdown = False
-            deadline = None
-            while len(batch) < self.max_batch:
-                if self._queue.empty():
-                    if deadline is None:
-                        loop = asyncio.get_running_loop()
-                        deadline = loop.time() + self.max_delay
-                        timeout = self.max_delay
-                    else:
-                        timeout = deadline - asyncio.get_running_loop().time()
-                    if timeout <= 0:
-                        break
-                    try:
-                        item = await asyncio.wait_for(
-                            self._queue.get(), timeout
-                        )
-                    except asyncio.TimeoutError:
-                        break
-                else:
-                    item = self._queue.get_nowait()
+        try:
+            while True:
+                item = await self._queue.get()
                 if item is _SHUTDOWN:
-                    shutdown = True
                     break
-                batch.append(item)
-            self._apply_batch(batch)
-            if shutdown:
-                break
+                batch = [item]
+                self._inflight = batch
+                shutdown = False
+                deadline = None
+                while len(batch) < self.max_batch:
+                    if self._queue.empty():
+                        if deadline is None:
+                            loop = asyncio.get_running_loop()
+                            deadline = loop.time() + self.max_delay
+                            timeout = self.max_delay
+                        else:
+                            timeout = deadline - asyncio.get_running_loop().time()
+                        if timeout <= 0:
+                            break
+                        try:
+                            item = await asyncio.wait_for(
+                                self._queue.get(), timeout
+                            )
+                        except asyncio.TimeoutError:
+                            break
+                    else:
+                        item = self._queue.get_nowait()
+                    if item is _SHUTDOWN:
+                        shutdown = True
+                        break
+                    batch.append(item)
+                if not self.supervisor.allow_attempt():
+                    # Breaker open: shed the whole batch fast, typed.
+                    self.metrics.writer_shed += len(batch)
+                    self._fail_batch(batch, WriterFailed(
+                        "circuit breaker open; batch shed",
+                        health=self.supervisor.health,
+                    ))
+                else:
+                    try:
+                        self._apply_batch(batch)
+                        self.supervisor.record_success()
+                    except CrashInjected as crash:
+                        # A simulated kill -9: fatal, no retry.  The
+                        # death path below is fully synchronous, so no
+                        # submit can slip between it and the drain.
+                        self._die(str(crash), batch, crash)
+                        return
+                    except asyncio.CancelledError:
+                        raise
+                    except Exception as error:
+                        try:
+                            delay = self._handle_batch_failure(batch, error)
+                        except CrashInjected as crash:
+                            self._die(str(crash), batch, crash)
+                            return
+                        if delay > 0:
+                            await asyncio.sleep(delay)
+                if shutdown:
+                    break
+        except asyncio.CancelledError:
+            if self.supervisor.health != "dead":
+                self.supervisor.mark_dead("writer task cancelled")
+            raise
+        finally:
+            # Whatever path ended the loop, nothing queued may hang.
+            self._drain_pending()
+            self.supervisor.mark_stopped()
 
     def _apply_batch(self, batch) -> None:
-        """Execute one micro-batch as a submit-queue transaction and
-        publish the post-batch snapshot.  Synchronous on purpose: the
-        whole apply/publish step happens within one event-loop tick,
-        so readers see either the old or the new snapshot, never an
-        intermediate."""
+        """Execute one micro-batch as a submit-queue transaction,
+        make it durable, and publish the post-batch snapshot.
+        Synchronous on purpose: the whole apply/log/publish step
+        happens within one event-loop tick, so readers see either the
+        old or the new snapshot, never an intermediate — and futures
+        resolve only *after* the fsync, so an acknowledged mutation
+        is on disk."""
         depth = self._queue.qsize()
         refreshes = [entry for entry in batch if entry[0] is _REFRESH]
         entries = [entry for entry in batch if entry[0] is not _REFRESH]
         commands = [command for command, _ in entries]
+        apply_started = self.clock()
+        if FAULTS.active:
+            FAULTS.hit("writer.before_apply")
+        if (
+            self.wal is not None
+            and self.wal.last_version != self.monitor.policy.version
+        ):
+            # Out-of-band churn since the last append (refresh(), or
+            # direct monitor use): anchor the drifted policy so replay
+            # sees the same batch-entry state the kernel does.
+            self.wal.append_rebase(self.monitor.policy)
         if commands:
             records = self.monitor.submit_queue(
                 commands, batched=True, snapshot=True
@@ -303,15 +558,112 @@ class PolicyDecisionPoint:
             self.metrics.observe_write_batch(len(commands), depth)
         else:
             records = []
+        if FAULTS.active:
+            FAULTS.hit("writer.after_apply")
+        if self.wal is not None and commands:
+            wal_started = self.clock()
+            self.wal.append_batch(
+                commands,
+                [(record.executed, record.noop) for record in records],
+                self.monitor.policy.version,
+            )
+            self.metrics.wal_appends += 1
+            self.metrics.wal_append_latency.observe(
+                self.clock() - wal_started
+            )
+        if FAULTS.active:
+            FAULTS.hit("writer.before_publish")
         self._publish()
+        self.metrics.batch_apply_latency.observe(
+            self.clock() - apply_started
+        )
+        if FAULTS.active:
+            FAULTS.hit("writer.before_resolve")
         for (_, future), record in zip(entries, records):
-            if not future.cancelled():
+            if not future.done():
                 future.set_result(record)
         for _, future in refreshes:
-            if not future.cancelled():
+            if not future.done():
                 future.set_result(None)
         if self.retain_history and commands:
             self.batch_log.append(commands)
+
+    def _handle_batch_failure(self, batch, error: Exception) -> float:
+        """Per-batch supervision: fail only this batch's futures
+        (typed), resync the WAL if the apply half-landed, republish,
+        and hand back the supervisor's backoff delay."""
+        self.metrics.writer_failures += 1
+        delay = self.supervisor.record_failure(error)
+        self._resync_wal()
+        # Publish whatever state exists: a failure after the apply
+        # mutated the policy must still reach readers and advance the
+        # decision cache past the mutation.
+        self._publish()
+        self._fail_batch(batch, WriterFailed(
+            "batch apply failed",
+            health=self.supervisor.health,
+            cause=error,
+        ))
+        return delay
+
+    def _resync_wal(self) -> None:
+        """After a mid-batch failure the policy may hold mutations the
+        log never saw (applied, then the append failed).  A ``rebase``
+        record closes that durability gap; if even the rebase cannot
+        be written, the breaker is forced open — accepting more writes
+        would only widen the gap, while reads stay safe."""
+        wal = self.wal
+        if wal is None or wal.last_version == self.monitor.policy.version:
+            return
+        try:
+            wal.append_rebase(self.monitor.policy)
+        except CrashInjected:
+            raise
+        except Exception as resync_error:
+            self.supervisor.force_degrade(
+                f"WAL resync failed: {resync_error}"
+            )
+
+    def _fail_batch(self, batch, error: ReproError) -> None:
+        for _, future in batch:
+            if not future.done():
+                future.set_exception(error)
+
+    def _die(self, reason: str, batch, cause: Exception) -> None:
+        """Fatal writer death (simulated process kill): mark dead and
+        fail the in-flight batch.  Runs synchronously — by the time
+        any other coroutine runs, the health is ``dead`` and every
+        pending future is resolved with a typed error."""
+        self.supervisor.mark_dead(reason)
+        self._fail_batch(batch, WriterFailed(
+            reason, health="dead", cause=cause,
+        ))
+
+    def _drain_pending(self) -> None:
+        """Fail everything still queued — no future survives the
+        writer.  The hung-future fix: stop(), kill() and every death
+        path funnel through here."""
+        if self.supervisor.health == "dead":
+            error = ServiceStopped(self.supervisor.last_error or "dead")
+        else:
+            error = ServiceStopped("stopped")
+        inflight, self._inflight = self._inflight, None
+        if inflight:
+            # Resolved entries are skipped by the done() guard, so a
+            # stale pointer to an applied batch is harmless.
+            for _, future in inflight:
+                if not future.done():
+                    future.set_exception(error)
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            if item is _SHUTDOWN:
+                continue
+            _, future = item
+            if not future.done():
+                future.set_exception(error)
 
     def _publish(self) -> None:
         """Capture and publish a fresh reader snapshot of the current
@@ -321,6 +673,7 @@ class PolicyDecisionPoint:
             self.monitor.policy, compiled=self.compiled
         )
         self._snapshot = snapshot
+        self._published_at = self.clock()
         self.cache.advance(snapshot.version)
         if self.retain_history:
             self.history[snapshot.version] = snapshot
@@ -338,18 +691,53 @@ class PolicyDecisionPoint:
         """The currently published reader snapshot."""
         return self._snapshot
 
-    async def check(self, subject: User, request, target=None) -> Decision:
+    @property
+    def health(self) -> str:
+        """The writer's health state (see
+        :class:`~repro.serve.supervisor.WriterSupervisor`)."""
+        return self.supervisor.health
+
+    def _staleness(self) -> float:
+        """Clock seconds since the current snapshot was published."""
+        return max(0.0, self.clock() - self._published_at)
+
+    async def check(
+        self, subject: User, request, target=None, *,
+        deadline: float | None = None,
+    ) -> Decision:
         """Decide one request for ``subject`` against the latest
         published snapshot (see :func:`as_command` for accepted
         request shapes).  Raises :class:`RateLimited` when the
-        subject's bucket is empty."""
-        [decision] = await self.check_many(subject, [(request, target)])
+        subject's bucket is empty, :class:`DeadlineExceeded` when
+        ``deadline`` (a ``clock()`` timestamp) has already passed —
+        checked at entry, before any cache or index work."""
+        [decision] = await self.check_many(
+            subject, [(request, target)], deadline=deadline
+        )
         return decision
 
-    async def check_many(self, subject: User, requests) -> list[Decision]:
+    async def check_many(
+        self, subject: User, requests, *, deadline: float | None = None
+    ) -> list[Decision]:
         """Batch :meth:`check`: one rate-limit acquisition of
         ``len(requests)`` tokens, one cache pass, and the misses ride
-        the shared read window's ``authorizes_batch`` sweep."""
+        the shared read window's ``authorizes_batch`` sweep.
+
+        Reads keep answering while the writer is down (the degraded
+        read-only mode) — pinned to the last published snapshot, with
+        the growing ``staleness`` reported per decision and bounded by
+        ``max_staleness`` (:class:`SnapshotTooStale`) when configured."""
+        now = self.clock()
+        if deadline is not None and now >= deadline:
+            self.metrics.deadline_expired += 1
+            raise DeadlineExceeded("check", now - deadline)
+        staleness = self._staleness()
+        if (
+            self.max_staleness is not None
+            and staleness > self.max_staleness
+            and self.supervisor.health != "serving"
+        ):
+            raise SnapshotTooStale(staleness, self.max_staleness)
         commands = []
         for request in requests:
             if isinstance(request, tuple) and len(request) == 2 and (
@@ -377,7 +765,7 @@ class PolicyDecisionPoint:
                 (verdict,) = hit
                 decisions[position] = Decision(
                     verdict is not None, verdict, self.cache.version,
-                    cached=True,
+                    cached=True, staleness=staleness,
                 )
             else:
                 self.metrics.cache_misses += 1
@@ -415,11 +803,15 @@ class PolicyDecisionPoint:
         )
         self.metrics.read_batches += 1
         version = snapshot.version
+        staleness = self._staleness()
         for (subject, command, future), verdict in zip(window, verdicts):
             self.cache.put(subject, command, verdict, version)
-            if not future.cancelled():
+            if not future.done():
                 future.set_result(
-                    Decision(verdict is not None, verdict, version)
+                    Decision(
+                        verdict is not None, verdict, version,
+                        staleness=staleness,
+                    )
                 )
 
     async def review(
@@ -441,8 +833,19 @@ class PolicyDecisionPoint:
         return self._snapshot.grantable_pairs_bulk(subjects)
 
     def statistics(self) -> dict[str, object]:
-        """Metrics plus cache counters, one JSON-able dict."""
+        """Metrics plus cache, writer-health, queue, staleness, rate
+        limiter and WAL counters — one JSON-able dict."""
         stats = self.metrics.snapshot()
         stats["cache"] = self.cache.statistics()
         stats["version"] = self.version
+        stats["writer"] = self.supervisor.snapshot()
+        stats["staleness"] = self._staleness()
+        stats["queue"] = {
+            "depth": self._queue.qsize(),
+            "limit": self.queue_limit,
+        }
+        if self.limiter is not None:
+            stats["rate_limiter"] = self.limiter.statistics()
+        if self.wal is not None:
+            stats["wal"] = self.wal.statistics()
         return stats

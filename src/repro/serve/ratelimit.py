@@ -72,31 +72,83 @@ class RateLimiter:
     requests-per-second refill.  The clock defaults to
     :func:`time.monotonic`; tests inject a manual clock and advance it
     explicitly.
+
+    The bucket map is **bounded**: at most ``max_principals`` buckets
+    are retained (default 65536 — a few MB even under millions of
+    distinct principals).  Eviction is LRU with an idleness
+    preference: among the least-recently-used tail, a bucket whose
+    lazy refill would already be full is evicted first — dropping it
+    is *lossless*, since a fresh bucket starts full anyway.  Only when
+    no scanned tail bucket is idle-full does absolute LRU apply; the
+    evicted principal then gets a slightly *fresher* bucket on return
+    (a full burst allowance), which errs on the side of admitting —
+    never double-charges.
     """
+
+    #: how deep into the LRU tail to look for a losslessly evictable
+    #: (fully refilled) bucket before falling back to absolute LRU.
+    _EVICTION_SCAN = 8
 
     def __init__(
         self,
         capacity: float,
         rate: float,
         clock=time.monotonic,
+        max_principals: int | None = 65536,
     ):
         if capacity <= 0 or rate <= 0:
             raise ValueError(
                 f"capacity and rate must be positive, got "
                 f"capacity={capacity}, rate={rate}"
             )
+        if max_principals is not None and max_principals < 1:
+            raise ValueError(
+                f"max_principals must be >= 1 or None, got {max_principals}"
+            )
         self.capacity = capacity
         self.rate = rate
         self.clock = clock
+        self.max_principals = max_principals
+        self.evicted_buckets = 0
+        # Insertion order doubles as recency order: _bucket() re-inserts
+        # on every touch, so iteration starts at the LRU end.
         self._buckets: dict[object, TokenBucket] = {}
 
+    def _evict(self, now: float) -> None:
+        scanned = 0
+        fallback = None
+        for principal, bucket in self._buckets.items():
+            if fallback is None:
+                fallback = principal
+            bucket._refill(now)
+            if bucket.tokens >= bucket.capacity:
+                del self._buckets[principal]
+                self.evicted_buckets += 1
+                return
+            scanned += 1
+            if scanned >= self._EVICTION_SCAN:
+                break
+        del self._buckets[fallback]
+        self.evicted_buckets += 1
+
     def _bucket(self, principal) -> TokenBucket:
-        bucket = self._buckets.get(principal)
+        bucket = self._buckets.pop(principal, None)
         if bucket is None:
-            bucket = self._buckets[principal] = TokenBucket(
-                self.capacity, self.rate, self.clock()
-            )
+            if (
+                self.max_principals is not None
+                and len(self._buckets) >= self.max_principals
+            ):
+                self._evict(self.clock())
+            bucket = TokenBucket(self.capacity, self.rate, self.clock())
+        self._buckets[principal] = bucket  # (re-)insert at MRU end
         return bucket
+
+    def statistics(self) -> dict[str, object]:
+        return {
+            "principals": len(self._buckets),
+            "max_principals": self.max_principals,
+            "evicted_buckets": self.evicted_buckets,
+        }
 
     def try_acquire(self, principal, tokens: float = 1.0) -> bool:
         """Spend ``tokens`` from the principal's bucket if available."""

@@ -1,0 +1,262 @@
+"""Writer supervision: typed failures, backoff, and a crash-loop
+circuit breaker.
+
+The PDP's single writer task used to be a single point of silent
+failure — one exception killed the loop and every queued future hung
+forever.  This module supplies the pieces that make it supervised:
+
+* the typed error surface (:class:`WriterFailed`, :class:`QueueFull`,
+  :class:`DeadlineExceeded`, :class:`ServiceStopped`,
+  :class:`SnapshotTooStale`) — every way a request can fail resolves
+  its future with one of these, never a hang;
+* :class:`WriterSupervisor`, the restart state machine: per-batch
+  failures fail only the affected futures and re-arm the writer under
+  exponential backoff; a crash loop (``breaker_threshold`` consecutive
+  failures) opens a circuit breaker that sheds writes fast while reads
+  keep serving the pinned snapshot (the degraded read-only mode), with
+  a half-open probe after ``breaker_reset`` seconds.
+
+Health is a small enum-by-string surface (``serving`` / ``backoff`` /
+``degraded`` / ``stopped`` / ``dead``) exposed through
+``PolicyDecisionPoint.statistics()["writer"]`` — ``dead`` is reserved
+for fatal events (a :class:`~repro.workloads.faults.CrashInjected`
+simulated process death, or :meth:`PolicyDecisionPoint.kill`), after
+which only recovery from the WAL brings the service back.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..errors import ReproError
+
+__all__ = [
+    "DeadlineExceeded",
+    "QueueFull",
+    "ServiceStopped",
+    "SnapshotTooStale",
+    "WriterFailed",
+    "WriterSupervisor",
+]
+
+
+class WriterFailed(ReproError):
+    """A mutation batch failed in the writer.
+
+    Resolves (never hangs) every future of the affected batch; carries
+    the writer's health at failure time and the underlying cause.  A
+    request failed this way is *ambiguous the way any distributed
+    write timeout is*: the batch may or may not have applied before
+    the failure — callers re-check rather than blindly retry."""
+
+    def __init__(self, reason: str, health: str = "serving",
+                 cause: BaseException | None = None):
+        self.reason = reason
+        self.health = health
+        self.cause = cause
+        message = f"writer failed ({health}): {reason}"
+        if cause is not None:
+            message += f" [{type(cause).__name__}: {cause}]"
+        super().__init__(message)
+
+
+class QueueFull(ReproError):
+    """The bounded submit queue is at capacity — load was shed before
+    the request spent anything.  ``retry_after`` estimates when the
+    writer will have drained enough backlog to accept it."""
+
+    def __init__(self, depth: int, limit: int, retry_after: float):
+        self.depth = depth
+        self.limit = limit
+        self.retry_after = retry_after
+        super().__init__(
+            f"submit queue full ({depth}/{limit}); "
+            f"retry in {retry_after:.6f}s"
+        )
+
+
+class DeadlineExceeded(ReproError):
+    """A per-request deadline expired.
+
+    For reads the check runs at entry — before any cache or index
+    work.  For writes the request may still apply after the caller
+    gave up (the batch was already queued); like :class:`WriterFailed`
+    this is the standard write-timeout ambiguity."""
+
+    def __init__(self, operation: str, waited: float):
+        self.operation = operation
+        self.waited = waited
+        super().__init__(
+            f"{operation} deadline exceeded after {waited:.6f}s"
+        )
+
+
+class ServiceStopped(ReproError):
+    """The PDP is stopped, killed, or dead — the request was failed
+    (not leaked) and will never apply."""
+
+    def __init__(self, reason: str = "stopped"):
+        self.reason = reason
+        super().__init__(f"PolicyDecisionPoint is not serving ({reason})")
+
+
+class SnapshotTooStale(ReproError):
+    """Degraded reads exceeded the configured staleness bound: the
+    published snapshot is older than ``max_staleness`` and the writer
+    is not healthy enough to refresh it."""
+
+    def __init__(self, staleness: float, bound: float):
+        self.staleness = staleness
+        self.bound = bound
+        super().__init__(
+            f"published snapshot is {staleness:.6f}s stale "
+            f"(bound {bound:.6f}s) and the writer is down"
+        )
+
+
+class WriterSupervisor:
+    """The writer's restart policy as a small explicit state machine.
+
+    States (``health``):
+
+    ``serving``
+        Healthy; batches apply normally.
+    ``backoff``
+        At least one recent failure; the writer sleeps
+        ``base_delay * factor**(n-1)`` (capped at ``max_delay``)
+        before the next attempt.  Failures here fail only their own
+        batch's futures.
+    ``degraded``
+        The breaker opened (``breaker_threshold`` consecutive
+        failures): writes are shed fast with :class:`WriterFailed`
+        while snapshot reads keep serving.  After ``breaker_reset``
+        seconds one probe batch is allowed through (half-open);
+        success closes the breaker, failure re-opens it and restarts
+        the clock.
+    ``stopped`` / ``dead``
+        Terminal: clean shutdown, or a fatal crash /
+        :meth:`~repro.serve.pdp.PolicyDecisionPoint.kill`.  ``dead``
+        additionally means in-memory state is untrustworthy — recover
+        from the WAL.
+
+    All timing flows through the injected ``clock``, so the tests
+    drive the breaker deterministically.
+    """
+
+    def __init__(
+        self,
+        base_delay: float = 0.05,
+        factor: float = 2.0,
+        max_delay: float = 5.0,
+        breaker_threshold: int = 5,
+        breaker_reset: float = 30.0,
+        clock=time.monotonic,
+    ):
+        if breaker_threshold < 1:
+            raise ReproError(
+                f"breaker_threshold must be >= 1, got {breaker_threshold}"
+            )
+        self.base_delay = base_delay
+        self.factor = factor
+        self.max_delay = max_delay
+        self.breaker_threshold = breaker_threshold
+        self.breaker_reset = breaker_reset
+        self.clock = clock
+        self.health = "serving"
+        self.consecutive_failures = 0
+        self.total_failures = 0
+        self.restarts = 0
+        self.breaker_opened_at: float | None = None
+        self.breaker_trips = 0
+        self.last_error: str | None = None
+
+    # -- transitions ---------------------------------------------------
+    def record_success(self) -> None:
+        """A batch applied: close the breaker, reset the backoff."""
+        if self.health in ("backoff", "degraded"):
+            self.restarts += 1
+        self.consecutive_failures = 0
+        self.breaker_opened_at = None
+        self.health = "serving"
+
+    def record_failure(self, error: BaseException) -> float:
+        """A batch failed: returns the backoff delay to sleep before
+        the next attempt (0.0 once the breaker is open — the writer
+        sheds instead of sleeping)."""
+        self.total_failures += 1
+        self.consecutive_failures += 1
+        self.last_error = f"{type(error).__name__}: {error}"
+        if self.consecutive_failures >= self.breaker_threshold:
+            if self.health != "degraded":
+                self.breaker_trips += 1
+            self.health = "degraded"
+            self.breaker_opened_at = self.clock()
+            return 0.0
+        self.health = "backoff"
+        delay = self.base_delay * (
+            self.factor ** (self.consecutive_failures - 1)
+        )
+        return min(delay, self.max_delay)
+
+    def allow_attempt(self) -> bool:
+        """May the writer try the next batch?  True while closed or
+        backing off; while the breaker is open, True only for the
+        half-open probe after ``breaker_reset`` elapsed."""
+        if self.health != "degraded":
+            return True
+        if self.breaker_opened_at is None:
+            return True
+        return self.clock() - self.breaker_opened_at >= self.breaker_reset
+
+    def force_degrade(self, reason: str) -> None:
+        """Open the breaker immediately, skipping the backoff ladder.
+
+        Used when continuing to accept writes is known-unsafe before
+        the threshold trips — e.g. the WAL resync after a half-landed
+        batch failed, so every further accepted write would widen the
+        durability gap.  Reads keep serving; the normal half-open
+        probe path applies."""
+        self.total_failures += 1
+        self.consecutive_failures = max(
+            self.consecutive_failures, self.breaker_threshold
+        )
+        self.last_error = reason
+        if self.health != "degraded":
+            self.breaker_trips += 1
+        self.health = "degraded"
+        self.breaker_opened_at = self.clock()
+
+    def mark_dead(self, reason: str) -> None:
+        self.health = "dead"
+        self.last_error = reason
+
+    def mark_stopped(self) -> None:
+        if self.health != "dead":
+            self.health = "stopped"
+
+    # -- surface -------------------------------------------------------
+    @property
+    def degraded(self) -> bool:
+        return self.health == "degraded"
+
+    @property
+    def accepting(self) -> bool:
+        """Whether new submits should be accepted at all (degraded
+        sheds fast unless a half-open probe is due; stopped/dead
+        always shed)."""
+        if self.health in ("stopped", "dead"):
+            return False
+        if self.health == "degraded":
+            return self.allow_attempt()
+        return True
+
+    def snapshot(self) -> dict:
+        return {
+            "health": self.health,
+            "consecutive_failures": self.consecutive_failures,
+            "total_failures": self.total_failures,
+            "restarts": self.restarts,
+            "breaker_trips": self.breaker_trips,
+            "breaker_open": self.health == "degraded",
+            "last_error": self.last_error,
+        }

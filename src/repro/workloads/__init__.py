@@ -22,8 +22,19 @@ from .hospital import (
     hospital_policy,
     hospital_query_trace,
 )
+from .faults import (
+    FAULTS,
+    CrashInjected,
+    Fault,
+    FaultInjector,
+    INJECTION_POINTS,
+    InjectedFailure,
+    differential_crash_recovery,
+    wal_tamper_campaign,
+)
 from .fuzz import (
     FuzzReport,
+    fuzz_crash_recovery,
     fuzz_index_churn,
     fuzz_many,
     fuzz_monitor,
@@ -53,8 +64,11 @@ __all__ = [
     "hospital_policy",
     "hospital_query_trace",
     "Operation", "TraceResult", "run_trace",
-    "FuzzReport", "fuzz_index_churn", "fuzz_many", "fuzz_monitor",
-    "fuzz_sharded_index",
+    "FAULTS", "CrashInjected", "Fault", "FaultInjector",
+    "INJECTION_POINTS", "InjectedFailure",
+    "differential_crash_recovery", "wal_tamper_campaign",
+    "FuzzReport", "fuzz_crash_recovery", "fuzz_index_churn",
+    "fuzz_many", "fuzz_monitor", "fuzz_sharded_index",
     "EnterpriseShape",
     "delegation_targets",
     "enterprise_policy",

@@ -91,6 +91,22 @@ monitor's global invariants after every step:
     :func:`_recycling_churn` rounds (which also drive the
     journal-based cache invalidation over recycled interner IDs), on
     both kernels (:func:`fuzz_pdp`).
+15. **Crash-recovery agreement** — a WAL-attached PDP killed at
+    *every* named fault-injection point mid-trace
+    (:data:`repro.workloads.faults.INJECTION_POINTS`: before/after
+    the kernel apply, before/during/after the hash-chained append,
+    before publish, before future resolution — including a torn
+    write that leaves a partial record on disk) recovers from the
+    log alone (:meth:`~repro.serve.PolicyDecisionPoint.recover`) to
+    a policy **byte-identical** (canonical JSON) to an uninterrupted
+    oracle run at the crash point's durable batch prefix, at the
+    same version, on both kernels; every crash surfaces as a typed
+    error, never a hang; and every single-record mutation, omission
+    and truncation of a healthy log is rejected by
+    :func:`~repro.serve.wal.verify_chain`
+    (:func:`fuzz_crash_recovery`, backed by
+    :func:`repro.workloads.faults.differential_crash_recovery` and
+    :func:`repro.workloads.faults.wal_tamper_campaign`).
 
 The fuzzer is seeded and deterministic; the test suite runs it over a
 spread of seeds, and `examples/safety_audit.py`-style scripts can run
@@ -1077,6 +1093,50 @@ def fuzz_pdp(
         else:
             report.denied += 1
     return report
+
+
+def fuzz_crash_recovery(
+    seed: int,
+    batches: int = 5,
+    batch_size: int = 6,
+    shape: PolicyShape = PolicyShape(),
+    compiled: bool = True,
+    crash_batch: int | None = None,
+) -> FuzzReport:
+    """Invariant (15): crash recovery is deterministic replay.
+
+    Runs the differential crash-recovery campaign
+    (:func:`repro.workloads.faults.differential_crash_recovery`) —
+    one uninterrupted oracle trace, then a kill at every injection
+    point with recovery pinned byte-identical to the oracle's durable
+    prefix on both kernels — followed by the tamper matrix
+    (:func:`repro.workloads.faults.wal_tamper_campaign`): every
+    single-record mutation, omission and truncation of a healthy log
+    must be rejected.  ``compiled`` picks the kernel the traces run
+    on; recovery is always cross-checked on both."""
+    from .faults import differential_crash_recovery, wal_tamper_campaign
+
+    violations = differential_crash_recovery(
+        seed=seed,
+        batches=batches,
+        batch_size=batch_size,
+        shape=shape,
+        compiled=compiled,
+        crash_batch=crash_batch,
+    )
+    violations += wal_tamper_campaign(
+        seed=seed + 1,
+        batches=max(2, batches - 2),
+        batch_size=batch_size,
+        shape=shape,
+        compiled=compiled,
+    )
+    return FuzzReport(
+        seed=seed,
+        steps=batches * batch_size,
+        executed=batches * batch_size,
+        violations=violations,
+    )
 
 
 def fuzz_many(

@@ -164,3 +164,79 @@ class TestRateLimiter:
             RateLimiter(capacity=0, rate=1.0)
         with pytest.raises(ValueError):
             RateLimiter(capacity=1.0, rate=-1.0)
+
+
+class TestRateLimiterBound:
+    """The bucket map is bounded: idle principals are evicted LRU-style
+    (idle-full buckets first — those evictions are lossless)."""
+
+    def _limiter(self, max_principals=4):
+        clock = ManualClock()
+        return clock, RateLimiter(
+            capacity=4, rate=1.0, clock=clock,
+            max_principals=max_principals,
+        )
+
+    def test_bound_is_enforced(self):
+        _, limiter = self._limiter(max_principals=4)
+        for index in range(10):
+            assert limiter.try_acquire(f"p{index}")
+        stats = limiter.statistics()
+        assert stats["principals"] == 4
+        assert stats["max_principals"] == 4
+        assert stats["evicted_buckets"] == 6
+
+    def test_idle_full_bucket_evicted_before_a_debited_one(self):
+        clock, limiter = self._limiter(max_principals=2)
+        limiter.try_acquire("drained", 4.0)  # oldest, but mid-burst
+        limiter.try_acquire("idle", 0.0)     # newer, still full
+        limiter.try_acquire("fresh")         # forces one eviction
+        # the lossless candidate went, the debited bucket survived:
+        # "drained" is still empty, not reset to a full burst
+        assert not limiter.try_acquire("drained", 1.0)
+        assert limiter.evicted_buckets == 1
+
+    def test_absolute_lru_fallback_when_nothing_is_idle(self):
+        clock, limiter = self._limiter(max_principals=2)
+        limiter.try_acquire("first", 2.0)
+        limiter.try_acquire("second", 2.0)
+        limiter.try_acquire("third")  # nobody idle-full: LRU goes
+        assert limiter.evicted_buckets == 1
+        # "first" was evicted; on return it gets a fresh full bucket
+        # (which evicts the new LRU, "second", to make room)
+        assert limiter.try_acquire("first", 4.0)
+        assert limiter.evicted_buckets == 2
+
+    def test_touch_refreshes_recency(self):
+        clock, limiter = self._limiter(max_principals=2)
+        limiter.try_acquire("first", 2.0)
+        limiter.try_acquire("second", 2.0)
+        limiter.try_acquire("first", 1.0)  # re-touch: now MRU
+        limiter.try_acquire("third")       # evicts "second" instead
+        assert not limiter.try_acquire("first", 2.0)  # debits survived
+        assert limiter.try_acquire("second", 4.0)     # reset to full
+        assert limiter.evicted_buckets == 2  # "second", then "first"
+
+    def test_refill_makes_eviction_lossless_again(self):
+        clock, limiter = self._limiter(max_principals=2)
+        limiter.try_acquire("first", 4.0)
+        limiter.try_acquire("second", 4.0)
+        clock.advance(4.0)  # both buckets lazily refill to capacity
+        limiter.try_acquire("third")
+        assert limiter.evicted_buckets == 1
+        assert limiter.statistics()["principals"] == 2
+
+    def test_unbounded_map_never_evicts(self):
+        clock = ManualClock()
+        limiter = RateLimiter(
+            capacity=1, rate=1.0, clock=clock, max_principals=None
+        )
+        for index in range(100):
+            limiter.try_acquire(f"p{index}")
+        stats = limiter.statistics()
+        assert stats["principals"] == 100
+        assert stats["evicted_buckets"] == 0
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(ValueError):
+            RateLimiter(capacity=1.0, rate=1.0, max_principals=0)

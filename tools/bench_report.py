@@ -121,6 +121,18 @@ BENCHES: dict[str, tuple[str, dict[str, str], str | None]] = {
         },
         "PDP_METRICS_OUT",
     ),
+    "recovery": (
+        "benchmarks/bench_recovery.py",
+        # Reduced batches/population; the 25% durability-tax ceiling
+        # holds with wide margin at both scales (measured ~3%).
+        {
+            "RECOVERY_BENCH_USERS": "400",
+            "RECOVERY_BENCH_BATCHES": "12",
+            "RECOVERY_BENCH_BATCH_SIZE": "16",
+            "RECOVERY_OVERHEAD_TARGET": "25",
+        },
+        "RECOVERY_METRICS_OUT",
+    ),
 }
 
 

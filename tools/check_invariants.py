@@ -57,6 +57,7 @@ GRAPH_MODULES = ("graph/",)
 DIFFERENTIAL_MODULES = frozenset({
     "workloads/fuzz.py",
     "workloads/churn.py",
+    "workloads/faults.py",
 })
 
 
