@@ -460,6 +460,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             f"crash-recovery agreement: {len(crash_reports)} campaigns "
             "(kill at every injection point, recovery pinned "
             "byte-identical to the oracle on both kernels, "
+            "recoverable append failures leave a verifying chain, "
             "plus the single-record tamper matrix)"
         )
     if violations:

@@ -388,6 +388,17 @@ class PolicyDecisionPoint:
             raise DeadlineExceeded("submit", 0.0)
         if not commands:
             return []
+        if (
+            self.queue_limit is not None
+            and len(commands) > self.queue_limit
+        ):
+            # Not QueueFull: the batch exceeds the queue bound on its
+            # own, so no amount of retrying can ever fit it.
+            raise ReproError(
+                f"batch of {len(commands)} commands exceeds "
+                f"queue_limit {self.queue_limit} and can never be "
+                "accepted; split it"
+            )
         depth = self._queue.qsize()
         if (
             self.queue_limit is not None
@@ -597,8 +608,12 @@ class PolicyDecisionPoint:
         self._resync_wal()
         # Publish whatever state exists: a failure after the apply
         # mutated the policy must still reach readers and advance the
-        # decision cache past the mutation.
-        self._publish()
+        # decision cache past the mutation.  fresh=False: unless the
+        # version actually advanced, this republish must not reset the
+        # staleness clock — a writer stuck failing would otherwise
+        # keep reported staleness near zero during exactly the outage
+        # max_staleness is meant to bound.
+        self._publish(fresh=False)
         self._fail_batch(batch, WriterFailed(
             "batch apply failed",
             health=self.supervisor.health,
@@ -665,15 +680,22 @@ class PolicyDecisionPoint:
             if not future.done():
                 future.set_exception(error)
 
-    def _publish(self) -> None:
+    def _publish(self, fresh: bool = True) -> None:
         """Capture and publish a fresh reader snapshot of the current
         policy, then advance the decision cache to its version by
-        selective journal-driven eviction."""
+        selective journal-driven eviction.
+
+        ``fresh=True`` (every successful pass through the writer,
+        batches and refreshes alike) restamps ``_published_at``; the
+        failure path passes False so the staleness clock only resets
+        when the version actually advanced — a same-version republish
+        from a failing writer proves nothing about freshness."""
         snapshot = ReviewSnapshot(
             self.monitor.policy, compiled=self.compiled
         )
+        if fresh or snapshot.version != self._snapshot.version:
+            self._published_at = self.clock()
         self._snapshot = snapshot
-        self._published_at = self.clock()
         self.cache.advance(snapshot.version)
         if self.retain_history:
             self.history[snapshot.version] = snapshot

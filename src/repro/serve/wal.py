@@ -354,6 +354,12 @@ class PolicyWal:
         #: policy version after the last appended record (None before
         #: genesis) — the writer's drift tripwire.
         self.last_version: int | None = None
+        #: non-None once the on-disk state no longer matches this
+        #: handle's chain position (a simulated mid-append death, or an
+        #: append failure whose rollback failed too): every further
+        #: append is refused — writing on ambiguous state would
+        #: duplicate a seq and corrupt the chain for good.
+        self._poisoned: str | None = None
         if os.path.exists(self.path) and os.path.getsize(self.path):
             existing, _ = read_wal(self.path, tolerate_torn_tail=False)
             self.head = verify_chain(existing)
@@ -371,6 +377,10 @@ class PolicyWal:
 
     # -- appends -------------------------------------------------------
     def _append(self, kind: str, payload: dict) -> WalRecord:
+        if self._poisoned is not None:
+            raise WalError(
+                f"WAL at {self.path} refuses appends: {self._poisoned}"
+            )
         if FAULTS.active:
             FAULTS.hit("wal.before_append")
         record = WalRecord(
@@ -383,18 +393,36 @@ class PolicyWal:
         if FAULTS.active:
             torn = FAULTS.torn_prefix("wal.torn_write", line)
             if torn is not None:
+                # A simulated process death mid-write: the prefix
+                # stays on disk (recovery repairs it) and — exactly
+                # like a real kill — no cleanup runs, so the handle is
+                # done for.
+                self._poisoned = "simulated crash mid-append (torn write)"
                 self._handle.write(torn)
                 self._handle.flush()
                 os.fsync(self._handle.fileno())
                 raise CrashInjected("wal.torn_write")
-        self._handle.write(line)
-        self._handle.flush()
-        if FAULTS.active:
-            FAULTS.hit("wal.before_fsync")
-        if self.fsync:
-            os.fsync(self._handle.fileno())
-        if FAULTS.active:
-            FAULTS.hit("wal.after_append")
+        try:
+            self._handle.write(line)
+            self._handle.flush()
+            if FAULTS.active:
+                FAULTS.hit("wal.before_fsync")
+            if self.fsync:
+                os.fsync(self._handle.fileno())
+        except CrashInjected:
+            # A simulated process death after the line (possibly)
+            # reached the file: no cleanup, recovery decides what
+            # survived the page cache.
+            self._poisoned = "simulated crash mid-append"
+            raise
+        except BaseException as error:
+            # The line may be wholly or partly on disk while
+            # head/next_seq still describe the pre-append state; a
+            # supervised retry or rebase on top would duplicate the
+            # seq and break the chain permanently.  Wind the file back
+            # to the last durable record boundary first.
+            self._rollback(error)
+            raise
         self.head = record.digest
         self.next_seq += 1
         self.records += 1
@@ -402,7 +430,36 @@ class PolicyWal:
         version = payload.get("version")
         if isinstance(version, int):
             self.last_version = version
+        if FAULTS.active:
+            FAULTS.hit("wal.after_append")
         return record
+
+    def _rollback(self, cause: BaseException) -> None:
+        """Truncate the file back to ``bytes_written`` — the end of the
+        last *successful* append, the repair_torn_tail idiom applied
+        eagerly — so the failed line never coexists with its retry.
+        If even the rollback fails, post-write state is ambiguous and
+        the handle is poisoned: further appends are refused (the
+        writer's resync path then forces the breaker open, and reads
+        keep serving)."""
+        try:
+            if self._handle is not None:
+                try:
+                    # Drop any bytes still buffered from the failed
+                    # write before truncating on a fresh handle.
+                    self._handle.close()
+                except OSError:
+                    pass
+                self._handle = None
+            with open(self.path, "rb+") as handle:
+                handle.truncate(self.bytes_written)
+                handle.flush()
+                os.fsync(handle.fileno())
+        except OSError as error:
+            self._poisoned = (
+                f"append failed ({cause}) and rollback to byte "
+                f"{self.bytes_written} failed too ({error})"
+            )
 
     def append_genesis(self, policy) -> WalRecord:
         """Record the replay starting point; must be the first append."""
@@ -467,6 +524,11 @@ class PolicyWal:
             ),
         }
 
+    @property
+    def poisoned(self) -> str | None:
+        """Why this handle refuses appends, or None while healthy."""
+        return self._poisoned
+
     def statistics(self) -> dict:
         return {
             "path": self.path,
@@ -476,6 +538,7 @@ class PolicyWal:
             "head": self.head,
             "version": self.last_version,
             "fsync": self.fsync,
+            "poisoned": self._poisoned,
         }
 
     def close(self) -> None:

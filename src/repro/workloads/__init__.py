@@ -24,11 +24,13 @@ from .hospital import (
 )
 from .faults import (
     FAULTS,
+    FAIL_POINTS,
     CrashInjected,
     Fault,
     FaultInjector,
     INJECTION_POINTS,
     InjectedFailure,
+    differential_append_failure,
     differential_crash_recovery,
     wal_tamper_campaign,
 )
@@ -64,8 +66,9 @@ __all__ = [
     "hospital_policy",
     "hospital_query_trace",
     "Operation", "TraceResult", "run_trace",
-    "FAULTS", "CrashInjected", "Fault", "FaultInjector",
+    "FAULTS", "FAIL_POINTS", "CrashInjected", "Fault", "FaultInjector",
     "INJECTION_POINTS", "InjectedFailure",
+    "differential_append_failure",
     "differential_crash_recovery", "wal_tamper_campaign",
     "FuzzReport", "fuzz_crash_recovery", "fuzz_index_churn",
     "fuzz_many", "fuzz_monitor", "fuzz_sharded_index",

@@ -18,13 +18,17 @@ CLI and CI chaos jobs use).
 
 The second half of the module is the differential crash-recovery
 campaign behind **fuzz invariant 15**
-(:func:`differential_crash_recovery` + :func:`wal_tamper_campaign`,
+(:func:`differential_crash_recovery` +
+:func:`differential_append_failure` + :func:`wal_tamper_campaign`,
 fronted by :func:`repro.workloads.fuzz.fuzz_crash_recovery` and
 ``repro fuzz --crash-diff``): for every injection point, a PDP is
 killed mid-trace, recovered from the WAL alone, and pinned
 byte-identical to an uninterrupted oracle run at the durable batch
-prefix; and every single-record mutation, omission and truncation of
-the log must be rejected by ``verify_chain``.
+prefix; a *recoverable* failure at every point (the
+``wal.before_fsync:fail`` class) must fail only its batch and leave
+a chain that still verifies and recovers to the live state; and
+every single-record mutation, omission and truncation of the log
+must be rejected by ``verify_chain``.
 """
 
 from __future__ import annotations
@@ -41,7 +45,9 @@ __all__ = [
     "Fault",
     "FaultInjector",
     "FAULTS",
+    "FAIL_POINTS",
     "INJECTION_POINTS",
+    "differential_append_failure",
     "differential_crash_recovery",
     "wal_tamper_campaign",
 ]
@@ -254,6 +260,23 @@ _DURABLE_OFFSET = {
     "writer.before_resolve": 1,
 }
 
+#: The points the *recoverable-failure* campaign arms with action
+#: "fail" instead of a kill: every crash point except the torn write
+#: (which only exists as a death), plus ``wal.after_append``.  The
+#: load-bearing case is ``wal.before_fsync:fail`` — a flush/fsync
+#: error *after* the line reached the file must roll the file back,
+#: or the supervised retry/rebase would append a duplicate seq and
+#: permanently break the chain.
+FAIL_POINTS = (
+    "writer.before_apply",
+    "writer.after_apply",
+    "wal.before_append",
+    "wal.before_fsync",
+    "wal.after_append",
+    "writer.before_publish",
+    "writer.before_resolve",
+)
+
 
 async def _scripted_run(
     seed: int,
@@ -348,6 +371,162 @@ async def _victim_run(
         FAULTS.clear()
         pdp.kill()
     return fault, failure
+
+
+async def _failure_run(
+    seed: int,
+    plan: list,
+    shape,
+    wal_path: str,
+    point: str,
+    fail_batch: int,
+    compiled: bool,
+):
+    """Replay the oracle's trace with a *recoverable* failure armed at
+    ``point`` for batch ``fail_batch``: the doomed batch must fail
+    typed, the supervised writer must resync and keep serving, and the
+    remaining batches must apply.  Returns ``(fault, failure, doc,
+    version, head)`` — the armed fault, the typed error the doomed
+    submit surfaced with, and the live service's final canonical
+    policy JSON / version / WAL head."""
+    from ..core.serialization import policy_to_json
+    from ..serve import PolicyDecisionPoint, WriterSupervisor
+
+    from .generators import random_policy
+
+    policy = random_policy(seed, shape)
+    batch_size = len(plan[0])
+    # Construct first, arm second: the genesis append must not consume
+    # a hit, so every point's budget counts batches only.
+    pdp = PolicyDecisionPoint(
+        policy=policy, compiled=compiled, wal=wal_path,
+        max_batch=batch_size, max_delay=0.0005,
+        supervisor=WriterSupervisor(base_delay=0.0),
+    )
+    fault = FAULTS.arm(point, "fail", times=1, after=fail_batch)
+    failure = None
+    try:
+        async with pdp:
+            for commands in plan:
+                try:
+                    await pdp.submit_many(commands)
+                except ReproError as error:
+                    failure = error
+            return (
+                fault,
+                failure,
+                policy_to_json(pdp.monitor.policy),
+                pdp.monitor.policy.version,
+                pdp.wal.head,
+            )
+    finally:
+        FAULTS.clear()
+
+
+def differential_append_failure(
+    seed: int = 0,
+    batches: int = 6,
+    batch_size: int = 8,
+    shape=None,
+    compiled: bool = True,
+    points=None,
+    fail_batch: int | None = None,
+    workdir: str | None = None,
+) -> list[str]:
+    """Inject a recoverable failure at every point; pin the survivors.
+
+    The crash campaign kills the process, so it never exercises the
+    *supervised* path where the writer lives on after an append
+    failure — exactly where a half-written line followed by a
+    retry/rebase could duplicate a seq and break the chain for good.
+    Per point in :data:`FAIL_POINTS`: a WAL-attached PDP replays the
+    oracle's trace, an ``InjectedFailure`` fires mid-``fail_batch``,
+    the doomed batch must surface a typed
+    :class:`~repro.serve.supervisor.WriterFailed` (no hang, no silent
+    success), the remaining batches must still apply, and afterwards
+    the log must (a) pass the strict head-anchored ``verify_chain``
+    and (b) :meth:`~repro.serve.pdp.PolicyDecisionPoint.recover` —
+    on both kernels — to state byte-identical to the live service's.
+    Returns violation strings; empty means the invariant held."""
+    import asyncio
+    import tempfile
+
+    from ..core.serialization import policy_to_json
+    from ..serve import PolicyDecisionPoint
+    from ..serve.supervisor import WriterFailed
+    from ..serve.wal import WalError, read_wal, verify_chain
+    from .generators import PolicyShape
+
+    if shape is None:
+        shape = PolicyShape()
+    if points is None:
+        points = FAIL_POINTS
+    if fail_batch is None:
+        fail_batch = batches // 2
+    if not 0 <= fail_batch < batches:
+        raise ReproError(
+            f"fail_batch {fail_batch} outside [0, {batches})"
+        )
+    violations: list[str] = []
+    plan, _ = asyncio.run(
+        _scripted_run(seed, batches, batch_size, shape, compiled)
+    )
+    workdir = workdir or tempfile.mkdtemp(prefix="repro-fail-")
+    for point in points:
+        path = os.path.join(
+            workdir, point.replace(".", "_") + "_fail.wal"
+        )
+        fault, failure, doc, version, head = asyncio.run(
+            _failure_run(
+                seed, plan, shape, path, point, fail_batch, compiled
+            )
+        )
+        if fault.fired == 0:
+            violations.append(f"{point}: armed fault never fired")
+            continue
+        if failure is None:
+            violations.append(
+                f"{point}: injected failure surfaced no typed error "
+                "(hang or silent success)"
+            )
+            continue
+        if not isinstance(failure, WriterFailed):
+            violations.append(
+                f"{point}: doomed batch raised "
+                f"{type(failure).__name__}, expected WriterFailed"
+            )
+        try:
+            records, _ = read_wal(path)
+            verify_chain(records, expected_head=head)
+        except WalError as error:
+            violations.append(
+                f"{point}: log corrupt after supervised failure "
+                f"(duplicate seq / broken chain?): {error}"
+            )
+            continue
+        for kernel in (compiled, not compiled):
+            label = "compiled" if kernel else "python"
+            try:
+                recovered = PolicyDecisionPoint.recover(
+                    path, compiled=kernel
+                )
+            except ReproError as error:
+                violations.append(
+                    f"{point} [{label}]: recovery failed: {error}"
+                )
+                continue
+            if policy_to_json(recovered.monitor.policy) != doc:
+                violations.append(
+                    f"{point} [{label}]: recovered policy diverges "
+                    "from the live post-failure state"
+                )
+            if recovered.monitor.policy.version != version:
+                violations.append(
+                    f"{point} [{label}]: recovered version "
+                    f"{recovered.monitor.policy.version} != live "
+                    f"{version}"
+                )
+    return violations
 
 
 def differential_crash_recovery(

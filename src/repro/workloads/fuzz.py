@@ -1109,12 +1109,21 @@ def fuzz_crash_recovery(
     (:func:`repro.workloads.faults.differential_crash_recovery`) —
     one uninterrupted oracle trace, then a kill at every injection
     point with recovery pinned byte-identical to the oracle's durable
-    prefix on both kernels — followed by the tamper matrix
+    prefix on both kernels — then the recoverable-failure sweep
+    (:func:`repro.workloads.faults.differential_append_failure`):
+    an ``InjectedFailure`` (``wal.before_fsync:fail`` and friends)
+    mid-trace must fail only its batch, leave a chain that still
+    verifies, and recover byte-identical to the surviving service —
+    followed by the tamper matrix
     (:func:`repro.workloads.faults.wal_tamper_campaign`): every
     single-record mutation, omission and truncation of a healthy log
     must be rejected.  ``compiled`` picks the kernel the traces run
     on; recovery is always cross-checked on both."""
-    from .faults import differential_crash_recovery, wal_tamper_campaign
+    from .faults import (
+        differential_append_failure,
+        differential_crash_recovery,
+        wal_tamper_campaign,
+    )
 
     violations = differential_crash_recovery(
         seed=seed,
@@ -1123,6 +1132,14 @@ def fuzz_crash_recovery(
         shape=shape,
         compiled=compiled,
         crash_batch=crash_batch,
+    )
+    violations += differential_append_failure(
+        seed=seed,
+        batches=batches,
+        batch_size=batch_size,
+        shape=shape,
+        compiled=compiled,
+        fail_batch=crash_batch,
     )
     violations += wal_tamper_campaign(
         seed=seed + 1,

@@ -3,9 +3,12 @@ per-request deadlines, bounded-queue shedding, and the degraded
 read-only mode that keeps answering while the writer is down.
 """
 
+import asyncio
+
 import pytest
 
 from repro.core.commands import grant_cmd
+from repro.errors import ReproError
 from repro.serve import (
     DeadlineExceeded,
     PolicyDecisionPoint,
@@ -103,6 +106,34 @@ class TestStaleness:
 
         run(scenario())
 
+    def test_failing_writer_does_not_reset_staleness(self, clock):
+        """The failure-path republish must not restamp the staleness
+        clock while the version stands still — otherwise a writer
+        stuck failing keeps reported staleness near zero during
+        exactly the outage max_staleness is meant to bound."""
+
+        async def scenario():
+            pdp = _pdp(
+                clock=clock, max_staleness=1.0,
+                supervisor=WriterSupervisor(
+                    base_delay=0.0, breaker_threshold=3, clock=clock,
+                ),
+            )
+            FAULTS.arm("writer.before_apply", "fail", times=3)
+            async with pdp:
+                for _ in range(3):
+                    clock.advance(0.6)
+                    with pytest.raises(WriterFailed):
+                        await pdp.submit(grant_cmd(ADMIN, U, R))
+                assert pdp.health == "degraded"
+                # staleness spans the whole outage, not just the last
+                # failed attempt — and the bound therefore fires
+                assert pdp.statistics()["staleness"] == pytest.approx(1.8)
+                with pytest.raises(SnapshotTooStale):
+                    await pdp.check(ADMIN, grant_cmd(ADMIN, U, R))
+
+        run(scenario())
+
 
 class TestDegradedReads:
     def test_reads_pinned_at_last_published_version(self):
@@ -197,17 +228,47 @@ class TestBackpressure:
         async def scenario():
             pdp = _pdp(queue_limit=2)
             async with pdp:
+                # Fill the queue within one tick: the backlog task's
+                # synchronous prologue enqueues both commands before
+                # the writer (woken later in the callback queue) can
+                # drain them.
+                backlog = asyncio.ensure_future(pdp.submit_many([
+                    grant_cmd(ADMIN, U, R),
+                    grant_cmd(ADMIN, ADMIN, R),
+                ]))
+                await asyncio.sleep(0)
                 with pytest.raises(QueueFull) as caught:
-                    await pdp.submit_many([
-                        grant_cmd(ADMIN, U, R),
-                        grant_cmd(ADMIN, ADMIN, R),
-                        grant_cmd(ADMIN, U, R),
-                    ])
+                    await pdp.submit_many([grant_cmd(ADMIN, U, R)])
+                assert caught.value.depth == 2
                 assert caught.value.limit == 2
                 assert caught.value.retry_after > 0
                 assert pdp.metrics.queue_shed == 1
                 stats = pdp.statistics()
                 assert stats["queue"]["limit"] == 2
+                # the backlog drains, and a fitting batch then applies
+                records = await backlog
+                assert len(records) == 2
+                record = await pdp.submit(grant_cmd(ADMIN, U, R))
+                assert record.executed
+
+        run(scenario())
+
+    def test_oversized_batch_is_a_nonretryable_error(self):
+        """A batch larger than queue_limit can never fit, even into an
+        empty queue — so it must not shed as retryable QueueFull."""
+
+        async def scenario():
+            pdp = _pdp(queue_limit=2)
+            async with pdp:
+                with pytest.raises(ReproError) as caught:
+                    await pdp.submit_many([
+                        grant_cmd(ADMIN, U, R),
+                        grant_cmd(ADMIN, ADMIN, R),
+                        grant_cmd(ADMIN, U, R),
+                    ])
+                assert not isinstance(caught.value, QueueFull)
+                assert "queue_limit" in str(caught.value)
+                assert pdp.metrics.queue_shed == 0
                 # a batch that fits still applies
                 record = await pdp.submit(grant_cmd(ADMIN, U, R))
                 assert record.executed

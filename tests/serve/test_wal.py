@@ -22,11 +22,14 @@ from repro.serve import (
     PolicyDecisionPoint,
     PolicyWal,
     WalError,
+    WriterFailed,
+    WriterSupervisor,
     read_wal,
     repair_torn_tail,
     replay_wal,
     verify_chain,
 )
+from repro.workloads.faults import FAULTS, CrashInjected, InjectedFailure
 
 from .conftest import ADMIN, BOTH_KERNELS, R, S, U, run, serve_policy
 
@@ -181,6 +184,91 @@ class TestTornTail:
         path.write_bytes(path.read_bytes() + b'{"torn')
         with pytest.raises(WalError, match="torn tail"):
             PolicyWal(str(path))
+
+
+class TestAppendFailure:
+    """A failed append must never leave its line in the file while
+    head/next_seq describe the pre-append state — the duplicate-seq /
+    broken-chain regression the recoverable-failure campaign pins."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_faults(self):
+        FAULTS.clear()
+        yield
+        FAULTS.clear()
+
+    def test_failed_append_rolls_the_file_back(self, tmp_path):
+        path = tmp_path / "p.wal"
+        wal = PolicyWal(str(path))
+        wal.append_genesis(serve_policy())
+        clean = path.read_bytes()
+        FAULTS.arm("wal.before_fsync", "fail", times=1)
+        with pytest.raises(InjectedFailure):
+            wal.append_rebase(serve_policy())
+        # the failed line is gone: the file is byte-identical to the
+        # pre-append state, and the same handle appends cleanly
+        assert path.read_bytes() == clean
+        assert wal.next_seq == 1
+        record = wal.append_rebase(serve_policy())
+        assert record.seq == 1
+        records, _ = read_wal(str(path))
+        verify_chain(records, expected_head=wal.head)
+
+    def test_supervised_retry_after_fsync_failure_keeps_chain(
+        self, tmp_path
+    ):
+        """The serving-path regression: an fsync-stage failure inside
+        the writer must not let the resync rebase append a duplicate
+        seq — the chain verifies and recovery lands on the live
+        state."""
+        path = tmp_path / "p.wal"
+
+        async def scenario():
+            pdp = PolicyDecisionPoint(
+                policy=serve_policy(), wal=str(path),
+                max_batch=4, max_delay=0.0005,
+                supervisor=WriterSupervisor(base_delay=0.0),
+            )
+            FAULTS.arm("wal.before_fsync", "fail", times=1)
+            async with pdp:
+                with pytest.raises(WriterFailed):
+                    await pdp.submit_many(_commands())
+                # the writer survived: the next batch applies
+                await pdp.submit_many(_commands())
+                return (
+                    pdp.wal.head,
+                    policy_to_json(pdp.monitor.policy),
+                    pdp.monitor.policy.version,
+                )
+
+        head, doc, version = run(scenario())
+        records, _ = read_wal(str(path))
+        assert [r.seq for r in records] == list(range(len(records)))
+        verify_chain(records, expected_head=head)
+        recovered = PolicyDecisionPoint.recover(str(path))
+        assert policy_to_json(recovered.monitor.policy) == doc
+        assert recovered.monitor.policy.version == version
+
+    def test_torn_write_poisons_the_handle(self, tmp_path):
+        """A simulated mid-write death leaves ambiguous bytes on disk;
+        the handle must refuse further appends — only repair + reopen
+        (the recovery path) resumes the chain."""
+        path = tmp_path / "p.wal"
+        wal = PolicyWal(str(path))
+        wal.append_genesis(serve_policy())
+        FAULTS.arm("wal.torn_write", "torn", torn_bytes=8)
+        with pytest.raises(CrashInjected):
+            wal.append_rebase(serve_policy())
+        FAULTS.clear()
+        assert wal.poisoned is not None
+        assert wal.statistics()["poisoned"]
+        with pytest.raises(WalError, match="refuses appends"):
+            wal.append_rebase(serve_policy())
+        repair_torn_tail(str(path))
+        fresh = PolicyWal(str(path))
+        fresh.append_rebase(serve_policy())
+        records, _ = read_wal(str(path))
+        verify_chain(records, expected_head=fresh.head)
 
 
 class TestReopen:

@@ -15,10 +15,11 @@ from repro.workloads.faults import (
     CrashInjected,
     FaultInjector,
     InjectedFailure,
+    differential_append_failure,
     differential_crash_recovery,
     wal_tamper_campaign,
 )
-from repro.workloads.faults import _DURABLE_OFFSET, INJECTION_POINTS
+from repro.workloads.faults import _DURABLE_OFFSET, FAIL_POINTS, INJECTION_POINTS
 from repro.workloads.fuzz import fuzz_crash_recovery
 from repro.workloads.generators import PolicyShape
 
@@ -138,6 +139,28 @@ class TestCampaigns:
             seed=5, batches=3, batch_size=4, shape=SHAPE
         )
         assert violations == []
+
+    def test_fail_points_cover_the_fsync_stage(self):
+        """The recoverable-failure sweep must include the append path
+        around the fsync — the stage where a half-landed line plus a
+        retry/rebase could duplicate a seq."""
+        assert "wal.before_fsync" in FAIL_POINTS
+        assert "wal.before_append" in FAIL_POINTS
+        assert "wal.after_append" in FAIL_POINTS
+
+    def test_differential_append_failure_is_clean(self):
+        violations = differential_append_failure(
+            seed=5, batches=4, batch_size=5, shape=SHAPE
+        )
+        assert violations == []
+
+    def test_append_failure_campaign_leaves_the_injector_clean(self):
+        differential_append_failure(
+            seed=5, batches=3, batch_size=4, shape=SHAPE,
+            points=("wal.before_fsync",),
+        )
+        assert not FAULTS.active
+        assert FAULTS.armed() == []
 
     @pytest.mark.parametrize(
         "compiled", [True, False], ids=["compiled", "frozenset"]
